@@ -1,0 +1,61 @@
+//! Criterion benchmarks of the end-to-end system simulators themselves:
+//! how long it takes to *simulate* one batched inference on each design
+//! point (CPU-only, CPU-GPU, Centaur) for a representative workload.
+
+use centaur::CentaurSystem;
+use centaur_cpusim::CpuSystem;
+use centaur_dlrm::PaperModel;
+use centaur_gpusim::CpuGpuSystem;
+use centaur_workload::{IndexDistribution, RequestGenerator};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn traces(model: PaperModel, batch: usize) -> centaur_dlrm::InferenceTrace {
+    let mut generator = RequestGenerator::new(&model.config(), IndexDistribution::Uniform, 1);
+    generator.inference_trace(batch)
+}
+
+fn bench_cpu_only(c: &mut Criterion) {
+    let trace = traces(PaperModel::Dlrm1, 16);
+    c.bench_function("simulate_cpu_only_dlrm1_b16", |b| {
+        b.iter_batched(
+            CpuSystem::broadwell,
+            |mut system| black_box(system.simulate(black_box(&trace))),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_cpu_gpu(c: &mut Criterion) {
+    let trace = traces(PaperModel::Dlrm1, 16);
+    c.bench_function("simulate_cpu_gpu_dlrm1_b16", |b| {
+        b.iter_batched(
+            CpuGpuSystem::dgx1,
+            |mut system| black_box(system.simulate(black_box(&trace))),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_centaur(c: &mut Criterion) {
+    let trace = traces(PaperModel::Dlrm1, 16);
+    c.bench_function("simulate_centaur_dlrm1_b16", |b| {
+        b.iter_batched(
+            CentaurSystem::harpv2,
+            |mut system| black_box(system.simulate(black_box(&trace))),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let heavy = traces(PaperModel::Dlrm2, 16);
+    c.bench_function("simulate_centaur_dlrm2_b16", |b| {
+        b.iter_batched(
+            CentaurSystem::harpv2,
+            |mut system| black_box(system.simulate(black_box(&heavy))),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(end_to_end, bench_cpu_only, bench_cpu_gpu, bench_centaur);
+criterion_main!(end_to_end);

@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks of the kernels underlying every experiment:
+//! the `SparseLengthsSum` gather/reduce, the reference GEMM, the PE-array
+//! tiled GEMM and the dot-product feature interaction.
+
+use centaur::dense::MlpUnit;
+use centaur::sparse::EbStreamer;
+use centaur_dlrm::{EmbeddingBag, FeatureInteraction, Matrix};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_gather_reduce(c: &mut Criterion) {
+    let bag = EmbeddingBag::random(8, 50_000, 32, 7);
+    let indices: Vec<Vec<u32>> = (0..8)
+        .map(|t| (0..40u32).map(|i| (t as u32 * 977 + i * 131) % 50_000).collect())
+        .collect();
+
+    c.bench_function("sparse_lengths_sum_reference", |b| {
+        b.iter(|| bag.sparse_lengths_reduce(black_box(&indices)).unwrap())
+    });
+
+    c.bench_function("eb_streamer_gather_reduce", |b| {
+        b.iter_batched(
+            EbStreamer::default,
+            |mut streamer| streamer.gather_reduce(black_box(&bag), black_box(&indices)).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let a = Matrix::from_fn(64, 128, |r, col| ((r * 31 + col) % 17) as f32 - 8.0);
+    let w = Matrix::from_fn(128, 64, |r, col| ((r + col * 13) % 11) as f32 * 0.125);
+
+    c.bench_function("matrix_matmul_64x128x64", |b| {
+        b.iter(|| black_box(&a).matmul(black_box(&w)).unwrap())
+    });
+
+    c.bench_function("mlp_unit_tiled_matmul_64x128x64", |b| {
+        b.iter_batched(
+            MlpUnit::harpv2,
+            |mut unit| unit.matmul(black_box(&a), black_box(&w)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_interaction(c: &mut Criterion) {
+    let features = Matrix::from_fn(51, 32, |r, col| ((r * 7 + col) % 9) as f32 - 4.0);
+    let fi = FeatureInteraction::new(51, 32).unwrap();
+    c.bench_function("feature_interaction_51x32", |b| {
+        b.iter(|| fi.interact(black_box(&features)).unwrap())
+    });
+}
+
+criterion_group!(kernels, bench_gather_reduce, bench_gemm, bench_interaction);
+criterion_main!(kernels);

@@ -1,0 +1,72 @@
+//! Ablation study (Section VII of the paper): how Centaur's end-to-end
+//! latency and effective gather bandwidth scale as the CPU↔FPGA link moves
+//! from HARPv2's 28.8 GB/s coherent links to future high-bandwidth,
+//! cache-bypassing chiplet signalling (hundreds of GB/s), and where the
+//! next bottleneck (the EB-RU reduction throughput) appears.
+
+use centaur::{CentaurConfig, CentaurSystem};
+use centaur_bench::{ExperimentRunner, TextTable};
+use centaur_dlrm::PaperModel;
+use centaur_workload::{IndexDistribution, RequestGenerator};
+
+fn main() {
+    let runner = ExperimentRunner::new();
+    let model = PaperModel::Dlrm4;
+    let batch = 64;
+    let cpu = runner.run_cpu(&model.config(), batch);
+
+    let mut generator =
+        RequestGenerator::new(&model.config(), IndexDistribution::Uniform, 0xC0FFEE);
+    let trace = generator.inference_trace(batch);
+
+    let mut table = TextTable::new(
+        "Ablation: CPU<->FPGA link bandwidth scaling (DLRM(4), batch 64)",
+        &[
+            "Design point",
+            "Link GB/s (theoretical)",
+            "Gather GB/s (achieved)",
+            "EMB (us)",
+            "Total (us)",
+            "Speedup vs CPU-only",
+        ],
+    );
+
+    // HARPv2 proof-of-concept (cache-coherent path).
+    let harp = CentaurSystem::harpv2().simulate(&trace);
+    table.add_row(vec![
+        "HARPv2 (paper)".into(),
+        format!("{:.1}", CentaurConfig::harpv2().link.theoretical_bandwidth_gbs()),
+        format!(
+            "{:.1}",
+            harp.effective_embedding_throughput().gigabytes_per_second()
+        ),
+        format!("{:.1}", harp.breakdown.embedding_ns / 1e3),
+        format!("{:.1}", harp.total_ns() / 1e3),
+        format!("{:.2}", harp.speedup_over(cpu.total_ns())),
+    ]);
+
+    // Future chiplet packages with cache-bypassing gather paths.
+    for bandwidth in [50.0, 100.0, 200.0, 400.0, 800.0] {
+        let config = CentaurConfig::future_chiplet(bandwidth);
+        let result = CentaurSystem::new(config).simulate(&trace);
+        table.add_row(vec![
+            format!("cache-bypass chiplet {bandwidth:.0} GB/s"),
+            format!("{bandwidth:.0}"),
+            format!(
+                "{:.1}",
+                result
+                    .effective_embedding_throughput()
+                    .gigabytes_per_second()
+            ),
+            format!("{:.1}", result.breakdown.embedding_ns / 1e3),
+            format!("{:.1}", result.total_ns() / 1e3),
+            format!("{:.2}", result.speedup_over(cpu.total_ns())),
+        ]);
+    }
+    table.print();
+    println!(
+        "Note: beyond ~200 GB/s the EB-RU's reduction throughput (32 ALUs @ 200 MHz\n\
+         = 25.6 GB/s of embedding data) becomes the bottleneck — the co-design point\n\
+         the paper's Section VII identifies for future chiplet-based CPU+FPGAs."
+    );
+}

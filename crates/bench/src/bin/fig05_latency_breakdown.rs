@@ -1,0 +1,43 @@
+//! Regenerates Figure 5: CPU-only inference latency breakdown (EMB / MLP /
+//! Other) and normalized latency as a function of batch size.
+
+use centaur_bench::{ExperimentRunner, TextTable};
+use centaur_dlrm::PaperModel;
+
+fn main() {
+    let runner = ExperimentRunner::new();
+    let mut table = TextTable::new(
+        "Figure 5: CPU-only latency breakdown per batch size",
+        &[
+            "Model",
+            "Batch",
+            "EMB %",
+            "MLP %",
+            "Other %",
+            "Latency (us)",
+            "Normalized",
+        ],
+    );
+
+    // Normalisation reference: the slowest model at batch 1 is DLRM(1) in
+    // the paper's plot; we normalise to DLRM(1)/batch-1 as the figure does.
+    let reference = runner
+        .run_cpu(&PaperModel::Dlrm1.config(), 1)
+        .total_ns();
+
+    for model in PaperModel::all() {
+        for batch in ExperimentRunner::batch_sizes() {
+            let r = runner.run_cpu(&model.config(), batch);
+            table.add_row(vec![
+                model.label().to_string(),
+                batch.to_string(),
+                format!("{:.1}", r.breakdown.embedding_fraction() * 100.0),
+                format!("{:.1}", r.breakdown.mlp_fraction() * 100.0),
+                format!("{:.1}", r.breakdown.other_fraction() * 100.0),
+                format!("{:.1}", r.total_ns() / 1e3),
+                format!("{:.2}", r.total_ns() / reference),
+            ]);
+        }
+    }
+    table.print();
+}

@@ -1,0 +1,34 @@
+//! Regenerates Figure 6: LLC miss rate (a) and MPKI (b) of the embedding
+//! and MLP layers as a function of batch size.
+
+use centaur_bench::{ExperimentRunner, TextTable};
+use centaur_dlrm::PaperModel;
+
+fn main() {
+    let runner = ExperimentRunner::new();
+    let mut table = TextTable::new(
+        "Figure 6: LLC miss rate and MPKI for EMB vs MLP layers",
+        &[
+            "Model",
+            "Batch",
+            "EMB miss %",
+            "MLP miss %",
+            "EMB MPKI",
+            "MLP MPKI",
+        ],
+    );
+    for model in PaperModel::all() {
+        for batch in ExperimentRunner::batch_sizes() {
+            let p = runner.profile_cache(model, batch);
+            table.add_row(vec![
+                model.label().to_string(),
+                batch.to_string(),
+                format!("{:.1}", p.embedding.llc_miss_rate * 100.0),
+                format!("{:.1}", p.mlp.llc_miss_rate * 100.0),
+                format!("{:.2}", p.embedding.llc_mpki),
+                format!("{:.3}", p.mlp.llc_mpki),
+            ]);
+        }
+    }
+    table.print();
+}

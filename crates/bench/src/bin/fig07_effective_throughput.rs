@@ -1,0 +1,45 @@
+//! Regenerates Figure 7: the CPU-only effective memory throughput for
+//! embedding gathers — (a) per model/batch, (b) swept over the total number
+//! of lookups per table for a single-table DLRM(4) configuration.
+
+use centaur_bench::{ExperimentRunner, TextTable};
+use centaur_dlrm::PaperModel;
+
+fn main() {
+    let runner = ExperimentRunner::new();
+
+    let mut a = TextTable::new(
+        "Figure 7(a): CPU-only effective gather throughput (GB/s)",
+        &["Model", "Batch", "Effective GB/s", "Peak GB/s"],
+    );
+    for model in PaperModel::all() {
+        for batch in ExperimentRunner::batch_sizes() {
+            let r = runner.run_cpu(&model.config(), batch);
+            a.add_row(vec![
+                model.label().to_string(),
+                batch.to_string(),
+                format!(
+                    "{:.2}",
+                    r.effective_embedding_throughput().gigabytes_per_second()
+                ),
+                "76.8".to_string(),
+            ]);
+        }
+    }
+    a.print();
+
+    let mut b = TextTable::new(
+        "Figure 7(b): CPU-only effective throughput vs total lookups per table (single-table DLRM(4))",
+        &["Batch", "Total lookups/table", "CPU GB/s"],
+    );
+    for batch in ExperimentRunner::batch_sizes() {
+        for point in runner.lookup_sweep(batch, &[batch, batch * 5, batch * 25, 100, 200, 400, 800]) {
+            b.add_row(vec![
+                point.batch.to_string(),
+                point.total_lookups_per_table.to_string(),
+                format!("{:.2}", point.cpu_gbs),
+            ]);
+        }
+    }
+    b.print();
+}

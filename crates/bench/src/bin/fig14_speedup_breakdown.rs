@@ -1,0 +1,45 @@
+//! Regenerates Figure 14: Centaur's inference-time breakdown (IDX / EMB /
+//! DNF / MLP / Other) and its end-to-end speedup over CPU-only.
+
+use centaur_bench::{ExperimentRunner, TextTable};
+use centaur_dlrm::PaperModel;
+
+fn main() {
+    let runner = ExperimentRunner::new();
+    let mut table = TextTable::new(
+        "Figure 14: Centaur latency breakdown and speedup vs CPU-only",
+        &[
+            "Model",
+            "Batch",
+            "IDX %",
+            "EMB %",
+            "DNF %",
+            "MLP %",
+            "Other %",
+            "Centaur (us)",
+            "CPU-only (us)",
+            "Speedup (x)",
+        ],
+    );
+    for model in PaperModel::all() {
+        for batch in ExperimentRunner::batch_sizes() {
+            let cmp = runner.compare(model, batch);
+            let b = &cmp.centaur.breakdown;
+            let total = cmp.centaur.total_ns();
+            let pct = |x: f64| format!("{:.1}", x / total * 100.0);
+            table.add_row(vec![
+                model.label().to_string(),
+                batch.to_string(),
+                pct(b.index_fetch_ns),
+                pct(b.embedding_ns),
+                pct(b.dense_feature_ns),
+                pct(b.mlp_ns),
+                pct(b.other_ns),
+                format!("{:.1}", total / 1e3),
+                format!("{:.1}", cmp.cpu.total_ns() / 1e3),
+                format!("{:.2}", cmp.centaur_speedup_vs_cpu()),
+            ]);
+        }
+    }
+    table.print();
+}

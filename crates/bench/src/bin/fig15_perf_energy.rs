@@ -1,0 +1,63 @@
+//! Regenerates Figure 15: performance (a) and energy-efficiency (b) of
+//! CPU-GPU, CPU-only and Centaur, normalized to CPU-GPU.
+
+use centaur_bench::{ExperimentRunner, TextTable};
+use centaur_dlrm::PaperModel;
+use centaur_power::SystemKind;
+
+fn main() {
+    let runner = ExperimentRunner::new();
+    let mut table = TextTable::new(
+        "Figure 15: performance and energy-efficiency normalized to CPU-GPU",
+        &[
+            "Model",
+            "Batch",
+            "Perf CPU-GPU",
+            "Perf CPU-only",
+            "Perf Centaur",
+            "Eff CPU-GPU",
+            "Eff CPU-only",
+            "Eff Centaur",
+        ],
+    );
+    for model in PaperModel::all() {
+        for batch in ExperimentRunner::batch_sizes() {
+            let cmp = runner.compare(model, batch);
+            table.add_row(vec![
+                model.label().to_string(),
+                batch.to_string(),
+                format!("{:.2}", cmp.performance_vs_cpu_gpu(SystemKind::CpuGpu)),
+                format!("{:.2}", cmp.performance_vs_cpu_gpu(SystemKind::CpuOnly)),
+                format!("{:.2}", cmp.performance_vs_cpu_gpu(SystemKind::Centaur)),
+                format!("{:.2}", cmp.efficiency_vs_cpu_gpu(SystemKind::CpuGpu)),
+                format!("{:.2}", cmp.efficiency_vs_cpu_gpu(SystemKind::CpuOnly)),
+                format!("{:.2}", cmp.efficiency_vs_cpu_gpu(SystemKind::Centaur)),
+            ]);
+        }
+    }
+    table.print();
+
+    // Summary line: the paper's headline range vs CPU-only.
+    let mut speedups = Vec::new();
+    let mut efficiencies = Vec::new();
+    for model in PaperModel::all() {
+        for batch in ExperimentRunner::batch_sizes() {
+            let cmp = runner.compare(model, batch);
+            speedups.push(cmp.centaur_speedup_vs_cpu());
+            efficiencies.push(
+                cmp.efficiency_vs_cpu_gpu(SystemKind::Centaur)
+                    / cmp.efficiency_vs_cpu_gpu(SystemKind::CpuOnly),
+            );
+        }
+    }
+    let minmax = |v: &[f64]| {
+        (
+            v.iter().cloned().fold(f64::MAX, f64::min),
+            v.iter().cloned().fold(0.0_f64, f64::max),
+        )
+    };
+    let (smin, smax) = minmax(&speedups);
+    let (emin, emax) = minmax(&efficiencies);
+    println!("Centaur vs CPU-only: speedup {smin:.1}-{smax:.1}x (paper: 1.7-17.2x)");
+    println!("Centaur vs CPU-only: energy-efficiency {emin:.1}-{emax:.1}x (paper: 1.7-19.5x)");
+}

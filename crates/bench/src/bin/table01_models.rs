@@ -1,0 +1,30 @@
+//! Regenerates Table I: the six recommendation-model configurations.
+
+use centaur_bench::TextTable;
+use centaur_dlrm::PaperModel;
+
+fn main() {
+    let mut table = TextTable::new(
+        "Table I: recommendation model configurations",
+        &[
+            "Model",
+            "#Tables",
+            "Gathers/table",
+            "Table size (MB)",
+            "MLP size (KB)",
+            "Embedding dim",
+        ],
+    );
+    for model in PaperModel::all() {
+        let c = model.config();
+        table.add_row(vec![
+            model.label().to_string(),
+            c.num_tables.to_string(),
+            c.lookups_per_table.to_string(),
+            format!("{:.1}", c.embedding_bytes() as f64 / 1e6),
+            format!("{:.1}", c.mlp_bytes() as f64 / 1e3),
+            c.embedding_dim.to_string(),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,42 @@
+//! Regenerates Table II: Centaur's FPGA resource utilization on the Arria
+//! 10 GX1150.
+
+use centaur::fpga::{FpgaResources, ResourceReport};
+use centaur_bench::TextTable;
+
+fn main() {
+    let report = ResourceReport::harpv2_centaur();
+    let device = FpgaResources::arria10_gx1150();
+    let total = report.total;
+    let util = report.utilization();
+
+    let mut table = TextTable::new(
+        "Table II: Centaur FPGA resource utilization (Arria 10 GX1150)",
+        &["Row", "ALM", "Blk. Mem (bits)", "RAM Blk.", "DSP", "PLL"],
+    );
+    table.add_row(vec![
+        "GX1150 (Max)".into(),
+        device.alms.to_string(),
+        device.block_mem_bits.to_string(),
+        device.ram_blocks.to_string(),
+        device.dsps.to_string(),
+        device.plls.to_string(),
+    ]);
+    table.add_row(vec![
+        "Centaur".into(),
+        total.alms.to_string(),
+        total.block_mem_bits.to_string(),
+        total.ram_blocks.to_string(),
+        total.dsps.to_string(),
+        total.plls.to_string(),
+    ]);
+    table.add_row(vec![
+        "Utilization [%]".into(),
+        format!("{:.1}", util.alms * 100.0),
+        format!("{:.1}", util.block_mem_bits * 100.0),
+        format!("{:.1}", util.ram_blocks * 100.0),
+        format!("{:.1}", util.dsps * 100.0),
+        format!("{:.1}", util.plls * 100.0),
+    ]);
+    table.print();
+}

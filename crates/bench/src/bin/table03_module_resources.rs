@@ -1,0 +1,43 @@
+//! Regenerates Table III: per-module (sparse vs dense) FPGA resource usage.
+
+use centaur::fpga::{ComplexKind, ResourceReport};
+use centaur_bench::TextTable;
+
+fn main() {
+    let report = ResourceReport::harpv2_centaur();
+    let mut table = TextTable::new(
+        "Table III: sparse vs dense FPGA resource usage",
+        &["Complex", "Module", "LC comb.", "LC reg.", "Blk. Mem (bits)", "DSP"],
+    );
+    for module in &report.modules {
+        let complex = match module.complex {
+            ComplexKind::Sparse => "Sparse",
+            ComplexKind::Dense => "Dense",
+            ComplexKind::Other => "Others",
+        };
+        table.add_row(vec![
+            complex.to_string(),
+            module.name.to_string(),
+            module.lc_comb.to_string(),
+            module.lc_reg.to_string(),
+            module.block_mem_bits.to_string(),
+            module.dsps.to_string(),
+        ]);
+    }
+    for complex in [ComplexKind::Sparse, ComplexKind::Dense] {
+        let name = if complex == ComplexKind::Sparse {
+            "Sparse total"
+        } else {
+            "Dense total"
+        };
+        table.add_row(vec![
+            name.to_string(),
+            "-".to_string(),
+            report.lc_comb_of(complex).to_string(),
+            "-".to_string(),
+            report.block_mem_of(complex).to_string(),
+            report.dsps_of(complex).to_string(),
+        ]);
+    }
+    table.print();
+}

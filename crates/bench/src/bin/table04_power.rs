@@ -1,0 +1,21 @@
+//! Regenerates Table IV: average power consumption of the three systems.
+
+use centaur_bench::TextTable;
+use centaur_power::{PowerModel, SystemKind};
+
+fn main() {
+    let mut table = TextTable::new(
+        "Table IV: power consumption",
+        &["System", "Host (W)", "Device (W)", "Total (W)"],
+    );
+    for system in [SystemKind::CpuOnly, SystemKind::CpuGpu, SystemKind::Centaur] {
+        let p = PowerModel::for_system(system);
+        table.add_row(vec![
+            system.label().to_string(),
+            format!("{:.0}", p.host_watts),
+            format!("{:.0}", p.device_watts),
+            format!("{:.0}", p.total_watts()),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,219 @@
+//! Shared experiment-sweep logic used by every figure/table binary and by
+//! the workspace integration tests.
+
+use centaur::{CentaurInferenceResult, CentaurSystem};
+use centaur_cpusim::{CacheProfile, CacheProfiler, CpuConfig, CpuInferenceResult, CpuSystem};
+use centaur_dlrm::config::{ModelConfig, PaperModel};
+use centaur_gpusim::{CpuGpuInferenceResult, CpuGpuSystem};
+use centaur_power::{EnergyReport, SystemKind};
+use centaur_workload::{IndexDistribution, RequestGenerator};
+
+/// Results of running all three systems on the same request.
+#[derive(Debug, Clone)]
+pub struct SystemComparison {
+    /// Which paper model was run.
+    pub model: PaperModel,
+    /// Batch size of the request.
+    pub batch: usize,
+    /// CPU-only result.
+    pub cpu: CpuInferenceResult,
+    /// CPU-GPU result.
+    pub cpu_gpu: CpuGpuInferenceResult,
+    /// Centaur result.
+    pub centaur: CentaurInferenceResult,
+}
+
+impl SystemComparison {
+    /// Latency of a given system in nanoseconds.
+    pub fn latency_ns(&self, system: SystemKind) -> f64 {
+        match system {
+            SystemKind::CpuOnly => self.cpu.total_ns(),
+            SystemKind::CpuGpu => self.cpu_gpu.total_ns(),
+            SystemKind::Centaur => self.centaur.total_ns(),
+        }
+    }
+
+    /// Energy report of a given system.
+    pub fn energy(&self, system: SystemKind) -> EnergyReport {
+        EnergyReport::from_latency(system, self.latency_ns(system))
+    }
+
+    /// Centaur's end-to-end speedup over CPU-only (Figure 14's right axis).
+    pub fn centaur_speedup_vs_cpu(&self) -> f64 {
+        self.centaur.speedup_over(self.cpu.total_ns())
+    }
+
+    /// Performance of `system` normalized to CPU-GPU (Figure 15(a)).
+    pub fn performance_vs_cpu_gpu(&self, system: SystemKind) -> f64 {
+        self.energy(system).performance_vs(&self.energy(SystemKind::CpuGpu))
+    }
+
+    /// Energy-efficiency of `system` normalized to CPU-GPU (Figure 15(b)).
+    pub fn efficiency_vs_cpu_gpu(&self, system: SystemKind) -> f64 {
+        self.energy(system).efficiency_vs(&self.energy(SystemKind::CpuGpu))
+    }
+}
+
+/// A single point of a lookup-count sweep (Figures 7(b) and 13(b)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchSweepPoint {
+    /// Batch size.
+    pub batch: usize,
+    /// Total lookups per table for the request.
+    pub total_lookups_per_table: usize,
+    /// CPU-only effective gather throughput in GB/s.
+    pub cpu_gbs: f64,
+    /// Centaur effective gather throughput in GB/s.
+    pub centaur_gbs: f64,
+}
+
+/// Drives the three system simulators over the paper's workloads with
+/// deterministic seeds and consistent warm-up.
+#[derive(Debug, Clone)]
+pub struct ExperimentRunner {
+    seed: u64,
+    distribution: IndexDistribution,
+}
+
+impl ExperimentRunner {
+    /// Creates a runner with the default (uniform-locality) workload and a
+    /// fixed seed.
+    pub fn new() -> Self {
+        ExperimentRunner {
+            seed: 0xC0FFEE,
+            distribution: IndexDistribution::Uniform,
+        }
+    }
+
+    /// Uses a different index distribution (for locality ablations).
+    pub fn with_distribution(mut self, distribution: IndexDistribution) -> Self {
+        self.distribution = distribution;
+        self
+    }
+
+    /// The paper's batch-size sweep.
+    pub fn batch_sizes() -> [usize; 6] {
+        PaperModel::paper_batch_sizes()
+    }
+
+    fn traces(
+        &self,
+        config: &ModelConfig,
+        batch: usize,
+    ) -> (
+        centaur_dlrm::trace::InferenceTrace,
+        centaur_dlrm::trace::InferenceTrace,
+    ) {
+        let mut warm_gen = RequestGenerator::new(config, self.distribution, self.seed ^ 0x5EED);
+        let mut gen = RequestGenerator::new(config, self.distribution, self.seed);
+        (warm_gen.inference_trace(batch), gen.inference_trace(batch))
+    }
+
+    /// Runs the CPU-only system on one request (after warm-up).
+    pub fn run_cpu(&self, config: &ModelConfig, batch: usize) -> CpuInferenceResult {
+        let (warm, trace) = self.traces(config, batch);
+        let mut system = CpuSystem::broadwell();
+        system.simulate_warm(&warm, &trace)
+    }
+
+    /// Runs the CPU-GPU system on one request (after warm-up).
+    pub fn run_cpu_gpu(&self, config: &ModelConfig, batch: usize) -> CpuGpuInferenceResult {
+        let (warm, trace) = self.traces(config, batch);
+        let mut system = CpuGpuSystem::dgx1();
+        system.simulate_warm(&warm, &trace)
+    }
+
+    /// Runs the Centaur system on one request.
+    pub fn run_centaur(&self, config: &ModelConfig, batch: usize) -> CentaurInferenceResult {
+        let (_, trace) = self.traces(config, batch);
+        let mut system = CentaurSystem::harpv2();
+        system.simulate(&trace)
+    }
+
+    /// Runs all three systems on the same request.
+    pub fn compare(&self, model: PaperModel, batch: usize) -> SystemComparison {
+        let config = model.config();
+        SystemComparison {
+            model,
+            batch,
+            cpu: self.run_cpu(&config, batch),
+            cpu_gpu: self.run_cpu_gpu(&config, batch),
+            centaur: self.run_centaur(&config, batch),
+        }
+    }
+
+    /// Profiles the cache behaviour of one request (Figure 6).
+    pub fn profile_cache(&self, model: PaperModel, batch: usize) -> CacheProfile {
+        let config = model.config();
+        let (warm, trace) = self.traces(&config, batch);
+        CacheProfiler::profile(&CpuConfig::broadwell_xeon(), &trace, &warm)
+    }
+
+    /// Sweeps the total lookups per table for a single-table DLRM(4)-style
+    /// configuration (Figures 7(b) and 13(b)).
+    pub fn lookup_sweep(&self, batch: usize, lookups: &[usize]) -> Vec<BatchSweepPoint> {
+        let base = PaperModel::Dlrm4.config().with_num_tables(1);
+        lookups
+            .iter()
+            .map(|&total| {
+                // The x-axis is the *total* lookups per table for the whole
+                // batch; convert to per-sample lookups (at least one).
+                let per_sample = (total / batch.max(1)).max(1);
+                let config = base.with_lookups_per_table(per_sample);
+                let cpu = self.run_cpu(&config, batch);
+                let centaur = self.run_centaur(&config, batch);
+                BatchSweepPoint {
+                    batch,
+                    total_lookups_per_table: per_sample * batch,
+                    cpu_gbs: cpu
+                        .effective_embedding_throughput()
+                        .gigabytes_per_second(),
+                    centaur_gbs: centaur
+                        .effective_embedding_throughput()
+                        .gigabytes_per_second(),
+                }
+            })
+            .collect()
+    }
+}
+
+impl Default for ExperimentRunner {
+    fn default() -> Self {
+        ExperimentRunner::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_produces_all_three_systems() {
+        let runner = ExperimentRunner::new();
+        let cmp = runner.compare(PaperModel::Dlrm1, 4);
+        assert!(cmp.latency_ns(SystemKind::CpuOnly) > 0.0);
+        assert!(cmp.latency_ns(SystemKind::CpuGpu) > 0.0);
+        assert!(cmp.latency_ns(SystemKind::Centaur) > 0.0);
+        assert!(cmp.centaur_speedup_vs_cpu() > 1.0);
+        // Normalisation to CPU-GPU makes CPU-GPU itself exactly 1.0.
+        assert!((cmp.performance_vs_cpu_gpu(SystemKind::CpuGpu) - 1.0).abs() < 1e-12);
+        assert!((cmp.efficiency_vs_cpu_gpu(SystemKind::CpuGpu) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lookup_sweep_is_monotonic_in_lookups_for_cpu() {
+        let runner = ExperimentRunner::new();
+        let points = runner.lookup_sweep(16, &[16, 128, 512]);
+        assert_eq!(points.len(), 3);
+        assert!(points[0].cpu_gbs <= points[2].cpu_gbs * 1.05);
+        assert!(points.iter().all(|p| p.centaur_gbs > 0.0));
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        let a = ExperimentRunner::new().compare(PaperModel::Dlrm3, 4);
+        let b = ExperimentRunner::new().compare(PaperModel::Dlrm3, 4);
+        assert_eq!(a.cpu.total_ns(), b.cpu.total_ns());
+        assert_eq!(a.centaur.total_ns(), b.centaur.total_ns());
+    }
+}

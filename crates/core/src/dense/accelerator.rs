@@ -1,0 +1,298 @@
+//! The dense accelerator complex assembled: MLP unit, feature-interaction
+//! unit, sigmoid unit and SRAM buffers, with both a functional datapath
+//! (numerically equivalent to the reference DLRM) and a timing model.
+
+use crate::dense::interaction_unit::FeatureInteractionUnit;
+use crate::dense::mlp_unit::MlpUnit;
+use crate::dense::sigmoid_unit::SigmoidUnit;
+use crate::dense::sram::SramBuffer;
+use crate::error::CentaurError;
+use centaur_dlrm::config::ModelConfig;
+use centaur_dlrm::model::DlrmModel;
+use centaur_dlrm::tensor::Matrix;
+use centaur_dlrm::Mlp;
+use serde::{Deserialize, Serialize};
+
+/// Timing of the dense stage of one batched request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DenseStageTiming {
+    /// Bottom-MLP execution time, in ns.
+    pub bottom_mlp_ns: f64,
+    /// Feature-interaction (batched GEMM) time, in ns.
+    pub interaction_ns: f64,
+    /// Top-MLP execution time, in ns.
+    pub top_mlp_ns: f64,
+    /// Sigmoid-unit time, in ns.
+    pub sigmoid_ns: f64,
+    /// Dense FLOPs executed.
+    pub flops: u64,
+}
+
+impl DenseStageTiming {
+    /// Total dense-stage latency (the `MLP` component of Figure 14), in ns.
+    pub fn total_ns(&self) -> f64 {
+        self.bottom_mlp_ns + self.interaction_ns + self.top_mlp_ns + self.sigmoid_ns
+    }
+
+    /// Achieved GFLOP/s over the dense stage.
+    pub fn achieved_gflops(&self) -> f64 {
+        if self.total_ns() <= 0.0 {
+            0.0
+        } else {
+            self.flops as f64 / self.total_ns()
+        }
+    }
+}
+
+/// The dense accelerator complex.
+#[derive(Debug, Clone)]
+pub struct DenseAccelerator {
+    mlp_unit: MlpUnit,
+    interaction_unit: FeatureInteractionUnit,
+    sigmoid_unit: SigmoidUnit,
+    weight_sram: SramBuffer,
+    dense_feature_sram: SramBuffer,
+    mlp_input_sram: SramBuffer,
+    /// Pipeline reconfiguration overhead between layers, in ns.
+    per_layer_overhead_ns: f64,
+    weights_loaded: bool,
+}
+
+impl DenseAccelerator {
+    /// Creates the paper's dense accelerator: a 4×4 MLP PE array, 4
+    /// interaction PEs and the Table III SRAM sizing.
+    pub fn harpv2() -> Self {
+        DenseAccelerator {
+            mlp_unit: MlpUnit::harpv2(),
+            interaction_unit: FeatureInteractionUnit::harpv2(),
+            sigmoid_unit: SigmoidUnit::harpv2(),
+            weight_sram: SramBuffer::mlp_weights_harpv2(),
+            dense_feature_sram: SramBuffer::dense_features_harpv2(),
+            mlp_input_sram: SramBuffer::mlp_inputs_harpv2(),
+            per_layer_overhead_ns: 250.0,
+            weights_loaded: false,
+        }
+    }
+
+    /// The MLP PE array.
+    pub fn mlp_unit(&self) -> &MlpUnit {
+        &self.mlp_unit
+    }
+
+    /// The feature-interaction unit.
+    pub fn interaction_unit(&self) -> &FeatureInteractionUnit {
+        &self.interaction_unit
+    }
+
+    /// The weight SRAM.
+    pub fn weight_sram(&self) -> &SramBuffer {
+        &self.weight_sram
+    }
+
+    /// Aggregate peak throughput of the dense complex in GFLOP/s
+    /// (MLP array + interaction PEs).
+    pub fn peak_gflops(&self) -> f64 {
+        self.mlp_unit.peak_gflops()
+            + self.interaction_unit.num_pes() as f64
+                * self.mlp_unit.pe_config().peak_gflops()
+    }
+
+    /// Returns `true` once model weights have been uploaded.
+    pub fn weights_loaded(&self) -> bool {
+        self.weights_loaded
+    }
+
+    /// Uploads a model's MLP weights into `SRAM_MLPmodel` (done once at
+    /// boot; the weights persist across requests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CentaurError::CapacityExceeded`] when the model's MLP
+    /// parameters do not fit on chip.
+    pub fn load_model(&mut self, config: &ModelConfig) -> Result<(), CentaurError> {
+        self.weight_sram.clear();
+        self.weight_sram.store(config.mlp_bytes())?;
+        self.weights_loaded = true;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Functional path
+    // ------------------------------------------------------------------
+
+    /// Runs an MLP through the PE array (tiled GEMM per layer, then bias and
+    /// activation), numerically matching [`Mlp::forward`].
+    fn forward_mlp(&mut self, mlp: &Mlp, input: &Matrix) -> Result<Matrix, CentaurError> {
+        let mut x = input.clone();
+        for layer in mlp.iter() {
+            let z = self.mlp_unit.matmul(&x, layer.weights());
+            let z = z.add_bias(layer.bias())?;
+            x = layer.activation().apply(&z);
+        }
+        Ok(x)
+    }
+
+    /// Functionally executes the dense stage for one sample: bottom MLP over
+    /// the dense features, feature interaction with the reduced embeddings,
+    /// top MLP and sigmoid. Returns the event probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CentaurError::NotInitialised`] when
+    /// [`DenseAccelerator::load_model`] has not been called, and propagates
+    /// shape errors from the datapath.
+    pub fn forward_sample(
+        &mut self,
+        model: &DlrmModel,
+        dense_row: &Matrix,
+        reduced_embeddings: &Matrix,
+    ) -> Result<f32, CentaurError> {
+        if !self.weights_loaded {
+            return Err(CentaurError::NotInitialised("MLP weight SRAM"));
+        }
+        // Per-request buffers are refilled for every inference.
+        self.dense_feature_sram.clear();
+        self.dense_feature_sram.store(dense_row.size_bytes() as u64)?;
+
+        // 1. Bottom MLP.
+        let bottom = self.forward_mlp(model.bottom_mlp(), dense_row)?;
+        // 2. Feature interaction over [bottom; reduced embeddings].
+        let interaction_input = bottom.vconcat(reduced_embeddings)?;
+        let interaction_output = self.interaction_unit.interact(&interaction_input)?;
+        self.mlp_input_sram.clear();
+        self.mlp_input_sram
+            .store(interaction_output.size_bytes() as u64)?;
+        // 3. Top MLP.
+        let top = self.forward_mlp(model.top_mlp(), &interaction_output)?;
+        // 4. Sigmoid.
+        Ok(self.sigmoid_unit.apply(top.get(0, 0)))
+    }
+
+    // ------------------------------------------------------------------
+    // Timing path
+    // ------------------------------------------------------------------
+
+    /// Predicts the dense-stage timing for one batched request against
+    /// `config` (the `MLP` component of Figure 14).
+    pub fn execute_timing(&self, config: &ModelConfig, batch: usize) -> DenseStageTiming {
+        let batch = batch.max(1);
+        let bottom_mlp_ns = self.mlp_unit.mlp_time_ns(
+            &config.bottom_mlp_dims(),
+            batch,
+            self.per_layer_overhead_ns,
+        );
+        let top_mlp_ns = self.mlp_unit.mlp_time_ns(
+            &config.top_mlp_dims(),
+            batch,
+            self.per_layer_overhead_ns,
+        );
+        let interaction_ns = self.interaction_unit.batch_time_ns(
+            config.interaction_features(),
+            config.embedding_dim,
+            batch,
+        );
+        let sigmoid_ns = self.sigmoid_unit.latency_ns(batch);
+        DenseStageTiming {
+            bottom_mlp_ns,
+            interaction_ns,
+            top_mlp_ns,
+            sigmoid_ns,
+            flops: config.dense_flops_per_sample() * batch as u64,
+        }
+    }
+}
+
+impl Default for DenseAccelerator {
+    fn default() -> Self {
+        DenseAccelerator::harpv2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use centaur_dlrm::config::PaperModel;
+
+    fn tiny_model() -> DlrmModel {
+        let config = ModelConfig::builder()
+            .name("tiny")
+            .num_tables(3)
+            .rows_per_table(64)
+            .embedding_dim(8)
+            .lookups_per_table(4)
+            .dense_features(5)
+            .bottom_mlp(&[16, 8])
+            .top_mlp(&[16, 8])
+            .build()
+            .unwrap();
+        DlrmModel::random(&config, 11).unwrap()
+    }
+
+    #[test]
+    fn functional_forward_matches_reference_model() {
+        let model = tiny_model();
+        let mut acc = DenseAccelerator::harpv2();
+        acc.load_model(model.config()).unwrap();
+
+        let dense = Matrix::from_fn(1, 5, |_, c| c as f32 * 0.3 - 0.7);
+        let indices: Vec<Vec<u32>> = (0..3).map(|t| vec![t as u32 * 5, t as u32 * 5 + 1]).collect();
+        let reduced = model.embeddings().sparse_lengths_reduce(&indices).unwrap();
+
+        let ours = acc.forward_sample(&model, &dense, &reduced).unwrap();
+        let reference = model.forward_breakdown(&dense, &indices).unwrap().probability;
+        assert!(
+            (ours - reference).abs() < 1e-5,
+            "accelerator {ours} vs reference {reference}"
+        );
+    }
+
+    #[test]
+    fn forward_requires_loaded_weights() {
+        let model = tiny_model();
+        let mut acc = DenseAccelerator::harpv2();
+        let dense = Matrix::zeros(1, 5);
+        let reduced = Matrix::zeros(3, 8);
+        assert!(matches!(
+            acc.forward_sample(&model, &dense, &reduced),
+            Err(CentaurError::NotInitialised(_))
+        ));
+    }
+
+    #[test]
+    fn every_paper_model_fits_on_chip() {
+        let mut acc = DenseAccelerator::harpv2();
+        for model in PaperModel::all() {
+            assert!(acc.load_model(&model.config()).is_ok(), "{model}");
+        }
+        assert!(acc.weights_loaded());
+    }
+
+    #[test]
+    fn peak_gflops_matches_paper() {
+        let acc = DenseAccelerator::harpv2();
+        assert!((acc.peak_gflops() - 313.0).abs() < 1.5);
+    }
+
+    #[test]
+    fn timing_scales_with_batch_and_model_weight() {
+        let acc = DenseAccelerator::harpv2();
+        let light = PaperModel::Dlrm1.config();
+        let heavy = PaperModel::Dlrm6.config();
+        let light_b1 = acc.execute_timing(&light, 1);
+        let light_b128 = acc.execute_timing(&light, 128);
+        let heavy_b1 = acc.execute_timing(&heavy, 1);
+        assert!(light_b128.total_ns() > light_b1.total_ns());
+        assert!(heavy_b1.total_ns() > light_b1.total_ns());
+        assert!(light_b1.flops > 0);
+        assert!(light_b128.achieved_gflops() > light_b1.achieved_gflops());
+    }
+
+    #[test]
+    fn fpga_dense_stage_is_faster_than_cpu_rooflines_suggest() {
+        // At batch 128 the dense accelerator should sustain a large fraction
+        // of its 313 GFLOPS on the heavyweight model.
+        let acc = DenseAccelerator::harpv2();
+        let t = acc.execute_timing(&PaperModel::Dlrm6.config(), 128);
+        assert!(t.achieved_gflops() > 50.0, "{}", t.achieved_gflops());
+    }
+}

@@ -1,0 +1,17 @@
+//! The dense accelerator complex: a spatial array of FP GEMM processing
+//! engines for the MLPs, a feature-interaction unit, a sigmoid unit and the
+//! on-chip SRAM buffers (Figures 9, 11 and 12 of the paper).
+
+pub mod accelerator;
+pub mod interaction_unit;
+pub mod mlp_unit;
+pub mod pe;
+pub mod sigmoid_unit;
+pub mod sram;
+
+pub use accelerator::{DenseAccelerator, DenseStageTiming};
+pub use interaction_unit::FeatureInteractionUnit;
+pub use mlp_unit::MlpUnit;
+pub use pe::{PeConfig, ProcessingEngine};
+pub use sigmoid_unit::SigmoidUnit;
+pub use sram::SramBuffer;

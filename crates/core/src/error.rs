@@ -1,0 +1,89 @@
+//! Error type for the Centaur accelerator model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the Centaur accelerator (configuration, capacity and
+/// datapath problems).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CentaurError {
+    /// A model or buffer does not fit in the FPGA resource it must occupy.
+    CapacityExceeded {
+        /// Which on-chip resource overflowed.
+        resource: &'static str,
+        /// Bytes (or units) requested.
+        required: u64,
+        /// Bytes (or units) available.
+        available: u64,
+    },
+    /// The accelerator was used before the host initialised it over MMIO.
+    NotInitialised(&'static str),
+    /// The functional datapath hit an inconsistency (propagated from the
+    /// reference model).
+    Model(centaur_dlrm::DlrmError),
+    /// An invalid configuration value.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for CentaurError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CentaurError::CapacityExceeded {
+                resource,
+                required,
+                available,
+            } => write!(
+                f,
+                "capacity exceeded for {resource}: need {required}, have {available}"
+            ),
+            CentaurError::NotInitialised(what) => {
+                write!(f, "accelerator used before {what} was initialised")
+            }
+            CentaurError::Model(e) => write!(f, "model error: {e}"),
+            CentaurError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for CentaurError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CentaurError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<centaur_dlrm::DlrmError> for CentaurError {
+    fn from(e: centaur_dlrm::DlrmError) -> Self {
+        CentaurError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CentaurError::CapacityExceeded {
+            resource: "weight SRAM",
+            required: 100,
+            available: 10,
+        };
+        assert!(e.to_string().contains("weight SRAM"));
+        assert!(e.source().is_none());
+
+        let inner = centaur_dlrm::DlrmError::InvalidConfig("x".into());
+        let wrapped = CentaurError::from(inner);
+        assert!(wrapped.source().is_some());
+        assert!(wrapped.to_string().contains("model error"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CentaurError>();
+    }
+}

@@ -1,0 +1,209 @@
+//! The host-side software interface (Section IV-E): a thin runtime that
+//! registers a model with the accelerator over MMIO ("pointer-is-a-pointer"
+//! semantics), then drives functional inference through the sparse and
+//! dense complexes and predicts latency through the timing model.
+
+use crate::accelerator::{CentaurConfig, CentaurInferenceResult, CentaurSystem};
+use crate::bpregs::{BasePointer, BasePointerRegs};
+use crate::dense::DenseAccelerator;
+use crate::error::CentaurError;
+use crate::sparse::EbStreamer;
+use centaur_dlrm::model::DlrmModel;
+use centaur_dlrm::tensor::Matrix;
+use centaur_dlrm::trace::{InferenceTrace, TableLayout};
+
+/// A model registered with a Centaur device, ready to serve inferences.
+///
+/// Construction mirrors the paper's boot-time flow: the host writes the base
+/// pointers of the sparse index array, every embedding table, the MLP
+/// weights and the dense features into `BPregs` over MMIO, and uploads the
+/// MLP weights into the dense complex's SRAM; afterwards each inference is
+/// orchestrated entirely by the accelerator.
+#[derive(Debug, Clone)]
+pub struct CentaurRuntime {
+    model: DlrmModel,
+    bpregs: BasePointerRegs,
+    streamer: EbStreamer,
+    dense: DenseAccelerator,
+    system: CentaurSystem,
+}
+
+impl CentaurRuntime {
+    /// Registers `model` with a Centaur device using the given system
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CentaurError::CapacityExceeded`] when the model's MLP does
+    /// not fit in the on-chip weight SRAM, or an MMIO error if the register
+    /// file cannot describe the model.
+    pub fn new(model: DlrmModel, config: CentaurConfig) -> Result<Self, CentaurError> {
+        let layout = TableLayout::for_config(model.config());
+        let mut bpregs = BasePointerRegs::new(model.config().num_tables);
+
+        // Boot-time MMIO writes (virtual addresses in the shared space).
+        bpregs.mmio_write(BasePointer::SparseIndexArray, 0x0800_0000)?;
+        for table in 0..model.config().num_tables {
+            let addr = layout.address_of(centaur_dlrm::trace::EmbeddingAccess { table, row: 0 });
+            bpregs.mmio_write(BasePointer::EmbeddingTable(table), addr)?;
+        }
+        bpregs.mmio_write(BasePointer::MlpWeights, 0x0900_0000)?;
+        bpregs.mmio_write(BasePointer::DenseFeatures, 0x0A00_0000)?;
+        bpregs.mmio_write(BasePointer::Output, 0x0B00_0000)?;
+
+        let mut dense = DenseAccelerator::harpv2();
+        dense.load_model(model.config())?;
+
+        Ok(CentaurRuntime {
+            model,
+            bpregs,
+            streamer: EbStreamer::new(config.link),
+            dense,
+            system: CentaurSystem::new(config),
+        })
+    }
+
+    /// Registers `model` on the HARPv2 proof-of-concept configuration.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CentaurRuntime::new`].
+    pub fn harpv2(model: DlrmModel) -> Result<Self, CentaurError> {
+        CentaurRuntime::new(model, CentaurConfig::harpv2())
+    }
+
+    /// The registered model.
+    pub fn model(&self) -> &DlrmModel {
+        &self.model
+    }
+
+    /// The base-pointer register file as initialised at boot.
+    pub fn bpregs(&self) -> &BasePointerRegs {
+        &self.bpregs
+    }
+
+    /// Runs one functional inference through the accelerator datapath
+    /// (EB-Streamer gathers/reductions, then the dense complex).
+    ///
+    /// # Errors
+    ///
+    /// Propagates datapath errors (index out of bounds, shape mismatches).
+    pub fn infer_single(
+        &mut self,
+        dense_row: &Matrix,
+        indices_per_table: &[Vec<u32>],
+    ) -> Result<f32, CentaurError> {
+        let reduced = self
+            .streamer
+            .gather_reduce(self.model.embeddings(), indices_per_table)?;
+        self.dense.forward_sample(&self.model, dense_row, &reduced)
+    }
+
+    /// Runs a batched functional inference; one probability per sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns a batch-mismatch error when the dense batch and sparse batch
+    /// disagree, plus any per-sample datapath error.
+    pub fn infer_batch(
+        &mut self,
+        dense: &Matrix,
+        batch_indices: &[Vec<Vec<u32>>],
+    ) -> Result<Vec<f32>, CentaurError> {
+        if dense.rows() != batch_indices.len() {
+            return Err(centaur_dlrm::DlrmError::BatchMismatch {
+                what: "dense rows vs sparse samples",
+                left: dense.rows(),
+                right: batch_indices.len(),
+            }
+            .into());
+        }
+        let mut out = Vec::with_capacity(batch_indices.len());
+        for (i, indices) in batch_indices.iter().enumerate() {
+            let row = Matrix::row_vector(dense.row(i));
+            out.push(self.infer_single(&row, indices)?);
+        }
+        Ok(out)
+    }
+
+    /// Predicts the latency of a batched request on this device.
+    pub fn estimate_latency(&mut self, trace: &InferenceTrace) -> CentaurInferenceResult {
+        self.system.simulate(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use centaur_dlrm::config::{ModelConfig, PaperModel};
+    use centaur_workload::{IndexDistribution, RequestGenerator};
+
+    fn small_model() -> DlrmModel {
+        let config = PaperModel::Dlrm1.config().with_rows_per_table(512);
+        DlrmModel::random(&config, 5).unwrap()
+    }
+
+    #[test]
+    fn boot_initialises_all_base_pointers() {
+        let runtime = CentaurRuntime::harpv2(small_model()).unwrap();
+        assert!(runtime.bpregs().is_fully_initialised());
+        assert_eq!(runtime.bpregs().num_tables(), 5);
+    }
+
+    #[test]
+    fn functional_inference_matches_reference_model() {
+        let model = small_model();
+        let mut runtime = CentaurRuntime::harpv2(model.clone()).unwrap();
+        let config = model.config().clone();
+        let mut generator = RequestGenerator::new(&config, IndexDistribution::Uniform, 17);
+        let batch = generator.functional_batch(6);
+
+        let ours = runtime.infer_batch(&batch.dense, &batch.sparse).unwrap();
+        let reference = model.forward_batch(&batch.dense, &batch.sparse).unwrap();
+        assert_eq!(ours.len(), reference.len());
+        for (a, b) in ours.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-4, "accelerator {a} vs reference {b}");
+        }
+    }
+
+    #[test]
+    fn batch_mismatch_is_rejected() {
+        let mut runtime = CentaurRuntime::harpv2(small_model()).unwrap();
+        let dense = Matrix::zeros(2, 13);
+        assert!(runtime.infer_batch(&dense, &[]).is_err());
+    }
+
+    #[test]
+    fn latency_estimate_available_from_runtime() {
+        let model = small_model();
+        let config = model.config().clone();
+        let mut runtime = CentaurRuntime::harpv2(model).unwrap();
+        let mut generator = RequestGenerator::new(&config, IndexDistribution::Uniform, 23);
+        let trace = generator.inference_trace(8);
+        let estimate = runtime.estimate_latency(&trace);
+        assert!(estimate.total_ns() > 0.0);
+        assert_eq!(estimate.batch, 8);
+    }
+
+    #[test]
+    fn oversized_mlp_is_rejected_at_registration() {
+        // Construct a model whose MLP exceeds the 650 KB weight SRAM.
+        let config = ModelConfig::builder()
+            .name("huge-mlp")
+            .num_tables(2)
+            .rows_per_table(64)
+            .embedding_dim(32)
+            .lookups_per_table(2)
+            .dense_features(13)
+            .bottom_mlp(&[1024, 512, 32])
+            .top_mlp(&[1024, 512])
+            .build()
+            .unwrap();
+        assert!(config.mlp_bytes() > 650_000);
+        let model = DlrmModel::random(&config, 1).unwrap();
+        assert!(matches!(
+            CentaurRuntime::harpv2(model),
+            Err(CentaurError::CapacityExceeded { .. })
+        ));
+    }
+}

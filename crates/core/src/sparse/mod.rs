@@ -1,0 +1,13 @@
+//! The sparse accelerator complex (EB-Streamer): sparse index SRAM,
+//! embedding gather unit (EB-GU) and embedding reduction unit (EB-RU),
+//! exactly as laid out in Figures 9 and 10 of the paper.
+
+pub mod gather_unit;
+pub mod index_sram;
+pub mod reduction_unit;
+pub mod streamer;
+
+pub use gather_unit::{EmbeddingGatherUnit, GatherRequest};
+pub use index_sram::SparseIndexSram;
+pub use reduction_unit::EmbeddingReductionUnit;
+pub use streamer::{EbStreamer, SparseStageTiming};

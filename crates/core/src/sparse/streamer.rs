@@ -1,0 +1,284 @@
+//! The EB-Streamer: the complete sparse accelerator pipeline that fetches
+//! sparse indices, streams embedding rows out of CPU memory over the
+//! chiplet links, and reduces them on the fly (Section IV-C).
+
+use crate::chiplet::ChipletLinkConfig;
+use crate::error::CentaurError;
+use crate::sparse::gather_unit::EmbeddingGatherUnit;
+use crate::sparse::index_sram::SparseIndexSram;
+use crate::sparse::reduction_unit::EmbeddingReductionUnit;
+use centaur_dlrm::tensor::Matrix;
+use centaur_dlrm::trace::InferenceTrace;
+use centaur_dlrm::{EmbeddingBag, ReductionOp};
+use centaur_memsim::Throughput;
+use serde::{Deserialize, Serialize};
+
+/// Timing of the sparse stage of one batched request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SparseStageTiming {
+    /// CPU→FPGA sparse-index fetch time (the `IDX` component of Figure 14),
+    /// in ns.
+    pub index_fetch_ns: f64,
+    /// Embedding gather + on-the-fly reduction time (the `EMB` component),
+    /// in ns.
+    pub gather_reduce_ns: f64,
+    /// Useful embedding bytes gathered.
+    pub gathered_bytes: u64,
+    /// Number of embedding-row read requests issued over the link.
+    pub gather_requests: u64,
+    /// Number of index-SRAM refills needed (chunked streaming).
+    pub index_chunks: usize,
+}
+
+impl SparseStageTiming {
+    /// Total sparse-stage latency (index fetch + gathers), in ns.
+    pub fn total_ns(&self) -> f64 {
+        self.index_fetch_ns + self.gather_reduce_ns
+    }
+
+    /// The paper's effective memory throughput for embedding gathers:
+    /// useful bytes over the gather/reduce latency.
+    pub fn effective_throughput(&self) -> Throughput {
+        Throughput::new(self.gathered_bytes, self.gather_reduce_ns)
+    }
+}
+
+/// The sparse accelerator complex.
+#[derive(Debug, Clone)]
+pub struct EbStreamer {
+    link: ChipletLinkConfig,
+    index_sram: SparseIndexSram,
+    gather_unit: EmbeddingGatherUnit,
+    reduction_unit: EmbeddingReductionUnit,
+}
+
+impl EbStreamer {
+    /// Creates a streamer over the given link with the paper's SRAM/ALU
+    /// sizing.
+    pub fn new(link: ChipletLinkConfig) -> Self {
+        EbStreamer {
+            link,
+            index_sram: SparseIndexSram::harpv2_sized(),
+            gather_unit: EmbeddingGatherUnit::new(),
+            reduction_unit: EmbeddingReductionUnit::harpv2_sized(),
+        }
+    }
+
+    /// Creates a streamer with explicit components (for ablations).
+    pub fn with_components(
+        link: ChipletLinkConfig,
+        index_sram: SparseIndexSram,
+        reduction_unit: EmbeddingReductionUnit,
+    ) -> Self {
+        EbStreamer {
+            link,
+            index_sram,
+            gather_unit: EmbeddingGatherUnit::new(),
+            reduction_unit,
+        }
+    }
+
+    /// The link configuration in use.
+    pub fn link(&self) -> &ChipletLinkConfig {
+        &self.link
+    }
+
+    /// The gather unit (exposes issue counters).
+    pub fn gather_unit(&self) -> &EmbeddingGatherUnit {
+        &self.gather_unit
+    }
+
+    /// The reduction unit (exposes reduction counters).
+    pub fn reduction_unit(&self) -> &EmbeddingReductionUnit {
+        &self.reduction_unit
+    }
+
+    /// The index SRAM (exposes chunking behaviour).
+    pub fn index_sram(&self) -> &SparseIndexSram {
+        &self.index_sram
+    }
+
+    // ------------------------------------------------------------------
+    // Functional path
+    // ------------------------------------------------------------------
+
+    /// Functionally performs the gathers and reductions of one request over
+    /// real embedding tables, streaming through the gather and reduction
+    /// units. The result is the `[num_tables, dim]` matrix of reduced
+    /// embeddings, numerically identical to the reference
+    /// [`EmbeddingBag::sparse_lengths_reduce`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates index-out-of-bounds and table-count errors from the
+    /// reference tables, and index-SRAM capacity errors.
+    pub fn gather_reduce(
+        &mut self,
+        bag: &EmbeddingBag,
+        indices_per_table: &[Vec<u32>],
+    ) -> Result<Matrix, CentaurError> {
+        if indices_per_table.len() != bag.num_tables() {
+            return Err(centaur_dlrm::DlrmError::TableCountMismatch {
+                provided: indices_per_table.len(),
+                expected: bag.num_tables(),
+            }
+            .into());
+        }
+        let dim = bag.dim();
+        let mut out = Matrix::zeros(bag.num_tables(), dim);
+        for (t, indices) in indices_per_table.iter().enumerate() {
+            // Stream the indices through the SRAM in chunks, gathering and
+            // reducing each chunk as it arrives.
+            let mut acc = Matrix::zeros(1, dim);
+            for chunk in indices.chunks(self.index_sram.capacity_indices().max(1)) {
+                self.index_sram.load(chunk)?;
+                let gathered = bag.table(t).gather(self.index_sram.contents())?;
+                let partial = self.reduction_unit.reduce(&gathered, ReductionOp::Sum);
+                acc = &acc + &partial;
+            }
+            out.row_mut(t).copy_from_slice(acc.row(0));
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Timing path
+    // ------------------------------------------------------------------
+
+    /// Predicts the sparse-stage timing for one batched request.
+    pub fn execute_timing(&mut self, trace: &InferenceTrace) -> SparseStageTiming {
+        let layout = trace.layout();
+        let total_lookups = trace.gather.total_lookups() as u64;
+        let gathered_bytes = trace.gathered_bytes();
+        let index_bytes = trace.index_bytes();
+
+        // Generate the request stream (exercises the gather unit counters).
+        for sample in &trace.gather.samples {
+            let _ = self.gather_unit.generate_all(&layout, &sample.rows_per_table);
+        }
+
+        // 1. Fetch the sparse index array into the index SRAM (possibly in
+        //    chunks; chunk fills overlap with gathers after the first, so
+        //    only the first fill is exposed plus a small per-chunk
+        //    resynchronisation cost).
+        let index_chunks = self.index_sram.chunks_needed(total_lookups as usize);
+        let chunk_bytes = index_bytes / index_chunks.max(1) as u64;
+        let index_fetch_ns = self.link.bulk_transfer_ns(chunk_bytes)
+            + (index_chunks.saturating_sub(1)) as f64 * self.link.request_latency_ns;
+
+        // 2. Stream the embedding rows over the link, reducing on the fly.
+        //    The link is the bottleneck; verify the EB-RU keeps up.
+        let link_ns = self.link.gather_stream_ns(gathered_bytes, total_lookups);
+        let reduce_ns = self
+            .reduction_unit
+            .reduction_time_ns(total_lookups, trace.config.embedding_dim);
+        let gather_reduce_ns = link_ns.max(reduce_ns);
+
+        SparseStageTiming {
+            index_fetch_ns,
+            gather_reduce_ns,
+            gathered_bytes,
+            gather_requests: total_lookups,
+            index_chunks,
+        }
+    }
+}
+
+impl Default for EbStreamer {
+    fn default() -> Self {
+        EbStreamer::new(ChipletLinkConfig::harpv2())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use centaur_dlrm::config::PaperModel;
+    use centaur_workload::{IndexDistribution, RequestGenerator};
+
+    #[test]
+    fn functional_gather_reduce_matches_reference() {
+        let bag = EmbeddingBag::random(4, 256, 32, 7);
+        let indices: Vec<Vec<u32>> = (0..4)
+            .map(|t| (0..10u32).map(|i| (t as u32 * 37 + i * 11) % 256).collect())
+            .collect();
+        let mut streamer = EbStreamer::default();
+        let ours = streamer.gather_reduce(&bag, &indices).unwrap();
+        let reference = bag.sparse_lengths_reduce(&indices).unwrap();
+        assert!(ours.max_abs_diff(&reference) < 1e-5);
+        assert_eq!(streamer.reduction_unit().vectors_reduced(), 40);
+    }
+
+    #[test]
+    fn functional_gather_reduce_chunks_when_sram_small() {
+        let bag = EmbeddingBag::random(1, 128, 8, 3);
+        let indices = vec![(0..100u32).map(|i| i % 128).collect::<Vec<_>>()];
+        let tiny_sram = SparseIndexSram::new(16);
+        let mut streamer = EbStreamer::with_components(
+            ChipletLinkConfig::harpv2(),
+            tiny_sram,
+            EmbeddingReductionUnit::harpv2_sized(),
+        );
+        let ours = streamer.gather_reduce(&bag, &indices).unwrap();
+        let reference = bag.sparse_lengths_reduce(&indices).unwrap();
+        assert!(ours.max_abs_diff(&reference) < 1e-4);
+        assert!(streamer.index_sram().loads() >= 7);
+    }
+
+    #[test]
+    fn table_count_mismatch_errors() {
+        let bag = EmbeddingBag::random(2, 64, 8, 1);
+        let mut streamer = EbStreamer::default();
+        assert!(streamer.gather_reduce(&bag, &[vec![1]]).is_err());
+    }
+
+    fn timing(model: PaperModel, batch: usize) -> SparseStageTiming {
+        let config = model.config();
+        let mut generator = RequestGenerator::new(&config, IndexDistribution::Uniform, 9);
+        let trace = generator.inference_trace(batch);
+        EbStreamer::default().execute_timing(&trace)
+    }
+
+    #[test]
+    fn effective_throughput_saturates_near_streamer_bandwidth() {
+        // Large batch, lookup-heavy model: throughput approaches the
+        // streamer's sustainable link bandwidth (~12 GB/s on HARPv2).
+        let t = timing(PaperModel::Dlrm4, 128);
+        let gbs = t.effective_throughput().gigabytes_per_second();
+        let target = ChipletLinkConfig::harpv2().streamer_bandwidth_gbs();
+        assert!(
+            (gbs - target).abs() / target < 0.1,
+            "effective {gbs:.1} GB/s should be near {target:.1}"
+        );
+    }
+
+    #[test]
+    fn small_batches_are_latency_bound() {
+        let t = timing(PaperModel::Dlrm1, 1);
+        let gbs = t.effective_throughput().gigabytes_per_second();
+        let target = ChipletLinkConfig::harpv2().streamer_bandwidth_gbs();
+        assert!(gbs < 0.95 * target);
+        assert!(t.index_fetch_ns > 0.0);
+        assert!(t.total_ns() > t.gather_reduce_ns);
+    }
+
+    #[test]
+    fn throughput_grows_with_batch() {
+        let small = timing(PaperModel::Dlrm3, 1)
+            .effective_throughput()
+            .gigabytes_per_second();
+        let large = timing(PaperModel::Dlrm3, 64)
+            .effective_throughput()
+            .gigabytes_per_second();
+        assert!(large > small);
+    }
+
+    #[test]
+    fn index_chunks_used_for_very_large_batches() {
+        // DLRM(4) at batch 128 needs 512K indices, more than the index SRAM
+        // holds — the streamer must chunk.
+        let t = timing(PaperModel::Dlrm4, 128);
+        assert!(t.index_chunks > 1);
+        assert_eq!(t.gather_requests, 128 * 50 * 80);
+    }
+}

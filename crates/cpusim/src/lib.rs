@@ -1,0 +1,42 @@
+//! # centaur-cpusim
+//!
+//! Timing model of the paper's baseline system: **CPU-only** recommendation
+//! inference on a Broadwell Xeon socket. The model reproduces the
+//! characterization of Section III — embedding gathers bottlenecked by
+//! limited memory-level parallelism and framework overhead, MLPs
+//! compute-bound on the socket's AVX throughput — and produces the EMB /
+//! MLP / Other latency breakdown of Figure 5, the cache profile of
+//! Figure 6 and the effective-throughput curves of Figure 7.
+//!
+//! ```
+//! use centaur_cpusim::CpuSystem;
+//! use centaur_dlrm::PaperModel;
+//! use centaur_workload::{IndexDistribution, RequestGenerator};
+//!
+//! let model = PaperModel::Dlrm1.config();
+//! let mut generator = RequestGenerator::new(&model, IndexDistribution::Uniform, 1);
+//! let trace = generator.inference_trace(16);
+//!
+//! let mut system = CpuSystem::broadwell();
+//! let result = system.simulate(&trace);
+//! assert!(result.total_ns() > 0.0);
+//! println!(
+//!     "embedding share = {:.0}%",
+//!     result.breakdown.embedding_fraction() * 100.0
+//! );
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod embedding;
+pub mod gemm;
+pub mod profile;
+pub mod system;
+
+pub use config::CpuConfig;
+pub use embedding::{EmbeddingEngine, EmbeddingResult};
+pub use gemm::{DenseEngine, DenseResult};
+pub use profile::{CacheProfile, CacheProfiler, LayerProfile};
+pub use system::{CpuInferenceResult, CpuSystem, LatencyBreakdown};

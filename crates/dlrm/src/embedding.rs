@@ -1,0 +1,477 @@
+//! Embedding tables and the `SparseLengthsSum`-style gather/reduce operator.
+//!
+//! An embedding table stores millions of low-dimensional vectors
+//! contiguously; a *gather* reads a set of rows selected by sparse indices
+//! and a *reduction* combines them element-wise (sum by default, exactly as
+//! Caffe2's `SparseLengthsSum` in Figure 2 of the paper).
+
+use crate::error::DlrmError;
+use crate::tensor::Matrix;
+use crate::EMBEDDING_ELEM_BYTES;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Element-wise operator used to combine gathered embedding rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReductionOp {
+    /// Element-wise sum (Caffe2 `SparseLengthsSum`, the paper's default).
+    #[default]
+    Sum,
+    /// Element-wise mean (`SparseLengthsMean`).
+    Mean,
+    /// Element-wise maximum.
+    Max,
+}
+
+impl ReductionOp {
+    /// Human readable operator name as used by Caffe2-style frameworks.
+    pub fn op_name(self) -> &'static str {
+        match self {
+            ReductionOp::Sum => "SparseLengthsSum",
+            ReductionOp::Mean => "SparseLengthsMean",
+            ReductionOp::Max => "SparseLengthsMax",
+        }
+    }
+}
+
+/// A single embedding lookup table: `rows` vectors of `dim` `f32` elements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddingTable {
+    dim: usize,
+    rows: usize,
+    data: Vec<f32>,
+}
+
+impl EmbeddingTable {
+    /// Creates a table of zeros.
+    pub fn zeros(rows: usize, dim: usize) -> Self {
+        EmbeddingTable {
+            dim,
+            rows,
+            data: vec![0.0; rows * dim],
+        }
+    }
+
+    /// Creates a table with uniform random values in `[-0.5, 0.5)`, seeded
+    /// deterministically.
+    pub fn random(rows: usize, dim: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..rows * dim).map(|_| rng.gen::<f32>() - 0.5).collect();
+        EmbeddingTable { dim, rows, data }
+    }
+
+    /// Creates a table from a generator function `f(row, col)`.
+    pub fn from_fn<F: FnMut(usize, usize) -> f32>(rows: usize, dim: usize, mut f: F) -> Self {
+        let mut data = Vec::with_capacity(rows * dim);
+        for r in 0..rows {
+            for c in 0..dim {
+                data.push(f(r, c));
+            }
+        }
+        EmbeddingTable { dim, rows, data }
+    }
+
+    /// Embedding (vector) dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of rows (distinct categorical values) in the table.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Size of one embedding row in bytes.
+    pub fn row_bytes(&self) -> usize {
+        self.dim * EMBEDDING_ELEM_BYTES
+    }
+
+    /// Total size of the table in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.rows * self.row_bytes()
+    }
+
+    /// Borrows row `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlrmError::IndexOutOfBounds`] when the index exceeds the
+    /// number of rows.
+    pub fn row(&self, index: u32) -> Result<&[f32], DlrmError> {
+        let idx = index as usize;
+        if idx >= self.rows {
+            return Err(DlrmError::IndexOutOfBounds {
+                index: index as u64,
+                rows: self.rows as u64,
+                table: 0,
+            });
+        }
+        Ok(&self.data[idx * self.dim..(idx + 1) * self.dim])
+    }
+
+    /// Gathers the requested rows into a `[indices.len(), dim]` matrix
+    /// without reducing them (step 1 in Figure 3 of the paper).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlrmError::IndexOutOfBounds`] when any index is invalid.
+    pub fn gather(&self, indices: &[u32]) -> Result<Matrix, DlrmError> {
+        let mut out = Matrix::zeros(indices.len(), self.dim);
+        for (i, &idx) in indices.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(idx)?);
+        }
+        Ok(out)
+    }
+
+    /// Gathers the requested rows and reduces them into a single `[1, dim]`
+    /// vector using `op` (steps 1 and 2 in Figure 3; equivalent to the
+    /// pseudo-code of `SparseLengthsSum` in Figure 2 for a single output).
+    ///
+    /// An empty index list reduces to the zero vector, matching the
+    /// behaviour of `SparseLengthsSum` with an empty segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlrmError::IndexOutOfBounds`] when any index is invalid.
+    pub fn gather_reduce(&self, indices: &[u32], op: ReductionOp) -> Result<Matrix, DlrmError> {
+        let mut acc = vec![0.0f32; self.dim];
+        if indices.is_empty() {
+            return Matrix::from_vec(1, self.dim, acc);
+        }
+        match op {
+            ReductionOp::Sum | ReductionOp::Mean => {
+                for &idx in indices {
+                    for (a, &v) in acc.iter_mut().zip(self.row(idx)?.iter()) {
+                        *a += v;
+                    }
+                }
+                if op == ReductionOp::Mean {
+                    let n = indices.len() as f32;
+                    for a in &mut acc {
+                        *a /= n;
+                    }
+                }
+            }
+            ReductionOp::Max => {
+                acc.copy_from_slice(self.row(indices[0])?);
+                for &idx in &indices[1..] {
+                    for (a, &v) in acc.iter_mut().zip(self.row(idx)?.iter()) {
+                        if v > *a {
+                            *a = v;
+                        }
+                    }
+                }
+            }
+        }
+        Matrix::from_vec(1, self.dim, acc)
+    }
+}
+
+/// A bag of embedding tables plus the batched `SparseLengthsSum` operator
+/// over all of them — the full "sparse frontend" of a DLRM model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddingBag {
+    tables: Vec<EmbeddingTable>,
+    op: ReductionOp,
+}
+
+impl EmbeddingBag {
+    /// Creates a bag from individual tables.
+    pub fn new(tables: Vec<EmbeddingTable>, op: ReductionOp) -> Self {
+        EmbeddingBag { tables, op }
+    }
+
+    /// Creates `num_tables` random tables of identical shape.
+    pub fn random(num_tables: usize, rows: usize, dim: usize, seed: u64) -> Self {
+        let tables = (0..num_tables)
+            .map(|t| EmbeddingTable::random(rows, dim, seed.wrapping_add(t as u64)))
+            .collect();
+        EmbeddingBag {
+            tables,
+            op: ReductionOp::Sum,
+        }
+    }
+
+    /// Number of tables in the bag.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Embedding dimension (0 when the bag is empty).
+    pub fn dim(&self) -> usize {
+        self.tables.first().map_or(0, EmbeddingTable::dim)
+    }
+
+    /// The reduction operator used by [`EmbeddingBag::sparse_lengths_reduce`].
+    pub fn reduction_op(&self) -> ReductionOp {
+        self.op
+    }
+
+    /// Borrows table `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn table(&self, t: usize) -> &EmbeddingTable {
+        &self.tables[t]
+    }
+
+    /// Iterates over the tables.
+    pub fn iter(&self) -> impl Iterator<Item = &EmbeddingTable> + '_ {
+        self.tables.iter()
+    }
+
+    /// Total memory footprint of all tables in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.tables.iter().map(EmbeddingTable::size_bytes).sum()
+    }
+
+    /// Runs the per-table gather/reduce for one request.
+    ///
+    /// `indices_per_table[t]` holds the sparse indices for table `t`; the
+    /// result is a `[num_tables, dim]` matrix of reduced embeddings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlrmError::TableCountMismatch`] if the outer length differs
+    /// from the number of tables, or [`DlrmError::IndexOutOfBounds`] for an
+    /// invalid row index (annotated with the offending table).
+    pub fn sparse_lengths_reduce(
+        &self,
+        indices_per_table: &[Vec<u32>],
+    ) -> Result<Matrix, DlrmError> {
+        if indices_per_table.len() != self.tables.len() {
+            return Err(DlrmError::TableCountMismatch {
+                provided: indices_per_table.len(),
+                expected: self.tables.len(),
+            });
+        }
+        let dim = self.dim();
+        let mut out = Matrix::zeros(self.tables.len(), dim);
+        for (t, (table, indices)) in self.tables.iter().zip(indices_per_table).enumerate() {
+            let reduced = table
+                .gather_reduce(indices, self.op)
+                .map_err(|e| annotate_table(e, t))?;
+            out.row_mut(t).copy_from_slice(reduced.row(0));
+        }
+        Ok(out)
+    }
+
+    /// Batched version of [`EmbeddingBag::sparse_lengths_reduce`]: one index
+    /// list per `(sample, table)` pair. Returns one `[num_tables, dim]`
+    /// matrix per sample.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same errors as the single-request variant.
+    pub fn sparse_lengths_reduce_batch(
+        &self,
+        batch_indices: &[Vec<Vec<u32>>],
+    ) -> Result<Vec<Matrix>, DlrmError> {
+        batch_indices
+            .iter()
+            .map(|per_table| self.sparse_lengths_reduce(per_table))
+            .collect()
+    }
+
+    /// Total number of embedding rows gathered for one request.
+    pub fn lookups_in_request(indices_per_table: &[Vec<u32>]) -> usize {
+        indices_per_table.iter().map(Vec::len).sum()
+    }
+
+    /// Total bytes read from embedding tables for one request, the quantity
+    /// the paper uses to define *effective* memory throughput.
+    pub fn gathered_bytes(&self, indices_per_table: &[Vec<u32>]) -> usize {
+        Self::lookups_in_request(indices_per_table) * self.dim() * EMBEDDING_ELEM_BYTES
+    }
+}
+
+fn annotate_table(err: DlrmError, table: usize) -> DlrmError {
+    match err {
+        DlrmError::IndexOutOfBounds { index, rows, .. } => {
+            DlrmError::IndexOutOfBounds { index, rows, table }
+        }
+        other => other,
+    }
+}
+
+/// Reference implementation of Caffe2's `SparseLengthsSum` exactly as given
+/// in Figure 2 of the paper: a flat index array plus an offsets array
+/// producing `offsets.len()` reduced vectors from a single table.
+///
+/// `offsets[a]` is the position in `indices` where output `a` begins; output
+/// `a` reduces `indices[offsets[a] .. offsets[a + 1]]` (the last segment runs
+/// to the end of the index array).
+///
+/// # Errors
+///
+/// Returns [`DlrmError::InvalidConfig`] if the offsets are not monotonically
+/// non-decreasing or exceed the index array length, and
+/// [`DlrmError::IndexOutOfBounds`] for invalid row indices.
+pub fn sparse_lengths_sum(
+    table: &EmbeddingTable,
+    indices: &[u32],
+    offsets: &[usize],
+) -> Result<Matrix, DlrmError> {
+    let mut out = Matrix::zeros(offsets.len(), table.dim());
+    for a in 0..offsets.len() {
+        let start = offsets[a];
+        let end = if a + 1 < offsets.len() {
+            offsets[a + 1]
+        } else {
+            indices.len()
+        };
+        if start > end || end > indices.len() {
+            return Err(DlrmError::InvalidConfig(format!(
+                "invalid offsets: segment {a} spans {start}..{end} over {} indices",
+                indices.len()
+            )));
+        }
+        let reduced = table.gather_reduce(&indices[start..end], ReductionOp::Sum)?;
+        out.row_mut(a).copy_from_slice(reduced.row(0));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_table() -> EmbeddingTable {
+        // Row r is [r, r+0.5, r+1.0, r+1.5]
+        EmbeddingTable::from_fn(8, 4, |r, c| r as f32 + c as f32 * 0.5)
+    }
+
+    #[test]
+    fn table_shape_and_bytes() {
+        let t = small_table();
+        assert_eq!(t.rows(), 8);
+        assert_eq!(t.dim(), 4);
+        assert_eq!(t.row_bytes(), 16);
+        assert_eq!(t.size_bytes(), 128);
+    }
+
+    #[test]
+    fn row_out_of_bounds() {
+        let t = small_table();
+        assert!(t.row(7).is_ok());
+        assert!(matches!(
+            t.row(8),
+            Err(DlrmError::IndexOutOfBounds { index: 8, rows: 8, .. })
+        ));
+    }
+
+    #[test]
+    fn gather_preserves_order() {
+        let t = small_table();
+        let g = t.gather(&[3, 1, 3]).unwrap();
+        assert_eq!(g.shape(), (3, 4));
+        assert_eq!(g.row(0), t.row(3).unwrap());
+        assert_eq!(g.row(1), t.row(1).unwrap());
+        assert_eq!(g.row(2), t.row(3).unwrap());
+    }
+
+    #[test]
+    fn gather_reduce_sum_matches_manual() {
+        let t = small_table();
+        let r = t.gather_reduce(&[0, 2, 5], ReductionOp::Sum).unwrap();
+        // col 0: 0 + 2 + 5 = 7 ; col 1: 0.5*3 + 7 = 8.5 ...
+        assert_eq!(r.shape(), (1, 4));
+        assert!((r.get(0, 0) - 7.0).abs() < 1e-6);
+        assert!((r.get(0, 1) - 8.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gather_reduce_mean_and_max() {
+        let t = small_table();
+        let mean = t.gather_reduce(&[0, 2, 4], ReductionOp::Mean).unwrap();
+        assert!((mean.get(0, 0) - 2.0).abs() < 1e-6);
+        let max = t.gather_reduce(&[0, 2, 4], ReductionOp::Max).unwrap();
+        assert!((max.get(0, 0) - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gather_reduce_empty_is_zero() {
+        let t = small_table();
+        let r = t.gather_reduce(&[], ReductionOp::Sum).unwrap();
+        assert!(r.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn reduction_op_names() {
+        assert_eq!(ReductionOp::Sum.op_name(), "SparseLengthsSum");
+        assert_eq!(ReductionOp::Mean.op_name(), "SparseLengthsMean");
+        assert_eq!(ReductionOp::Max.op_name(), "SparseLengthsMax");
+        assert_eq!(ReductionOp::default(), ReductionOp::Sum);
+    }
+
+    #[test]
+    fn bag_reduce_shapes_and_errors() {
+        let bag = EmbeddingBag::random(3, 16, 4, 7);
+        let idx = vec![vec![0, 1], vec![2], vec![3, 4, 5]];
+        let out = bag.sparse_lengths_reduce(&idx).unwrap();
+        assert_eq!(out.shape(), (3, 4));
+
+        let wrong = vec![vec![0u32]; 2];
+        assert!(matches!(
+            bag.sparse_lengths_reduce(&wrong),
+            Err(DlrmError::TableCountMismatch { provided: 2, expected: 3 })
+        ));
+
+        let oob = vec![vec![0], vec![99], vec![0]];
+        assert!(matches!(
+            bag.sparse_lengths_reduce(&oob),
+            Err(DlrmError::IndexOutOfBounds { table: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn bag_batch_matches_single() {
+        let bag = EmbeddingBag::random(2, 32, 8, 11);
+        let req1 = vec![vec![1, 2, 3], vec![4, 5]];
+        let req2 = vec![vec![0], vec![31]];
+        let batch = bag
+            .sparse_lengths_reduce_batch(&[req1.clone(), req2.clone()])
+            .unwrap();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0], bag.sparse_lengths_reduce(&req1).unwrap());
+        assert_eq!(batch[1], bag.sparse_lengths_reduce(&req2).unwrap());
+    }
+
+    #[test]
+    fn bag_accounting() {
+        let bag = EmbeddingBag::random(2, 32, 32, 1);
+        let req = vec![vec![1, 2, 3], vec![4, 5]];
+        assert_eq!(EmbeddingBag::lookups_in_request(&req), 5);
+        assert_eq!(bag.gathered_bytes(&req), 5 * 32 * 4);
+        assert_eq!(bag.size_bytes(), 2 * 32 * 32 * 4);
+    }
+
+    #[test]
+    fn sparse_lengths_sum_matches_figure2_pseudocode() {
+        let t = small_table();
+        // Two outputs: rows {0,1,2} and rows {3,4}.
+        let indices = [0, 1, 2, 3, 4];
+        let offsets = [0, 3];
+        let out = sparse_lengths_sum(&t, &indices, &offsets).unwrap();
+        assert_eq!(out.shape(), (2, 4));
+        assert!((out.get(0, 0) - 3.0).abs() < 1e-6);
+        assert!((out.get(1, 0) - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sparse_lengths_sum_rejects_bad_offsets() {
+        let t = small_table();
+        assert!(sparse_lengths_sum(&t, &[0, 1], &[0, 5]).is_err());
+        assert!(sparse_lengths_sum(&t, &[0, 1], &[1, 0]).is_err());
+    }
+
+    #[test]
+    fn random_tables_are_deterministic_per_seed() {
+        let a = EmbeddingTable::random(16, 8, 99);
+        let b = EmbeddingTable::random(16, 8, 99);
+        let c = EmbeddingTable::random(16, 8, 100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

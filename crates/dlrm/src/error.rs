@@ -1,0 +1,113 @@
+//! Error types for the DLRM reference implementation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or evaluating a DLRM model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DlrmError {
+    /// Two matrices had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left-hand operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right-hand operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A sparse index referenced a row outside an embedding table.
+    IndexOutOfBounds {
+        /// The offending row index.
+        index: u64,
+        /// Number of rows in the table.
+        rows: u64,
+        /// The table that was accessed.
+        table: usize,
+    },
+    /// A model configuration was inconsistent (e.g. zero tables, empty MLP).
+    InvalidConfig(String),
+    /// The number of per-table index lists did not match the model.
+    TableCountMismatch {
+        /// Number of index lists supplied by the caller.
+        provided: usize,
+        /// Number of embedding tables in the model.
+        expected: usize,
+    },
+    /// A batch of requests had inconsistent sizes.
+    BatchMismatch {
+        /// Description of which inputs disagreed.
+        what: &'static str,
+        /// Size of the first input.
+        left: usize,
+        /// Size of the second input.
+        right: usize,
+    },
+}
+
+impl fmt::Display for DlrmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DlrmError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            DlrmError::IndexOutOfBounds { index, rows, table } => write!(
+                f,
+                "sparse index {index} out of bounds for table {table} with {rows} rows"
+            ),
+            DlrmError::InvalidConfig(msg) => write!(f, "invalid model configuration: {msg}"),
+            DlrmError::TableCountMismatch { provided, expected } => write!(
+                f,
+                "provided sparse indices for {provided} tables but model has {expected}"
+            ),
+            DlrmError::BatchMismatch { what, left, right } => {
+                write!(f, "batch size mismatch in {what}: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl Error for DlrmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let err = DlrmError::ShapeMismatch {
+            op: "gemm",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("gemm"));
+        assert!(msg.contains("2x3"));
+        assert!(msg.contains("4x5"));
+    }
+
+    #[test]
+    fn display_index_out_of_bounds() {
+        let err = DlrmError::IndexOutOfBounds {
+            index: 10,
+            rows: 5,
+            table: 2,
+        };
+        assert!(err.to_string().contains("10"));
+        assert!(err.to_string().contains("table 2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DlrmError>();
+    }
+
+    #[test]
+    fn error_trait_object_usable() {
+        let err: Box<dyn Error> = Box::new(DlrmError::InvalidConfig("empty".into()));
+        assert!(err.to_string().contains("empty"));
+    }
+}

@@ -1,0 +1,201 @@
+//! Dot-product feature interaction, the batched-GEMM step between the
+//! sparse frontend and the top MLP (Figure 3, step 3 in the paper).
+//!
+//! DLRM concatenates the bottom-MLP output with the reduced embedding of
+//! every table into a `[num_features, dim]` matrix `R`, computes `R * R^T`,
+//! and keeps the strictly-lower-triangular entries (every distinct pair's
+//! dot product). Those pairwise terms are then concatenated with the
+//! bottom-MLP output to form the top-MLP input.
+
+use crate::error::DlrmError;
+use crate::tensor::Matrix;
+
+/// Dot-product feature interaction operator.
+///
+/// The operator is stateless; it exists as a type so the accelerator models
+/// can hold a configured instance (feature count, embedding dimension) and
+/// reason about its GEMM cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FeatureInteraction {
+    num_features: usize,
+    dim: usize,
+}
+
+impl FeatureInteraction {
+    /// Creates an interaction stage for `num_features` vectors of width
+    /// `dim` (typically `num_tables + 1`: one reduced embedding per table
+    /// plus the bottom-MLP output).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlrmError::InvalidConfig`] when either argument is zero.
+    pub fn new(num_features: usize, dim: usize) -> Result<Self, DlrmError> {
+        if num_features == 0 || dim == 0 {
+            return Err(DlrmError::InvalidConfig(format!(
+                "feature interaction needs non-zero features and dim, got {num_features}x{dim}"
+            )));
+        }
+        Ok(FeatureInteraction { num_features, dim })
+    }
+
+    /// Number of interacting feature vectors.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Width of each feature vector.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of pairwise interaction terms produced
+    /// (`num_features choose 2`).
+    pub fn num_pairs(&self) -> usize {
+        self.num_features * (self.num_features - 1) / 2
+    }
+
+    /// Width of the top-MLP input produced by
+    /// [`FeatureInteraction::interact`]: the bottom-MLP output width plus
+    /// one scalar per pair.
+    pub fn output_dim(&self) -> usize {
+        self.dim + self.num_pairs()
+    }
+
+    /// FLOPs of the `R * R^T` batched GEMM for one sample.
+    pub fn flops(&self) -> u64 {
+        2 * (self.num_features * self.num_features * self.dim) as u64
+    }
+
+    /// Computes the pairwise dot products for one sample.
+    ///
+    /// `features` must be `[num_features, dim]`; row 0 is, by DLRM
+    /// convention, the bottom-MLP output. The result is the concatenation of
+    /// row 0 with the strictly-lower-triangular entries of `features *
+    /// features^T`, i.e. a `[1, output_dim()]` row vector ready for the top
+    /// MLP.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlrmError::ShapeMismatch`] when `features` has an
+    /// unexpected shape.
+    pub fn interact(&self, features: &Matrix) -> Result<Matrix, DlrmError> {
+        if features.shape() != (self.num_features, self.dim) {
+            return Err(DlrmError::ShapeMismatch {
+                op: "feature interaction",
+                lhs: (self.num_features, self.dim),
+                rhs: features.shape(),
+            });
+        }
+        let mut out = Vec::with_capacity(self.output_dim());
+        out.extend_from_slice(features.row(0));
+        for i in 1..self.num_features {
+            for j in 0..i {
+                out.push(features.row_dot(i, features, j));
+            }
+        }
+        Matrix::from_vec(1, self.output_dim(), out)
+    }
+
+    /// Computes the full Gram matrix `features * features^T` for one sample.
+    ///
+    /// This is the raw batched-GEMM the dense accelerator executes; the
+    /// lower triangle of this matrix is what
+    /// [`FeatureInteraction::interact`] selects.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlrmError::ShapeMismatch`] when `features` has an
+    /// unexpected shape.
+    pub fn gram_matrix(&self, features: &Matrix) -> Result<Matrix, DlrmError> {
+        if features.shape() != (self.num_features, self.dim) {
+            return Err(DlrmError::ShapeMismatch {
+                op: "feature interaction gram",
+                lhs: (self.num_features, self.dim),
+                rhs: features.shape(),
+            });
+        }
+        features.matmul(&features.transpose())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate_config() {
+        assert!(FeatureInteraction::new(0, 4).is_err());
+        assert!(FeatureInteraction::new(4, 0).is_err());
+    }
+
+    #[test]
+    fn pair_and_output_counts() {
+        let fi = FeatureInteraction::new(6, 32).unwrap();
+        assert_eq!(fi.num_pairs(), 15);
+        assert_eq!(fi.output_dim(), 32 + 15);
+        assert_eq!(fi.num_features(), 6);
+        assert_eq!(fi.dim(), 32);
+    }
+
+    #[test]
+    fn interact_known_values() {
+        // Three 2-dim features: f0=[1,0], f1=[0,1], f2=[2,2]
+        let features =
+            Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 2.0, 2.0]).unwrap();
+        let fi = FeatureInteraction::new(3, 2).unwrap();
+        let out = fi.interact(&features).unwrap();
+        // output = [f0 (2 values), f1·f0, f2·f0, f2·f1] = [1,0, 0, 2, 2]
+        assert_eq!(out.as_slice(), &[1.0, 0.0, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn interact_matches_gram_lower_triangle() {
+        let fi = FeatureInteraction::new(4, 8).unwrap();
+        let features = Matrix::from_fn(4, 8, |r, c| ((r * 13 + c * 7) % 5) as f32 - 2.0);
+        let out = fi.interact(&features).unwrap();
+        let gram = fi.gram_matrix(&features).unwrap();
+        let mut k = 8; // skip the copied bottom-MLP output
+        for i in 1..4 {
+            for j in 0..i {
+                assert!((out.get(0, k) - gram.get(i, j)).abs() < 1e-5);
+                k += 1;
+            }
+        }
+        assert_eq!(k, out.cols());
+    }
+
+    #[test]
+    fn gram_matrix_is_symmetric() {
+        let fi = FeatureInteraction::new(5, 16).unwrap();
+        let features = Matrix::from_fn(5, 16, |r, c| (r as f32 - c as f32) * 0.3);
+        let gram = fi.gram_matrix(&features).unwrap();
+        for i in 0..5 {
+            for j in 0..5 {
+                assert!((gram.get(i, j) - gram.get(j, i)).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        let fi = FeatureInteraction::new(3, 4).unwrap();
+        let wrong = Matrix::zeros(4, 4);
+        assert!(fi.interact(&wrong).is_err());
+        assert!(fi.gram_matrix(&wrong).is_err());
+    }
+
+    #[test]
+    fn single_feature_has_no_pairs() {
+        let fi = FeatureInteraction::new(1, 4).unwrap();
+        assert_eq!(fi.num_pairs(), 0);
+        let features = Matrix::filled(1, 4, 1.0);
+        let out = fi.interact(&features).unwrap();
+        assert_eq!(out.as_slice(), features.row(0));
+    }
+
+    #[test]
+    fn flops_positive() {
+        let fi = FeatureInteraction::new(6, 32).unwrap();
+        assert_eq!(fi.flops(), 2 * 6 * 6 * 32);
+    }
+}

@@ -1,0 +1,348 @@
+//! Multi-layer perceptron building blocks: dense (fully-connected) layers,
+//! activations and MLP stacks used for the bottom and top MLPs of DLRM.
+
+use crate::error::DlrmError;
+use crate::tensor::{gemm_flops, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Activation applied after a dense layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Activation {
+    /// Rectified linear unit (the DLRM default for hidden layers).
+    #[default]
+    Relu,
+    /// Logistic sigmoid (used on the final output to produce a probability).
+    Sigmoid,
+    /// No activation.
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation to a matrix.
+    pub fn apply(self, input: &Matrix) -> Matrix {
+        match self {
+            Activation::Relu => input.relu(),
+            Activation::Sigmoid => input.sigmoid(),
+            Activation::Identity => input.clone(),
+        }
+    }
+}
+
+/// A dense layer `y = act(x * W + b)` with `W` of shape `[in, out]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseLayer {
+    weights: Matrix,
+    bias: Matrix,
+    activation: Activation,
+}
+
+impl DenseLayer {
+    /// Creates a layer from explicit weights (`[in, out]`), bias (`[1, out]`)
+    /// and activation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlrmError::ShapeMismatch`] if the bias width does not equal
+    /// the weight output width.
+    pub fn new(weights: Matrix, bias: Matrix, activation: Activation) -> Result<Self, DlrmError> {
+        if bias.rows() != 1 || bias.cols() != weights.cols() {
+            return Err(DlrmError::ShapeMismatch {
+                op: "dense layer bias",
+                lhs: weights.shape(),
+                rhs: bias.shape(),
+            });
+        }
+        Ok(DenseLayer {
+            weights,
+            bias,
+            activation,
+        })
+    }
+
+    /// Creates a layer with Xavier-style uniform random weights.
+    pub fn random(in_dim: usize, out_dim: usize, activation: Activation, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let limit = (6.0 / (in_dim + out_dim) as f32).sqrt();
+        let weights = Matrix::from_fn(in_dim, out_dim, |_, _| {
+            rng.gen_range(-limit..limit)
+        });
+        let bias = Matrix::from_fn(1, out_dim, |_, _| rng.gen_range(-0.01..0.01));
+        DenseLayer {
+            weights,
+            bias,
+            activation,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Borrows the weight matrix.
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// Borrows the bias row vector.
+    pub fn bias(&self) -> &Matrix {
+        &self.bias
+    }
+
+    /// Activation applied by the layer.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Number of parameters (weights + biases).
+    pub fn num_params(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    /// Size of the layer's parameters in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.num_params() * std::mem::size_of::<f32>()
+    }
+
+    /// Floating-point operations for a forward pass with the given batch.
+    pub fn flops(&self, batch: usize) -> u64 {
+        gemm_flops(batch, self.out_dim(), self.in_dim()) + (batch * self.out_dim()) as u64
+    }
+
+    /// Forward pass: `act(input * W + b)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlrmError::ShapeMismatch`] if `input.cols() != in_dim`.
+    pub fn forward(&self, input: &Matrix) -> Result<Matrix, DlrmError> {
+        let z = input.matmul(&self.weights)?.add_bias(&self.bias)?;
+        Ok(self.activation.apply(&z))
+    }
+}
+
+/// A stack of dense layers.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Mlp {
+    layers: Vec<DenseLayer>,
+}
+
+impl Mlp {
+    /// Creates an MLP from explicit layers.
+    pub fn new(layers: Vec<DenseLayer>) -> Self {
+        Mlp { layers }
+    }
+
+    /// Creates an MLP with random parameters from a list of layer widths.
+    ///
+    /// `dims = [in, h1, h2, ..., out]`; hidden layers use ReLU and the final
+    /// layer uses `final_activation`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlrmError::InvalidConfig`] if fewer than two widths are
+    /// given or any width is zero.
+    pub fn random(
+        dims: &[usize],
+        final_activation: Activation,
+        seed: u64,
+    ) -> Result<Self, DlrmError> {
+        if dims.len() < 2 {
+            return Err(DlrmError::InvalidConfig(format!(
+                "an MLP needs at least an input and an output width, got {dims:?}"
+            )));
+        }
+        if dims.iter().any(|&d| d == 0) {
+            return Err(DlrmError::InvalidConfig(
+                "MLP layer widths must be non-zero".to_string(),
+            ));
+        }
+        let mut layers = Vec::with_capacity(dims.len() - 1);
+        for (i, pair) in dims.windows(2).enumerate() {
+            let activation = if i + 2 == dims.len() {
+                final_activation
+            } else {
+                Activation::Relu
+            };
+            layers.push(DenseLayer::random(
+                pair[0],
+                pair[1],
+                activation,
+                seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9),
+            ));
+        }
+        Ok(Mlp { layers })
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Returns `true` if the MLP has no layers (acts as identity).
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Iterates over the layers.
+    pub fn iter(&self) -> impl Iterator<Item = &DenseLayer> + '_ {
+        self.layers.iter()
+    }
+
+    /// Input dimension of the first layer (`None` when empty).
+    pub fn in_dim(&self) -> Option<usize> {
+        self.layers.first().map(DenseLayer::in_dim)
+    }
+
+    /// Output dimension of the last layer (`None` when empty).
+    pub fn out_dim(&self) -> Option<usize> {
+        self.layers.last().map(DenseLayer::out_dim)
+    }
+
+    /// Layer widths `[in, h1, ..., out]` (empty when the MLP has no layers).
+    pub fn dims(&self) -> Vec<usize> {
+        let mut dims = Vec::with_capacity(self.layers.len() + 1);
+        if let Some(first) = self.layers.first() {
+            dims.push(first.in_dim());
+            for layer in &self.layers {
+                dims.push(layer.out_dim());
+            }
+        }
+        dims
+    }
+
+    /// Total parameter count.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(DenseLayer::num_params).sum()
+    }
+
+    /// Total parameter footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.layers.iter().map(DenseLayer::size_bytes).sum()
+    }
+
+    /// Total forward-pass FLOPs for a batch.
+    pub fn flops(&self, batch: usize) -> u64 {
+        self.layers.iter().map(|l| l.flops(batch)).sum()
+    }
+
+    /// Forward pass through every layer in order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape mismatches from the individual layers.
+    pub fn forward(&self, input: &Matrix) -> Result<Matrix, DlrmError> {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.forward(&x)?;
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_layer_forward_known_values() {
+        // y = relu(x*W + b) with hand-computed numbers.
+        let w = Matrix::from_vec(2, 2, vec![1.0, -1.0, 0.5, 2.0]).unwrap();
+        let b = Matrix::row_vector(&[0.0, 1.0]);
+        let layer = DenseLayer::new(w, b, Activation::Relu).unwrap();
+        let x = Matrix::row_vector(&[2.0, 4.0]);
+        let y = layer.forward(&x).unwrap();
+        // z = [2*1 + 4*0.5, 2*-1 + 4*2] + [0,1] = [4, 7]
+        assert_eq!(y.as_slice(), &[4.0, 7.0]);
+    }
+
+    #[test]
+    fn dense_layer_relu_clamps() {
+        let w = Matrix::from_vec(1, 1, vec![-1.0]).unwrap();
+        let b = Matrix::row_vector(&[0.0]);
+        let layer = DenseLayer::new(w, b, Activation::Relu).unwrap();
+        let y = layer.forward(&Matrix::row_vector(&[3.0])).unwrap();
+        assert_eq!(y.as_slice(), &[0.0]);
+    }
+
+    #[test]
+    fn dense_layer_bias_shape_checked() {
+        let w = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(1, 2);
+        assert!(DenseLayer::new(w, b, Activation::Relu).is_err());
+    }
+
+    #[test]
+    fn dense_layer_accounting() {
+        let layer = DenseLayer::random(8, 4, Activation::Relu, 3);
+        assert_eq!(layer.in_dim(), 8);
+        assert_eq!(layer.out_dim(), 4);
+        assert_eq!(layer.num_params(), 8 * 4 + 4);
+        assert_eq!(layer.size_bytes(), (8 * 4 + 4) * 4);
+        assert_eq!(layer.flops(2), 2 * (2 * 8 * 4) as u64 + 8);
+    }
+
+    #[test]
+    fn mlp_dims_and_forward_shape() {
+        let mlp = Mlp::random(&[13, 64, 32], Activation::Relu, 1).unwrap();
+        assert_eq!(mlp.num_layers(), 2);
+        assert_eq!(mlp.dims(), vec![13, 64, 32]);
+        assert_eq!(mlp.in_dim(), Some(13));
+        assert_eq!(mlp.out_dim(), Some(32));
+        let x = Matrix::filled(4, 13, 0.5);
+        let y = mlp.forward(&x).unwrap();
+        assert_eq!(y.shape(), (4, 32));
+    }
+
+    #[test]
+    fn mlp_final_activation_sigmoid_bounds_output() {
+        let mlp = Mlp::random(&[8, 16, 1], Activation::Sigmoid, 5).unwrap();
+        let x = Matrix::from_fn(3, 8, |r, c| (r + c) as f32 - 4.0);
+        let y = mlp.forward(&x).unwrap();
+        assert!(y.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn mlp_rejects_bad_dims() {
+        assert!(Mlp::random(&[8], Activation::Relu, 0).is_err());
+        assert!(Mlp::random(&[8, 0, 4], Activation::Relu, 0).is_err());
+    }
+
+    #[test]
+    fn empty_mlp_is_identity() {
+        let mlp = Mlp::default();
+        assert!(mlp.is_empty());
+        let x = Matrix::row_vector(&[1.0, 2.0]);
+        assert_eq!(mlp.forward(&x).unwrap(), x);
+        assert_eq!(mlp.dims(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn mlp_deterministic_per_seed() {
+        let a = Mlp::random(&[4, 8, 2], Activation::Relu, 42).unwrap();
+        let b = Mlp::random(&[4, 8, 2], Activation::Relu, 42).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mlp_size_bytes_matches_param_count() {
+        let mlp = Mlp::random(&[13, 512, 256, 64], Activation::Relu, 9).unwrap();
+        let params = 13 * 512 + 512 + 512 * 256 + 256 + 256 * 64 + 64;
+        assert_eq!(mlp.num_params(), params);
+        assert_eq!(mlp.size_bytes(), params * 4);
+    }
+
+    #[test]
+    fn activation_apply() {
+        let x = Matrix::row_vector(&[-2.0, 2.0]);
+        assert_eq!(Activation::Identity.apply(&x), x);
+        assert_eq!(Activation::Relu.apply(&x).as_slice(), &[0.0, 2.0]);
+        let s = Activation::Sigmoid.apply(&x);
+        assert!(s.get(0, 0) < 0.5 && s.get(0, 1) > 0.5);
+    }
+}

@@ -1,0 +1,389 @@
+//! The assembled DLRM model: bottom MLP, embedding bag, feature interaction,
+//! top MLP and sigmoid (Figure 1 of the paper).
+
+use crate::config::ModelConfig;
+use crate::embedding::{EmbeddingBag, EmbeddingTable, ReductionOp};
+use crate::error::DlrmError;
+use crate::interaction::FeatureInteraction;
+use crate::mlp::{Activation, Mlp};
+use crate::tensor::Matrix;
+
+/// A complete DLRM-style recommendation model with instantiated parameters.
+///
+/// The forward pass follows the paper's Figure 1 exactly:
+///
+/// 1. dense features → **bottom MLP** → a dense feature vector,
+/// 2. sparse indices → **embedding gathers + reductions** (one reduced
+///    vector per table),
+/// 3. bottom output + reduced embeddings → **dot-product feature
+///    interaction**,
+/// 4. interaction output → **top MLP** → **sigmoid** → event probability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DlrmModel {
+    config: ModelConfig,
+    bottom_mlp: Mlp,
+    embeddings: EmbeddingBag,
+    interaction: FeatureInteraction,
+    top_mlp: Mlp,
+}
+
+/// Intermediate results of a single-sample forward pass, exposed so that
+/// accelerator models can be validated stage by stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForwardBreakdown {
+    /// Output of the bottom MLP (`[1, embedding_dim]`).
+    pub bottom_output: Matrix,
+    /// Reduced embedding per table (`[num_tables, embedding_dim]`).
+    pub reduced_embeddings: Matrix,
+    /// Concatenated interaction input (`[num_tables + 1, embedding_dim]`).
+    pub interaction_input: Matrix,
+    /// Top-MLP input (`[1, pairs + embedding_dim]`).
+    pub interaction_output: Matrix,
+    /// Pre-sigmoid top-MLP output (`[1, 1]`).
+    pub top_output: Matrix,
+    /// Final event probability.
+    pub probability: f32,
+}
+
+impl DlrmModel {
+    /// Builds a model with random parameters for `config`, seeded
+    /// deterministically.
+    ///
+    /// Prefer a scaled-down `rows_per_table` (see
+    /// [`ModelConfig::with_rows_per_table`]) when you only need functional
+    /// results: the Table-I configurations allocate 128 MB–3.2 GB of
+    /// embeddings at full size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlrmError::InvalidConfig`] when the configuration is
+    /// inconsistent.
+    pub fn random(config: &ModelConfig, seed: u64) -> Result<Self, DlrmError> {
+        config.validate()?;
+        let bottom_mlp = Mlp::random(&config.bottom_mlp_dims(), Activation::Relu, seed)?;
+        let top_mlp = Mlp::random(
+            &config.top_mlp_dims(),
+            Activation::Identity,
+            seed.wrapping_add(0xB0B),
+        )?;
+        let tables = (0..config.num_tables)
+            .map(|t| {
+                EmbeddingTable::random(
+                    config.rows_per_table as usize,
+                    config.embedding_dim,
+                    seed.wrapping_add(0xE3B + t as u64),
+                )
+            })
+            .collect();
+        let embeddings = EmbeddingBag::new(tables, ReductionOp::Sum);
+        let interaction = config.feature_interaction();
+        Ok(DlrmModel {
+            config: config.clone(),
+            bottom_mlp,
+            embeddings,
+            interaction,
+            top_mlp,
+        })
+    }
+
+    /// Builds a model from explicit components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlrmError::InvalidConfig`] if the components do not fit
+    /// together (MLP widths, table count or embedding width mismatch).
+    pub fn from_parts(
+        config: ModelConfig,
+        bottom_mlp: Mlp,
+        embeddings: EmbeddingBag,
+        top_mlp: Mlp,
+    ) -> Result<Self, DlrmError> {
+        config.validate()?;
+        if embeddings.num_tables() != config.num_tables {
+            return Err(DlrmError::InvalidConfig(format!(
+                "embedding bag has {} tables, config expects {}",
+                embeddings.num_tables(),
+                config.num_tables
+            )));
+        }
+        if embeddings.dim() != config.embedding_dim {
+            return Err(DlrmError::InvalidConfig(format!(
+                "embedding dim {} does not match config {}",
+                embeddings.dim(),
+                config.embedding_dim
+            )));
+        }
+        if bottom_mlp.dims() != config.bottom_mlp_dims() {
+            return Err(DlrmError::InvalidConfig(
+                "bottom MLP dims do not match config".into(),
+            ));
+        }
+        if top_mlp.dims() != config.top_mlp_dims() {
+            return Err(DlrmError::InvalidConfig(
+                "top MLP dims do not match config".into(),
+            ));
+        }
+        let interaction = config.feature_interaction();
+        Ok(DlrmModel {
+            config,
+            bottom_mlp,
+            embeddings,
+            interaction,
+            top_mlp,
+        })
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// The bottom MLP.
+    pub fn bottom_mlp(&self) -> &Mlp {
+        &self.bottom_mlp
+    }
+
+    /// The top MLP.
+    pub fn top_mlp(&self) -> &Mlp {
+        &self.top_mlp
+    }
+
+    /// The embedding tables.
+    pub fn embeddings(&self) -> &EmbeddingBag {
+        &self.embeddings
+    }
+
+    /// The feature-interaction operator.
+    pub fn interaction(&self) -> &FeatureInteraction {
+        &self.interaction
+    }
+
+    /// Runs a single-sample forward pass and returns every intermediate
+    /// (useful for validating accelerator datapaths stage by stage).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape and index errors from the individual stages.
+    pub fn forward_breakdown(
+        &self,
+        dense: &Matrix,
+        indices_per_table: &[Vec<u32>],
+    ) -> Result<ForwardBreakdown, DlrmError> {
+        if dense.rows() != 1 || dense.cols() != self.config.dense_features {
+            return Err(DlrmError::ShapeMismatch {
+                op: "dense features",
+                lhs: (1, self.config.dense_features),
+                rhs: dense.shape(),
+            });
+        }
+        // 1. Bottom MLP over dense features.
+        let bottom_output = self.bottom_mlp.forward(dense)?;
+        // 2. Embedding gathers + reductions.
+        let reduced_embeddings = self.embeddings.sparse_lengths_reduce(indices_per_table)?;
+        // 3. Feature interaction over [bottom; reduced embeddings].
+        let interaction_input = bottom_output.vconcat(&reduced_embeddings)?;
+        let interaction_output = self.interaction.interact(&interaction_input)?;
+        // 4. Top MLP + sigmoid.
+        let top_output = self.top_mlp.forward(&interaction_output)?;
+        let probability = crate::tensor::sigmoid_scalar(top_output.get(0, 0));
+        Ok(ForwardBreakdown {
+            bottom_output,
+            reduced_embeddings,
+            interaction_input,
+            interaction_output,
+            top_output,
+            probability,
+        })
+    }
+
+    /// Runs a single-sample forward pass and returns the event probability
+    /// as a one-element vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape and index errors from the individual stages.
+    pub fn forward_single(
+        &self,
+        dense: &Matrix,
+        indices_per_table: &[Vec<u32>],
+    ) -> Result<Vec<f32>, DlrmError> {
+        Ok(vec![self.forward_breakdown(dense, indices_per_table)?.probability])
+    }
+
+    /// Runs a batched forward pass: one dense-feature row and one per-table
+    /// index list per sample. Returns one probability per sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlrmError::BatchMismatch`] when the dense batch and sparse
+    /// batch disagree, plus any per-sample stage error.
+    pub fn forward_batch(
+        &self,
+        dense: &Matrix,
+        batch_indices: &[Vec<Vec<u32>>],
+    ) -> Result<Vec<f32>, DlrmError> {
+        if dense.rows() != batch_indices.len() {
+            return Err(DlrmError::BatchMismatch {
+                what: "dense rows vs sparse samples",
+                left: dense.rows(),
+                right: batch_indices.len(),
+            });
+        }
+        let mut out = Vec::with_capacity(batch_indices.len());
+        for (i, indices) in batch_indices.iter().enumerate() {
+            let row = Matrix::row_vector(dense.row(i));
+            out.push(self.forward_breakdown(&row, indices)?.probability);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PaperModel;
+
+    fn tiny_config() -> ModelConfig {
+        ModelConfig::builder()
+            .name("tiny")
+            .num_tables(3)
+            .rows_per_table(64)
+            .embedding_dim(8)
+            .lookups_per_table(4)
+            .dense_features(5)
+            .bottom_mlp(&[16, 8])
+            .top_mlp(&[16, 8])
+            .build()
+            .unwrap()
+    }
+
+    fn tiny_indices(config: &ModelConfig) -> Vec<Vec<u32>> {
+        (0..config.num_tables)
+            .map(|t| (0..config.lookups_per_table as u32).map(|i| (t as u32 * 7 + i) % 64).collect())
+            .collect()
+    }
+
+    #[test]
+    fn forward_produces_probability() {
+        let config = tiny_config();
+        let model = DlrmModel::random(&config, 1).unwrap();
+        let dense = Matrix::from_fn(1, 5, |_, c| c as f32 * 0.2 - 0.4);
+        let p = model.forward_single(&dense, &tiny_indices(&config)).unwrap();
+        assert_eq!(p.len(), 1);
+        assert!((0.0..=1.0).contains(&p[0]));
+    }
+
+    #[test]
+    fn forward_breakdown_shapes() {
+        let config = tiny_config();
+        let model = DlrmModel::random(&config, 2).unwrap();
+        let dense = Matrix::filled(1, 5, 0.1);
+        let b = model.forward_breakdown(&dense, &tiny_indices(&config)).unwrap();
+        assert_eq!(b.bottom_output.shape(), (1, 8));
+        assert_eq!(b.reduced_embeddings.shape(), (3, 8));
+        assert_eq!(b.interaction_input.shape(), (4, 8));
+        assert_eq!(b.interaction_output.shape(), (1, 8 + 6));
+        assert_eq!(b.top_output.shape(), (1, 1));
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let config = tiny_config();
+        let model = DlrmModel::random(&config, 3).unwrap();
+        let dense = Matrix::filled(1, 5, 0.3);
+        let idx = tiny_indices(&config);
+        assert_eq!(
+            model.forward_single(&dense, &idx).unwrap(),
+            model.forward_single(&dense, &idx).unwrap()
+        );
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let config = tiny_config();
+        let model = DlrmModel::random(&config, 4).unwrap();
+        let dense = Matrix::from_fn(3, 5, |r, c| (r as f32 - c as f32) * 0.1);
+        let batch: Vec<Vec<Vec<u32>>> = (0..3)
+            .map(|s| {
+                (0..config.num_tables)
+                    .map(|t| vec![(s * 3 + t) as u32, (s + t * 5) as u32 % 64])
+                    .collect()
+            })
+            .collect();
+        let batched = model.forward_batch(&dense, &batch).unwrap();
+        for (i, sample) in batch.iter().enumerate() {
+            let single = model
+                .forward_single(&Matrix::row_vector(dense.row(i)), sample)
+                .unwrap();
+            assert!((batched[i] - single[0]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn batch_mismatch_detected() {
+        let config = tiny_config();
+        let model = DlrmModel::random(&config, 5).unwrap();
+        let dense = Matrix::zeros(2, 5);
+        let batch = vec![tiny_indices(&config)];
+        assert!(matches!(
+            model.forward_batch(&dense, &batch),
+            Err(DlrmError::BatchMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn dense_shape_checked() {
+        let config = tiny_config();
+        let model = DlrmModel::random(&config, 6).unwrap();
+        let wrong = Matrix::zeros(1, 4);
+        assert!(model.forward_single(&wrong, &tiny_indices(&config)).is_err());
+    }
+
+    #[test]
+    fn from_parts_validates_components() {
+        let config = tiny_config();
+        let good = DlrmModel::random(&config, 7).unwrap();
+        // Rebuilding from its own parts succeeds.
+        let rebuilt = DlrmModel::from_parts(
+            config.clone(),
+            good.bottom_mlp().clone(),
+            good.embeddings().clone(),
+            good.top_mlp().clone(),
+        )
+        .unwrap();
+        assert_eq!(&rebuilt, &good);
+
+        // Wrong table count fails.
+        let bad_bag = EmbeddingBag::random(2, 64, 8, 0);
+        assert!(DlrmModel::from_parts(
+            config.clone(),
+            good.bottom_mlp().clone(),
+            bad_bag,
+            good.top_mlp().clone(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn paper_model_scaled_down_runs() {
+        let config = PaperModel::Dlrm1.config().with_rows_per_table(128);
+        let model = DlrmModel::random(&config, 9).unwrap();
+        let dense = Matrix::filled(1, 13, 0.05);
+        let indices: Vec<Vec<u32>> = (0..config.num_tables)
+            .map(|t| (0..config.lookups_per_table as u32).map(|i| (t as u32 + i * 11) % 128).collect())
+            .collect();
+        let p = model.forward_single(&dense, &indices).unwrap();
+        assert!((0.0..=1.0).contains(&p[0]));
+    }
+
+    #[test]
+    fn probability_changes_with_indices() {
+        let config = tiny_config();
+        let model = DlrmModel::random(&config, 10).unwrap();
+        let dense = Matrix::filled(1, 5, 0.1);
+        let a = model.forward_single(&dense, &tiny_indices(&config)).unwrap();
+        let other: Vec<Vec<u32>> = (0..3).map(|t| vec![60 - t as u32]).collect();
+        let b = model.forward_single(&dense, &other).unwrap();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,34 @@
+//! # centaur-gpusim
+//!
+//! Timing model of the **CPU-GPU** baseline the paper compares against: the
+//! embedding tables stay in host memory (they do not fit in GPU HBM), so the
+//! CPU performs the gathers and reductions, ships the reduced embeddings and
+//! dense features over PCIe, and a V100-class GPU executes the feature
+//! interaction and MLP layers.
+//!
+//! The paper finds this design usually *loses* to CPU-only because the PCIe
+//! copy and kernel-launch overheads outweigh the GPU's GEMM advantage for
+//! the small dense layers of recommendation models — the same behaviour this
+//! model reproduces.
+//!
+//! ```
+//! use centaur_dlrm::PaperModel;
+//! use centaur_gpusim::CpuGpuSystem;
+//! use centaur_workload::{IndexDistribution, RequestGenerator};
+//!
+//! let model = PaperModel::Dlrm1.config();
+//! let mut generator = RequestGenerator::new(&model, IndexDistribution::Uniform, 1);
+//! let trace = generator.inference_trace(16);
+//! let mut system = CpuGpuSystem::dgx1();
+//! let result = system.simulate(&trace);
+//! assert!(result.breakdown.transfer_ns > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod system;
+
+pub use config::{GpuConfig, PcieConfig};
+pub use system::{CpuGpuBreakdown, CpuGpuInferenceResult, CpuGpuSystem};

@@ -1,0 +1,192 @@
+//! Miss-status-holding-register (MSHR) file.
+//!
+//! The number of MSHRs bounds how many distinct cache-line misses a core can
+//! have outstanding simultaneously — the paper's explanation for why
+//! latency-optimized CPUs cannot extract enough memory-level parallelism
+//! from sparse embedding gathers (Section III-C).
+
+use std::collections::HashMap;
+
+use crate::line_address;
+
+/// An MSHR file tracking outstanding misses at cache-line granularity.
+///
+/// Secondary misses to an already-outstanding line merge into the existing
+/// entry (as in real hardware) and therefore do not consume an extra MSHR.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    // line address -> number of merged requests waiting on it
+    outstanding: HashMap<u64, usize>,
+    peak_occupancy: usize,
+    allocations: u64,
+    merges: u64,
+    rejections: u64,
+}
+
+impl MshrFile {
+    /// Creates an MSHR file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "an MSHR file needs at least one entry");
+        MshrFile {
+            capacity,
+            outstanding: HashMap::new(),
+            peak_occupancy: 0,
+            allocations: 0,
+            merges: 0,
+            rejections: 0,
+        }
+    }
+
+    /// Maximum number of distinct outstanding lines.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of distinct lines currently outstanding.
+    pub fn occupancy(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Highest occupancy observed since creation.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+
+    /// Number of primary-miss allocations performed.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Number of secondary misses merged into existing entries.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Number of requests rejected because the file was full.
+    pub fn rejections(&self) -> u64 {
+        self.rejections
+    }
+
+    /// Returns `true` if no new primary miss can be accepted.
+    pub fn is_full(&self) -> bool {
+        self.outstanding.len() >= self.capacity
+    }
+
+    /// Returns `true` if the line containing `addr` is already outstanding.
+    pub fn is_outstanding(&self, addr: u64) -> bool {
+        self.outstanding.contains_key(&line_address(addr))
+    }
+
+    /// Tries to track a miss for the line containing `addr`.
+    ///
+    /// Returns `true` if the miss is now tracked (either newly allocated or
+    /// merged into an existing entry), `false` if the file is full and the
+    /// request must stall.
+    pub fn try_allocate(&mut self, addr: u64) -> bool {
+        let line = line_address(addr);
+        if let Some(count) = self.outstanding.get_mut(&line) {
+            *count += 1;
+            self.merges += 1;
+            return true;
+        }
+        if self.outstanding.len() >= self.capacity {
+            self.rejections += 1;
+            return false;
+        }
+        self.outstanding.insert(line, 1);
+        self.allocations += 1;
+        self.peak_occupancy = self.peak_occupancy.max(self.outstanding.len());
+        true
+    }
+
+    /// Completes the miss for the line containing `addr`, releasing its
+    /// entry (and waking all merged requests).
+    ///
+    /// Returns the number of merged requests that were waiting, or `None`
+    /// when the line was not outstanding.
+    pub fn complete(&mut self, addr: u64) -> Option<usize> {
+        self.outstanding.remove(&line_address(addr))
+    }
+
+    /// Clears all outstanding entries (statistics are kept).
+    pub fn drain(&mut self) {
+        self.outstanding.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_until_full_then_reject() {
+        let mut m = MshrFile::new(2);
+        assert!(m.try_allocate(0));
+        assert!(m.try_allocate(64));
+        assert!(m.is_full());
+        assert!(!m.try_allocate(128));
+        assert_eq!(m.rejections(), 1);
+        assert_eq!(m.occupancy(), 2);
+    }
+
+    #[test]
+    fn secondary_miss_merges_without_new_entry() {
+        let mut m = MshrFile::new(1);
+        assert!(m.try_allocate(0));
+        // Same line (different byte) merges even though the file is full.
+        assert!(m.try_allocate(32));
+        assert_eq!(m.occupancy(), 1);
+        assert_eq!(m.merges(), 1);
+        // Completing releases both.
+        assert_eq!(m.complete(0), Some(2));
+        assert_eq!(m.occupancy(), 0);
+    }
+
+    #[test]
+    fn complete_unknown_line_returns_none() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.complete(0x1000), None);
+    }
+
+    #[test]
+    fn peak_occupancy_tracks_high_water_mark() {
+        let mut m = MshrFile::new(8);
+        for i in 0..5u64 {
+            m.try_allocate(i * 64);
+        }
+        m.complete(0);
+        m.complete(64);
+        assert_eq!(m.occupancy(), 3);
+        assert_eq!(m.peak_occupancy(), 5);
+    }
+
+    #[test]
+    fn drain_clears_outstanding() {
+        let mut m = MshrFile::new(4);
+        m.try_allocate(0);
+        m.try_allocate(64);
+        m.drain();
+        assert_eq!(m.occupancy(), 0);
+        assert!(!m.is_outstanding(0));
+        assert_eq!(m.allocations(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        MshrFile::new(0);
+    }
+
+    #[test]
+    fn outstanding_probe() {
+        let mut m = MshrFile::new(2);
+        m.try_allocate(0x1234);
+        assert!(m.is_outstanding(0x1200));
+        assert!(!m.is_outstanding(0x2000));
+    }
+}

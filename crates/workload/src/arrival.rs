@@ -1,0 +1,187 @@
+//! Query arrival processes for service-level (SLA/QoS) studies.
+//!
+//! The paper motivates CPU-based deployment with firm SLA targets for
+//! user-facing inference. The examples in this workspace use a Poisson
+//! arrival process plus the per-request latencies predicted by the system
+//! simulators to estimate tail latency under load.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Inter-arrival behaviour of inference queries.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals at `rate_qps` queries per second (exponential
+    /// inter-arrival times).
+    Poisson {
+        /// Mean arrival rate in queries per second.
+        rate_qps: f64,
+    },
+    /// Deterministic arrivals exactly `1/rate_qps` apart.
+    Uniform {
+        /// Arrival rate in queries per second.
+        rate_qps: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Mean arrival rate in queries per second.
+    pub fn rate_qps(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_qps } | ArrivalProcess::Uniform { rate_qps } => rate_qps,
+        }
+    }
+
+    /// Draws the next inter-arrival gap in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured rate is not strictly positive.
+    pub fn next_gap_seconds(&self, rng: &mut StdRng) -> f64 {
+        let rate = self.rate_qps();
+        assert!(rate > 0.0, "arrival rate must be positive");
+        match self {
+            ArrivalProcess::Poisson { .. } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                -u.ln() / rate
+            }
+            ArrivalProcess::Uniform { .. } => 1.0 / rate,
+        }
+    }
+}
+
+/// A generated stream of query arrival timestamps (seconds from stream
+/// start).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryStream {
+    arrivals_s: Vec<f64>,
+}
+
+impl QueryStream {
+    /// Generates `count` arrivals from `process`, deterministically seeded.
+    pub fn generate(process: ArrivalProcess, count: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = 0.0;
+        let mut arrivals_s = Vec::with_capacity(count);
+        for _ in 0..count {
+            t += process.next_gap_seconds(&mut rng);
+            arrivals_s.push(t);
+        }
+        QueryStream { arrivals_s }
+    }
+
+    /// Arrival timestamps in seconds.
+    pub fn arrivals_seconds(&self) -> &[f64] {
+        &self.arrivals_s
+    }
+
+    /// Number of queries in the stream.
+    pub fn len(&self) -> usize {
+        self.arrivals_s.len()
+    }
+
+    /// Returns `true` when the stream holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals_s.is_empty()
+    }
+
+    /// Simulates a single-server queue where every query takes
+    /// `service_time_s` seconds, returning each query's total latency
+    /// (queueing + service) in seconds.
+    pub fn simulate_fifo_latency(&self, service_time_s: f64) -> Vec<f64> {
+        let mut server_free_at = 0.0_f64;
+        let mut latencies = Vec::with_capacity(self.arrivals_s.len());
+        for &arrival in &self.arrivals_s {
+            let start = arrival.max(server_free_at);
+            let finish = start + service_time_s;
+            latencies.push(finish - arrival);
+            server_free_at = finish;
+        }
+        latencies
+    }
+
+    /// Returns the `p`-th percentile (0.0–1.0) of a latency vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latencies` is empty or `p` is outside `[0, 1]`.
+    pub fn percentile(latencies: &[f64], p: f64) -> f64 {
+        assert!(!latencies.is_empty(), "percentile of empty latency set");
+        assert!((0.0..=1.0).contains(&p), "percentile must be in [0,1]");
+        let mut sorted = latencies.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+        sorted[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_mean_rate_is_close() {
+        let stream = QueryStream::generate(ArrivalProcess::Poisson { rate_qps: 1000.0 }, 20_000, 1);
+        let span = *stream.arrivals_seconds().last().unwrap();
+        let measured_rate = stream.len() as f64 / span;
+        assert!((measured_rate - 1000.0).abs() / 1000.0 < 0.05);
+    }
+
+    #[test]
+    fn uniform_arrivals_are_evenly_spaced() {
+        let stream = QueryStream::generate(ArrivalProcess::Uniform { rate_qps: 100.0 }, 10, 2);
+        let a = stream.arrivals_seconds();
+        for w in a.windows(2) {
+            assert!((w[1] - w[0] - 0.01).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn arrivals_are_monotonic() {
+        let stream = QueryStream::generate(ArrivalProcess::Poisson { rate_qps: 50.0 }, 1000, 3);
+        assert!(stream
+            .arrivals_seconds()
+            .windows(2)
+            .all(|w| w[1] >= w[0]));
+        assert!(!stream.is_empty());
+    }
+
+    #[test]
+    fn fifo_latency_under_light_load_equals_service_time() {
+        let stream = QueryStream::generate(ArrivalProcess::Uniform { rate_qps: 10.0 }, 100, 4);
+        // service time 1 ms << 100 ms gap: no queueing.
+        let lat = stream.simulate_fifo_latency(0.001);
+        assert!(lat.iter().all(|&l| (l - 0.001).abs() < 1e-9));
+    }
+
+    #[test]
+    fn fifo_latency_grows_under_overload() {
+        let stream = QueryStream::generate(ArrivalProcess::Uniform { rate_qps: 1000.0 }, 100, 5);
+        // service time 10 ms >> 1 ms gap: queue builds up linearly.
+        let lat = stream.simulate_fifo_latency(0.010);
+        assert!(lat.last().unwrap() > &0.5);
+        assert!(QueryStream::percentile(&lat, 0.99) > QueryStream::percentile(&lat, 0.5));
+    }
+
+    #[test]
+    fn percentile_bounds() {
+        let lat = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(QueryStream::percentile(&lat, 0.0), 1.0);
+        assert_eq!(QueryStream::percentile(&lat, 1.0), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate must be positive")]
+    fn zero_rate_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        ArrivalProcess::Poisson { rate_qps: 0.0 }.next_gap_seconds(&mut rng);
+    }
+
+    #[test]
+    fn generation_deterministic() {
+        let a = QueryStream::generate(ArrivalProcess::Poisson { rate_qps: 10.0 }, 50, 9);
+        let b = QueryStream::generate(ArrivalProcess::Poisson { rate_qps: 10.0 }, 50, 9);
+        assert_eq!(a, b);
+    }
+}

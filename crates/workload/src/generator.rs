@@ -1,0 +1,234 @@
+//! Batched request generation: timing traces for the simulators and
+//! functional inputs (dense features + index lists) for the reference model.
+
+use crate::distribution::IndexDistribution;
+use centaur_dlrm::config::ModelConfig;
+use centaur_dlrm::tensor::Matrix;
+use centaur_dlrm::trace::{GatherTrace, InferenceTrace, SampleTrace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A functional batch: everything needed to run the *reference* DLRM model
+/// (real index lists and dense features), plus the matching timing trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionalBatch {
+    /// Dense features, one row per sample (`[batch, dense_features]`).
+    pub dense: Matrix,
+    /// Sparse indices per sample, per table (`u32`, usable with
+    /// [`centaur_dlrm::EmbeddingBag`]).
+    pub sparse: Vec<Vec<Vec<u32>>>,
+    /// The equivalent timing trace.
+    pub trace: InferenceTrace,
+}
+
+impl FunctionalBatch {
+    /// Batch size of the request.
+    pub fn batch_size(&self) -> usize {
+        self.sparse.len()
+    }
+}
+
+/// Deterministic request generator for a given model configuration.
+#[derive(Debug, Clone)]
+pub struct RequestGenerator {
+    config: ModelConfig,
+    distribution: IndexDistribution,
+    rng: StdRng,
+}
+
+impl RequestGenerator {
+    /// Creates a generator for `config`, drawing indices from
+    /// `distribution`, seeded with `seed`.
+    pub fn new(config: &ModelConfig, distribution: IndexDistribution, seed: u64) -> Self {
+        RequestGenerator {
+            config: config.clone(),
+            distribution,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The model configuration this generator targets.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// The index distribution in use.
+    pub fn distribution(&self) -> IndexDistribution {
+        self.distribution
+    }
+
+    /// Generates the gather trace of one sample.
+    pub fn sample_trace(&mut self) -> SampleTrace {
+        let rows_per_table = (0..self.config.num_tables)
+            .map(|_| {
+                self.distribution.sample_many(
+                    self.config.rows_per_table,
+                    self.config.lookups_per_table,
+                    &mut self.rng,
+                )
+            })
+            .collect();
+        SampleTrace { rows_per_table }
+    }
+
+    /// Generates the gather trace of a whole batch.
+    pub fn gather_trace(&mut self, batch_size: usize) -> GatherTrace {
+        let samples = (0..batch_size).map(|_| self.sample_trace()).collect();
+        GatherTrace::new(self.config.embedding_dim, samples)
+    }
+
+    /// Generates a complete [`InferenceTrace`] for a batch — the input to
+    /// every timing simulator in the workspace.
+    pub fn inference_trace(&mut self, batch_size: usize) -> InferenceTrace {
+        let gather = self.gather_trace(batch_size);
+        InferenceTrace::new(self.config.clone(), gather)
+    }
+
+    /// Generates dense features for a batch: standard-normal-ish values in
+    /// `[-1, 1]` as produced by DLRM's synthetic input pipeline.
+    pub fn dense_features(&mut self, batch_size: usize) -> Matrix {
+        let cols = self.config.dense_features;
+        let mut m = Matrix::zeros(batch_size, cols);
+        for r in 0..batch_size {
+            for c in 0..cols {
+                m.set(r, c, self.rng.gen_range(-1.0..1.0));
+            }
+        }
+        m
+    }
+
+    /// Generates a functional batch (dense features, `u32` index lists and
+    /// the matching timing trace), for running the reference model and a
+    /// simulator on *identical* inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration's `rows_per_table` exceeds `u32::MAX`
+    /// (functional tables are indexed with `u32`; use the timing-only API
+    /// for larger tables).
+    pub fn functional_batch(&mut self, batch_size: usize) -> FunctionalBatch {
+        assert!(
+            self.config.rows_per_table <= u32::MAX as u64,
+            "functional batches require tables indexable by u32"
+        );
+        let trace = self.inference_trace(batch_size);
+        let sparse: Vec<Vec<Vec<u32>>> = trace
+            .gather
+            .samples
+            .iter()
+            .map(SampleTrace::as_u32_indices)
+            .collect();
+        let dense = self.dense_features(batch_size);
+        FunctionalBatch {
+            dense,
+            sparse,
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use centaur_dlrm::config::PaperModel;
+
+    fn generator(seed: u64) -> RequestGenerator {
+        RequestGenerator::new(
+            &PaperModel::Dlrm1.config(),
+            IndexDistribution::Uniform,
+            seed,
+        )
+    }
+
+    #[test]
+    fn sample_trace_has_configured_shape() {
+        let mut g = generator(1);
+        let s = g.sample_trace();
+        let c = g.config().clone();
+        assert_eq!(s.rows_per_table.len(), c.num_tables);
+        assert!(s
+            .rows_per_table
+            .iter()
+            .all(|rows| rows.len() == c.lookups_per_table));
+        assert!(s
+            .iter_accesses()
+            .all(|a| a.row < c.rows_per_table && a.table < c.num_tables));
+    }
+
+    #[test]
+    fn inference_trace_batch_accounting() {
+        let mut g = generator(2);
+        let t = g.inference_trace(32);
+        assert_eq!(t.batch_size(), 32);
+        assert_eq!(
+            t.gather.total_lookups(),
+            32 * g.config().lookups_per_sample()
+        );
+        assert_eq!(t.gathered_bytes(), 32 * g.config().gathered_bytes_per_sample());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = generator(7).inference_trace(4);
+        let b = generator(7).inference_trace(4);
+        let c = generator(8).inference_trace(4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn dense_features_shape_and_range() {
+        let mut g = generator(3);
+        let d = g.dense_features(16);
+        assert_eq!(d.shape(), (16, 13));
+        assert!(d.as_slice().iter().all(|&x| (-1.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn functional_batch_is_consistent_with_trace() {
+        let config = PaperModel::Dlrm1.config().with_rows_per_table(256);
+        let mut g = RequestGenerator::new(&config, IndexDistribution::Uniform, 11);
+        let batch = g.functional_batch(8);
+        assert_eq!(batch.batch_size(), 8);
+        assert_eq!(batch.dense.shape(), (8, 13));
+        assert_eq!(batch.trace.batch_size(), 8);
+        // u32 index lists must mirror the u64 trace exactly.
+        for (sample, sparse) in batch.trace.gather.samples.iter().zip(&batch.sparse) {
+            for (rows, indices) in sample.rows_per_table.iter().zip(sparse) {
+                assert_eq!(rows.len(), indices.len());
+                assert!(rows
+                    .iter()
+                    .zip(indices)
+                    .all(|(&r, &i)| r == i as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn zipfian_generator_skews_rows() {
+        let config = PaperModel::Dlrm3.config();
+        let mut g = RequestGenerator::new(
+            &config,
+            IndexDistribution::Zipfian { exponent: 1.1 },
+            5,
+        );
+        let t = g.gather_trace(64);
+        let head = t
+            .iter_accesses()
+            .filter(|a| a.row < config.rows_per_table / 100)
+            .count();
+        assert!(head as f64 / t.total_lookups() as f64 > 0.2);
+    }
+
+    #[test]
+    fn lookup_sweep_configs_generate() {
+        // Figure 7(b)/13(b) sweep the lookups per table from small to 800.
+        let base = PaperModel::Dlrm4.config().with_num_tables(1);
+        for lookups in [1, 50, 200, 800] {
+            let config = base.with_lookups_per_table(lookups);
+            let mut g = RequestGenerator::new(&config, IndexDistribution::Uniform, 1);
+            let t = g.inference_trace(4);
+            assert_eq!(t.gather.total_lookups(), 4 * lookups);
+        }
+    }
+}

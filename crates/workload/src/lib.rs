@@ -1,0 +1,36 @@
+//! # centaur-workload
+//!
+//! Workload generation for recommendation-inference experiments: sparse
+//! embedding index streams with controllable locality (uniform, Zipfian,
+//! hot-set), batched request generation producing both functional inputs
+//! (real index lists + dense features) and timing traces
+//! ([`centaur_dlrm::GatherTrace`]), and Poisson query arrival processes for
+//! SLA-style studies.
+//!
+//! All generators are deterministic given a seed so every experiment in the
+//! benchmark harness is reproducible.
+//!
+//! ```
+//! use centaur_dlrm::PaperModel;
+//! use centaur_workload::{IndexDistribution, RequestGenerator};
+//!
+//! let config = PaperModel::Dlrm1.config();
+//! let mut generator = RequestGenerator::new(&config, IndexDistribution::Uniform, 42);
+//! let trace = generator.inference_trace(16);
+//! assert_eq!(trace.batch_size(), 16);
+//! assert_eq!(
+//!     trace.gather.total_lookups(),
+//!     16 * config.lookups_per_sample()
+//! );
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod arrival;
+pub mod distribution;
+pub mod generator;
+
+pub use arrival::{ArrivalProcess, QueryStream};
+pub use distribution::IndexDistribution;
+pub use generator::{FunctionalBatch, RequestGenerator};

@@ -1,0 +1,71 @@
+//! Ads click-through-rate ranking under an SLA: the scenario that motivates
+//! the paper's latency focus. A user-facing ad auction must rank a slate of
+//! candidate ads within a firm tail-latency budget; this example estimates
+//! how many queries per second each system design sustains while keeping
+//! p99 latency under the SLA.
+//!
+//! Run with: `cargo run --release --example ads_ranking`
+
+use centaur::CentaurSystem;
+use centaur_cpusim::CpuSystem;
+use centaur_dlrm::PaperModel;
+use centaur_gpusim::CpuGpuSystem;
+use centaur_workload::{ArrivalProcess, IndexDistribution, QueryStream, RequestGenerator};
+
+const SLA_MS: f64 = 10.0;
+
+fn p99_under_load(service_us: f64, rate_qps: f64) -> f64 {
+    let stream = QueryStream::generate(ArrivalProcess::Poisson { rate_qps }, 5_000, 99);
+    let latencies = stream.simulate_fifo_latency(service_us * 1e-6);
+    QueryStream::percentile(&latencies, 0.99) * 1e3 // ms
+}
+
+fn max_qps_under_sla(service_us: f64) -> f64 {
+    // Walk the offered load up until p99 exceeds the SLA.
+    let mut best = 0.0;
+    let mut rate = 50.0;
+    while rate < 200_000.0 {
+        if p99_under_load(service_us, rate) <= SLA_MS {
+            best = rate;
+            rate *= 1.3;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+fn main() {
+    // Each ad-ranking query scores a slate of 32 candidate ads in one batch.
+    let model = PaperModel::Dlrm2.config();
+    let batch = 32;
+    let mut warm_gen = RequestGenerator::new(&model, IndexDistribution::Uniform, 1);
+    let mut gen = RequestGenerator::new(&model, IndexDistribution::Uniform, 2);
+    let warm = warm_gen.inference_trace(batch);
+    let trace = gen.inference_trace(batch);
+
+    let mut cpu = CpuSystem::broadwell();
+    let cpu_result = cpu.simulate_warm(&warm, &trace);
+    let mut gpu = CpuGpuSystem::dgx1();
+    let gpu_result = gpu.simulate_warm(&warm, &trace);
+    let centaur_result = CentaurSystem::harpv2().simulate(&trace);
+
+    println!("Ads CTR ranking: {} ({} candidates per query, p99 SLA {SLA_MS} ms)\n", model.name, batch);
+    println!("{:<10} {:>14} {:>20}", "system", "latency (us)", "max QPS under SLA");
+    for (name, latency_us) in [
+        ("CPU-only", cpu_result.total_ns() / 1e3),
+        ("CPU-GPU", gpu_result.total_ns() / 1e3),
+        ("Centaur", centaur_result.total_ns() / 1e3),
+    ] {
+        println!(
+            "{:<10} {:>14.1} {:>20.0}",
+            name,
+            latency_us,
+            max_qps_under_sla(latency_us)
+        );
+    }
+    println!(
+        "\nCentaur speedup over CPU-only: {:.2}x",
+        centaur_result.speedup_over(cpu_result.total_ns())
+    );
+}

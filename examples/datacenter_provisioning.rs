@@ -1,0 +1,56 @@
+//! Datacenter provisioning study: given a target inference workload mix and
+//! a fleet-level query rate, how many servers of each design (CPU-only,
+//! CPU-GPU, Centaur) are needed, and what is the energy cost per million
+//! queries? This exercises the performance *and* power models together —
+//! the TCO argument the paper makes for socket-compatible CPU+FPGA.
+//!
+//! Run with: `cargo run --release --example datacenter_provisioning`
+
+use centaur_bench::ExperimentRunner;
+use centaur_dlrm::PaperModel;
+use centaur_power::SystemKind;
+
+fn main() {
+    // Workload mix: mostly mid-sized ranking queries, some heavy ones.
+    let mix = [
+        (PaperModel::Dlrm1, 16usize, 0.5f64),
+        (PaperModel::Dlrm2, 16, 0.3),
+        (PaperModel::Dlrm6, 32, 0.2),
+    ];
+    let fleet_qps = 50_000.0;
+
+    let runner = ExperimentRunner::new();
+    println!("Datacenter provisioning for {fleet_qps:.0} queries/s\n");
+    println!(
+        "{:<10} {:>18} {:>12} {:>22}",
+        "system", "avg latency (us)", "servers", "energy (J / 1M queries)"
+    );
+
+    for system in [SystemKind::CpuOnly, SystemKind::CpuGpu, SystemKind::Centaur] {
+        let mut weighted_latency_ns = 0.0;
+        let mut weighted_energy_j = 0.0;
+        for &(model, batch, weight) in &mix {
+            let cmp = runner.compare(model, batch);
+            weighted_latency_ns += weight * cmp.latency_ns(system);
+            weighted_energy_j += weight * cmp.energy(system).energy_joules;
+        }
+        // One request in flight per server (latency-bound provisioning, as
+        // SLA-driven services are).
+        let qps_per_server = 1e9 / weighted_latency_ns;
+        let servers = (fleet_qps / qps_per_server).ceil();
+        let energy_per_million = weighted_energy_j * 1e6;
+        println!(
+            "{:<10} {:>18.1} {:>12.0} {:>22.0}",
+            system.label(),
+            weighted_latency_ns / 1e3,
+            servers,
+            energy_per_million
+        );
+    }
+
+    println!(
+        "\nNote: Centaur servers remain socket-compatible hosts (the CPU is still\n\
+         available for non-ML work), which is the paper's TCO argument for\n\
+         package-integrated CPU+FPGA over discrete accelerators."
+    );
+}

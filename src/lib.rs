@@ -1,0 +1,16 @@
+//! Workspace-level umbrella crate for the Centaur reproduction.
+//!
+//! Re-exports the member crates so examples and integration tests can use a
+//! single dependency. See the individual crates for the real APIs:
+//! [`centaur`], [`centaur_dlrm`], [`centaur_cpusim`], [`centaur_gpusim`],
+//! [`centaur_memsim`], [`centaur_workload`], [`centaur_power`],
+//! [`centaur_bench`].
+
+pub use centaur;
+pub use centaur_bench;
+pub use centaur_cpusim;
+pub use centaur_dlrm;
+pub use centaur_gpusim;
+pub use centaur_memsim;
+pub use centaur_power;
+pub use centaur_workload;

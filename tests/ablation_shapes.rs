@@ -1,0 +1,59 @@
+//! Integration tests for the forward-looking design points discussed in
+//! Section VII of the paper: wider chiplet links with cache-bypassing
+//! gather paths, and the reduction-unit bottleneck they expose.
+
+use centaur::{CentaurConfig, CentaurSystem};
+use centaur_dlrm::PaperModel;
+use centaur_workload::{IndexDistribution, RequestGenerator};
+
+fn trace(batch: usize) -> centaur_dlrm::InferenceTrace {
+    let config = PaperModel::Dlrm4.config();
+    let mut generator = RequestGenerator::new(&config, IndexDistribution::Uniform, 77);
+    generator.inference_trace(batch)
+}
+
+#[test]
+fn wider_links_monotonically_reduce_embedding_time() {
+    let t = trace(32);
+    let mut previous = f64::MAX;
+    for bandwidth in [50.0, 100.0, 200.0, 400.0] {
+        let result = CentaurSystem::new(CentaurConfig::future_chiplet(bandwidth)).simulate(&t);
+        assert!(
+            result.breakdown.embedding_ns <= previous + 1e-6,
+            "embedding time should not grow with link bandwidth"
+        );
+        previous = result.breakdown.embedding_ns;
+    }
+}
+
+#[test]
+fn future_chiplets_beat_the_harpv2_prototype() {
+    let t = trace(64);
+    let harp = CentaurSystem::harpv2().simulate(&t);
+    let future = CentaurSystem::new(CentaurConfig::future_chiplet(200.0)).simulate(&t);
+    assert!(future.total_ns() < harp.total_ns());
+    assert!(
+        future.effective_embedding_throughput().gigabytes_per_second()
+            > harp.effective_embedding_throughput().gigabytes_per_second()
+    );
+}
+
+#[test]
+fn reduction_unit_caps_gather_throughput_on_very_wide_links() {
+    // Past a few hundred GB/s of link bandwidth, the 32-ALU EB-RU
+    // (25.6 GB/s of embedding data) limits the gather pipeline, so doubling
+    // the link again yields almost nothing.
+    let t = trace(64);
+    let wide = CentaurSystem::new(CentaurConfig::future_chiplet(400.0)).simulate(&t);
+    let wider = CentaurSystem::new(CentaurConfig::future_chiplet(800.0)).simulate(&t);
+    let gain = wide.breakdown.embedding_ns / wider.breakdown.embedding_ns;
+    assert!(
+        gain < 1.1,
+        "past the EB-RU limit the link should stop mattering (gain {gain:.2})"
+    );
+    let gbs = wider.effective_embedding_throughput().gigabytes_per_second();
+    assert!(
+        gbs <= 25.6 + 1e-6,
+        "gather throughput must respect the EB-RU ceiling, got {gbs:.1}"
+    );
+}

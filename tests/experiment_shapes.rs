@@ -1,0 +1,136 @@
+//! Integration tests asserting the *shape* of the paper's evaluation
+//! results across the whole simulator stack — who wins, in which regime,
+//! and by roughly what magnitude. Smaller batches than the full paper sweep
+//! are used to keep test time reasonable; the bench binaries run the full
+//! grid.
+
+use centaur_bench::ExperimentRunner;
+use centaur_dlrm::PaperModel;
+use centaur_power::SystemKind;
+
+#[test]
+fn embedding_layers_dominate_cpu_time_for_lookup_heavy_models() {
+    // Figure 5's core observation.
+    let runner = ExperimentRunner::new();
+    for model in [PaperModel::Dlrm2, PaperModel::Dlrm3, PaperModel::Dlrm4] {
+        let result = runner.run_cpu(&model.config(), 32);
+        assert!(
+            result.breakdown.embedding_fraction() > 0.5,
+            "{model}: EMB fraction {:.2}",
+            result.breakdown.embedding_fraction()
+        );
+    }
+    // ...while the MLP-heavy DLRM(6) is not embedding-bound.
+    let mlp_heavy = runner.run_cpu(&PaperModel::Dlrm6.config(), 32);
+    assert!(mlp_heavy.breakdown.mlp_fraction() > mlp_heavy.breakdown.embedding_fraction());
+}
+
+#[test]
+fn cpu_cache_behaviour_matches_figure6_shape() {
+    let runner = ExperimentRunner::new();
+    let profile = runner.profile_cache(PaperModel::Dlrm4, 16);
+    assert!(profile.embedding.llc_miss_rate > profile.mlp.llc_miss_rate);
+    assert!(profile.embedding.llc_mpki > profile.mlp.llc_mpki);
+    assert!(profile.mlp.llc_miss_rate < 0.2);
+}
+
+#[test]
+fn cpu_effective_throughput_grows_with_batch_but_stays_far_below_peak() {
+    // Figure 7's shape.
+    let runner = ExperimentRunner::new();
+    let config = PaperModel::Dlrm4.config();
+    let small = runner
+        .run_cpu(&config, 1)
+        .effective_embedding_throughput()
+        .gigabytes_per_second();
+    let large = runner
+        .run_cpu(&config, 64)
+        .effective_embedding_throughput()
+        .gigabytes_per_second();
+    assert!(large > 2.0 * small, "throughput should grow with batch: {small:.2} -> {large:.2}");
+    assert!(large < 0.5 * 76.8, "even large batches stay far below the 77 GB/s peak");
+}
+
+#[test]
+fn centaur_gather_bandwidth_beats_cpu_at_small_batch_and_saturates_near_link_limit() {
+    // Figure 13's shape.
+    let runner = ExperimentRunner::new();
+    let config = PaperModel::Dlrm4.config();
+    let cpu = runner
+        .run_cpu(&config, 4)
+        .effective_embedding_throughput()
+        .gigabytes_per_second();
+    let centaur = runner
+        .run_centaur(&config, 4)
+        .effective_embedding_throughput()
+        .gigabytes_per_second();
+    assert!(
+        centaur > 2.0 * cpu,
+        "Centaur ({centaur:.1} GB/s) should be far above the CPU ({cpu:.1} GB/s) at small batch"
+    );
+    let saturated = runner
+        .run_centaur(&config, 64)
+        .effective_embedding_throughput()
+        .gigabytes_per_second();
+    assert!(
+        (10.0..14.0).contains(&saturated),
+        "Centaur gather bandwidth should saturate near ~12 GB/s, got {saturated:.1}"
+    );
+}
+
+#[test]
+fn centaur_speedup_and_efficiency_match_paper_magnitudes() {
+    // Figures 14/15: Centaur wins, by the largest margins at small batch,
+    // and its energy-efficiency gain exceeds its speedup (lower power).
+    let runner = ExperimentRunner::new();
+    let mut speedups = Vec::new();
+    for model in PaperModel::all() {
+        for batch in [1usize, 16] {
+            let cmp = runner.compare(model, batch);
+            let speedup = cmp.centaur_speedup_vs_cpu();
+            speedups.push(speedup);
+            let eff_gain = cmp.efficiency_vs_cpu_gpu(SystemKind::Centaur)
+                / cmp.efficiency_vs_cpu_gpu(SystemKind::CpuOnly);
+            assert!(
+                eff_gain > speedup,
+                "{model} b{batch}: efficiency gain {eff_gain:.2} should exceed speedup {speedup:.2}"
+            );
+        }
+    }
+    let min = speedups.iter().cloned().fold(f64::MAX, f64::min);
+    let max = speedups.iter().cloned().fold(0.0_f64, f64::max);
+    assert!(min > 1.0, "Centaur should win everywhere at batch <= 16 (min {min:.2})");
+    assert!(max > 5.0 && max < 40.0, "peak speedup {max:.2} should be paper-magnitude");
+}
+
+#[test]
+fn cpu_gpu_loses_to_cpu_only_at_small_batch_for_embedding_bound_models() {
+    // Section VI-D / Figure 15: the PCIe copy and launch overheads make the
+    // GPU offload a net loss for embedding-bound models at small batch.
+    let runner = ExperimentRunner::new();
+    for model in [PaperModel::Dlrm2, PaperModel::Dlrm4] {
+        let cmp = runner.compare(model, 1);
+        assert!(
+            cmp.latency_ns(SystemKind::CpuGpu) > cmp.latency_ns(SystemKind::CpuOnly),
+            "{model}: CPU-GPU should be slower than CPU-only at batch 1"
+        );
+    }
+}
+
+#[test]
+fn mlp_heavy_model_benefits_from_the_dense_accelerator() {
+    // DLRM(6)'s speedup is driven by the dense accelerator, not the
+    // EB-Streamer.
+    let runner = ExperimentRunner::new();
+    let cmp = runner.compare(PaperModel::Dlrm6, 16);
+    assert!(cmp.centaur_speedup_vs_cpu() > 1.5);
+    assert!(cmp.centaur.breakdown.mlp_fraction() > cmp.centaur.breakdown.embedding_fraction());
+}
+
+#[test]
+fn speedup_decreases_as_batch_grows_for_lookup_heavy_models() {
+    let runner = ExperimentRunner::new();
+    let small = runner.compare(PaperModel::Dlrm4, 1).centaur_speedup_vs_cpu();
+    let large = runner.compare(PaperModel::Dlrm4, 64).centaur_speedup_vs_cpu();
+    assert!(small > large, "speedup should shrink with batch: {small:.2} vs {large:.2}");
+}

@@ -1,0 +1,100 @@
+//! Integration tests: the Centaur accelerator's functional datapath must be
+//! numerically equivalent to the reference DLRM model, end to end, across
+//! model shapes and request patterns.
+
+use centaur::CentaurRuntime;
+use centaur_dlrm::{DlrmModel, ModelConfig, PaperModel};
+use centaur_workload::{IndexDistribution, RequestGenerator};
+
+fn scaled(model: PaperModel, rows: u64) -> ModelConfig {
+    model.config().with_rows_per_table(rows)
+}
+
+#[test]
+fn centaur_matches_reference_for_every_paper_model() {
+    for paper_model in PaperModel::all() {
+        let config = scaled(paper_model, 512);
+        let model = DlrmModel::random(&config, 7).expect("valid config");
+        let mut runtime = CentaurRuntime::harpv2(model.clone()).expect("model fits on chip");
+        let mut generator = RequestGenerator::new(&config, IndexDistribution::Uniform, 13);
+        let batch = generator.functional_batch(4);
+
+        let accelerated = runtime
+            .infer_batch(&batch.dense, &batch.sparse)
+            .expect("accelerator inference succeeds");
+        let reference = model
+            .forward_batch(&batch.dense, &batch.sparse)
+            .expect("reference inference succeeds");
+
+        assert_eq!(accelerated.len(), reference.len());
+        for (i, (a, r)) in accelerated.iter().zip(&reference).enumerate() {
+            assert!(
+                (a - r).abs() < 1e-4,
+                "{paper_model} sample {i}: accelerator {a} vs reference {r}"
+            );
+            assert!((0.0..=1.0).contains(a), "probability out of range: {a}");
+        }
+    }
+}
+
+#[test]
+fn centaur_matches_reference_under_skewed_traffic() {
+    let config = scaled(PaperModel::Dlrm3, 1024);
+    let model = DlrmModel::random(&config, 11).unwrap();
+    let mut runtime = CentaurRuntime::harpv2(model.clone()).unwrap();
+    for (seed, distribution) in [
+        (1u64, IndexDistribution::Zipfian { exponent: 1.05 }),
+        (
+            2,
+            IndexDistribution::HotSet {
+                hot_rows: 32,
+                hot_fraction: 0.95,
+            },
+        ),
+    ] {
+        let mut generator = RequestGenerator::new(&config, distribution, seed);
+        let batch = generator.functional_batch(6);
+        let accelerated = runtime.infer_batch(&batch.dense, &batch.sparse).unwrap();
+        let reference = model.forward_batch(&batch.dense, &batch.sparse).unwrap();
+        for (a, r) in accelerated.iter().zip(&reference) {
+            assert!((a - r).abs() < 1e-4);
+        }
+    }
+}
+
+#[test]
+fn repeated_requests_are_deterministic_across_the_runtime() {
+    let config = scaled(PaperModel::Dlrm1, 256);
+    let model = DlrmModel::random(&config, 3).unwrap();
+    let mut runtime = CentaurRuntime::harpv2(model).unwrap();
+    let mut generator = RequestGenerator::new(&config, IndexDistribution::Uniform, 5);
+    let batch = generator.functional_batch(3);
+    let first = runtime.infer_batch(&batch.dense, &batch.sparse).unwrap();
+    let second = runtime.infer_batch(&batch.dense, &batch.sparse).unwrap();
+    assert_eq!(first, second);
+}
+
+#[test]
+fn empty_lookup_lists_reduce_to_zero_and_still_infer() {
+    // A sample with zero gathers for some table must still produce a valid
+    // probability (SparseLengthsSum over an empty segment is the zero
+    // vector).
+    let config = ModelConfig::builder()
+        .name("sparse-empty")
+        .num_tables(3)
+        .rows_per_table(64)
+        .embedding_dim(16)
+        .lookups_per_table(2)
+        .dense_features(4)
+        .bottom_mlp(&[32, 16])
+        .top_mlp(&[16])
+        .build()
+        .unwrap();
+    let model = DlrmModel::random(&config, 9).unwrap();
+    let mut runtime = CentaurRuntime::harpv2(model.clone()).unwrap();
+    let dense = centaur_dlrm::Matrix::filled(1, 4, 0.25);
+    let sparse = vec![vec![vec![1, 2], vec![], vec![63]]];
+    let ours = runtime.infer_batch(&dense, &sparse).unwrap();
+    let reference = model.forward_batch(&dense, &sparse).unwrap();
+    assert!((ours[0] - reference[0]).abs() < 1e-5);
+}

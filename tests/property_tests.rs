@@ -1,0 +1,171 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants of the workspace: gather/reduce semantics, GEMM equivalence,
+//! cache accounting, trace accounting and timing-model monotonicity.
+
+use centaur::dense::MlpUnit;
+use centaur::sparse::EbStreamer;
+use centaur_dlrm::{EmbeddingBag, EmbeddingTable, Matrix, ReductionOp};
+use centaur_memsim::{AccessKind, CacheConfig, SetAssociativeCache, CACHE_LINE_BYTES};
+use proptest::prelude::*;
+
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0;
+            for k in 0..a.cols() {
+                acc += a.get(i, k) * b.get(k, j);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `gather_reduce(Sum)` equals the naive per-column sum of the gathered
+    /// rows, for arbitrary index multisets.
+    #[test]
+    fn gather_reduce_matches_naive_sum(
+        rows in 1usize..64,
+        dim in 1usize..16,
+        indices in proptest::collection::vec(0u32..64, 0..32),
+    ) {
+        let table = EmbeddingTable::random(rows, dim, 42);
+        let indices: Vec<u32> = indices.into_iter().map(|i| i % rows as u32).collect();
+        let reduced = table.gather_reduce(&indices, ReductionOp::Sum).unwrap();
+        let mut expected = vec![0.0f32; dim];
+        for &i in &indices {
+            for (e, &v) in expected.iter_mut().zip(table.row(i).unwrap()) {
+                *e += v;
+            }
+        }
+        for (a, b) in reduced.as_slice().iter().zip(&expected) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    /// The EB-Streamer's functional gather/reduce equals the reference
+    /// `EmbeddingBag` operator for arbitrary per-table index lists.
+    #[test]
+    fn streamer_matches_reference_bag(
+        tables in 1usize..5,
+        dim in 1usize..12,
+        seed in 0u64..1000,
+        lens in proptest::collection::vec(0usize..20, 1..5),
+    ) {
+        let rows = 128u32;
+        let bag = EmbeddingBag::random(tables, rows as usize, dim, seed);
+        let indices: Vec<Vec<u32>> = (0..tables)
+            .map(|t| {
+                let len = lens[t % lens.len()];
+                (0..len).map(|i| ((seed as u32).wrapping_mul(31).wrapping_add((t * 17 + i * 7) as u32)) % rows).collect()
+            })
+            .collect();
+        let reference = bag.sparse_lengths_reduce(&indices).unwrap();
+        let mut streamer = EbStreamer::default();
+        let ours = streamer.gather_reduce(&bag, &indices).unwrap();
+        prop_assert!(ours.max_abs_diff(&reference) < 1e-4);
+    }
+
+    /// The PE array's tiled, output-stationary GEMM equals a naive GEMM for
+    /// arbitrary (small) shapes.
+    #[test]
+    fn tiled_gemm_matches_naive(
+        m in 1usize..70,
+        k in 1usize..70,
+        n in 1usize..40,
+        seed in 0u64..100,
+    ) {
+        let a = Matrix::from_fn(m, k, |r, c| (((r * 31 + c * 7 + seed as usize) % 13) as f32 - 6.0) * 0.25);
+        let b = Matrix::from_fn(k, n, |r, c| (((r * 5 + c * 11 + seed as usize) % 9) as f32 - 4.0) * 0.5);
+        let mut unit = MlpUnit::harpv2();
+        let tiled = unit.matmul(&a, &b);
+        let naive = naive_matmul(&a, &b);
+        prop_assert!(tiled.max_abs_diff(&naive) < 1e-3);
+    }
+
+    /// Cache accounting is self-consistent: hits + misses == accesses, and
+    /// occupancy never exceeds capacity.
+    #[test]
+    fn cache_stats_are_consistent(
+        addrs in proptest::collection::vec(0u64..(1 << 16), 1..400),
+        ways in 1usize..8,
+        sets in 1u64..32,
+    ) {
+        let mut cache = SetAssociativeCache::new(CacheConfig::new(
+            sets * ways as u64 * CACHE_LINE_BYTES,
+            ways,
+            1.0,
+        ));
+        for &a in &addrs {
+            cache.access(a, AccessKind::Read);
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits + stats.misses, stats.accesses);
+        prop_assert_eq!(stats.accesses, addrs.len() as u64);
+        prop_assert!(cache.occupancy() <= (sets as usize) * ways);
+        // Re-touching the most recent address must hit.
+        let last = *addrs.last().unwrap();
+        prop_assert!(cache.probe(last));
+    }
+
+    /// Reduction over a permuted index list gives the same result (sum is
+    /// order-independent up to float tolerance).
+    #[test]
+    fn reduction_is_permutation_invariant(
+        mut indices in proptest::collection::vec(0u32..50, 1..24),
+    ) {
+        let table = EmbeddingTable::random(50, 8, 7);
+        let forward = table.gather_reduce(&indices, ReductionOp::Sum).unwrap();
+        indices.reverse();
+        let backward = table.gather_reduce(&indices, ReductionOp::Sum).unwrap();
+        prop_assert!(forward.max_abs_diff(&backward) < 1e-4);
+    }
+}
+
+mod timing_properties {
+    use super::*;
+    use centaur::CentaurSystem;
+    use centaur_cpusim::CpuSystem;
+    use centaur_dlrm::PaperModel;
+    use centaur_workload::{IndexDistribution, RequestGenerator};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Simulated CPU latency grows when the batch grows (holding the
+        /// model fixed), and every latency component is non-negative.
+        #[test]
+        fn cpu_latency_monotonic_in_batch(batch in 1usize..24, seed in 0u64..50) {
+            let config = PaperModel::Dlrm1.config();
+            let mut generator = RequestGenerator::new(&config, IndexDistribution::Uniform, seed);
+            let small = generator.inference_trace(batch);
+            let large = generator.inference_trace(batch * 4);
+            let mut system = CpuSystem::broadwell();
+            let r_small = system.simulate(&small);
+            let mut system = CpuSystem::broadwell();
+            let r_large = system.simulate(&large);
+            prop_assert!(r_small.total_ns() > 0.0);
+            prop_assert!(r_large.total_ns() > r_small.total_ns());
+            prop_assert!(r_small.breakdown.embedding_ns >= 0.0);
+            prop_assert!(r_small.breakdown.mlp_ns >= 0.0);
+        }
+
+        /// Centaur's gather throughput never exceeds the link's streamer
+        /// bandwidth, for any batch size.
+        #[test]
+        fn centaur_throughput_bounded_by_link(batch in 1usize..40, seed in 0u64..50) {
+            let config = PaperModel::Dlrm3.config();
+            let mut generator = RequestGenerator::new(&config, IndexDistribution::Uniform, seed);
+            let trace = generator.inference_trace(batch);
+            let mut system = CentaurSystem::harpv2();
+            let result = system.simulate(&trace);
+            let gbs = result.effective_embedding_throughput().gigabytes_per_second();
+            let limit = system.config().link.streamer_bandwidth_gbs();
+            prop_assert!(gbs <= limit + 1e-6, "{} > {}", gbs, limit);
+        }
+    }
+}
