@@ -1,9 +1,11 @@
 //! Criterion micro-benchmarks of the kernels underlying every experiment:
-//! the `SparseLengthsSum` gather/reduce, the reference GEMM, the PE-array
-//! tiled GEMM and the dot-product feature interaction.
+//! the `SparseLengthsSum` gather/reduce (allocating and zero-alloc paths),
+//! the GEMM backends (naive oracle vs blocked vs blocked-parallel), the
+//! PE-array tiled GEMM and the dot-product feature interaction.
 
 use centaur::dense::MlpUnit;
 use centaur::sparse::EbStreamer;
+use centaur_dlrm::kernel::{self, KernelBackend, Workspace};
 use centaur_dlrm::{EmbeddingBag, FeatureInteraction, Matrix};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
@@ -11,20 +13,70 @@ use std::hint::black_box;
 fn bench_gather_reduce(c: &mut Criterion) {
     let bag = EmbeddingBag::random(8, 50_000, 32, 7);
     let indices: Vec<Vec<u32>> = (0..8)
-        .map(|t| (0..40u32).map(|i| (t as u32 * 977 + i * 131) % 50_000).collect())
+        .map(|t| {
+            (0..40u32)
+                .map(|i| (t as u32 * 977 + i * 131) % 50_000)
+                .collect()
+        })
         .collect();
 
     c.bench_function("sparse_lengths_sum_reference", |b| {
         b.iter(|| bag.sparse_lengths_reduce(black_box(&indices)).unwrap())
     });
 
+    let mut reduced = Matrix::zeros(8, 32);
+    c.bench_function("sparse_lengths_sum_into_preallocated", |b| {
+        b.iter(|| {
+            bag.sparse_lengths_reduce_into(black_box(&indices), &mut reduced)
+                .unwrap()
+        })
+    });
+
+    let mut streamer = EbStreamer::default();
+    c.bench_function("eb_streamer_gather_reduce_into", |b| {
+        b.iter(|| {
+            streamer
+                .gather_reduce_into(black_box(&bag), black_box(&indices), &mut reduced)
+                .unwrap()
+        })
+    });
+
     c.bench_function("eb_streamer_gather_reduce", |b| {
         b.iter_batched(
             EbStreamer::default,
-            |mut streamer| streamer.gather_reduce(black_box(&bag), black_box(&indices)).unwrap(),
+            |mut streamer| {
+                streamer
+                    .gather_reduce(black_box(&bag), black_box(&indices))
+                    .unwrap()
+            },
             BatchSize::SmallInput,
         )
     });
+}
+
+fn bench_gemm_backends(c: &mut Criterion) {
+    for &(m, k, n) in &[(64usize, 128usize, 64usize), (256, 512, 512)] {
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 31) % 17) as f32 - 8.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 13) % 11) as f32 * 0.125).collect();
+        let mut out = vec![0.0f32; m * n];
+        let mut ws = Workspace::new();
+        for backend in KernelBackend::all() {
+            c.bench_function(&format!("gemm_{}_{m}x{k}x{n}", backend.label()), |bench| {
+                bench.iter(|| {
+                    kernel::gemm_into(
+                        backend,
+                        black_box(&a),
+                        black_box(&b),
+                        &mut out,
+                        m,
+                        k,
+                        n,
+                        &mut ws,
+                    )
+                })
+            });
+        }
+    }
 }
 
 fn bench_gemm(c: &mut Criterion) {
@@ -50,7 +102,18 @@ fn bench_interaction(c: &mut Criterion) {
     c.bench_function("feature_interaction_51x32", |b| {
         b.iter(|| fi.interact(black_box(&features)).unwrap())
     });
+
+    let mut out = vec![0.0f32; fi.output_dim()];
+    c.bench_function("feature_interaction_into_51x32", |b| {
+        b.iter(|| fi.interact_into(black_box(features.as_slice()), &mut out))
+    });
 }
 
-criterion_group!(kernels, bench_gather_reduce, bench_gemm, bench_interaction);
+criterion_group!(
+    kernels,
+    bench_gather_reduce,
+    bench_gemm_backends,
+    bench_gemm,
+    bench_interaction
+);
 criterion_main!(kernels);

@@ -35,7 +35,10 @@ fn main() {
     let harp = CentaurSystem::harpv2().simulate(&trace);
     table.add_row(vec![
         "HARPv2 (paper)".into(),
-        format!("{:.1}", CentaurConfig::harpv2().link.theoretical_bandwidth_gbs()),
+        format!(
+            "{:.1}",
+            CentaurConfig::harpv2().link.theoretical_bandwidth_gbs()
+        ),
         format!(
             "{:.1}",
             harp.effective_embedding_throughput().gigabytes_per_second()

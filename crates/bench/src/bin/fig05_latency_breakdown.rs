@@ -21,9 +21,7 @@ fn main() {
 
     // Normalisation reference: the slowest model at batch 1 is DLRM(1) in
     // the paper's plot; we normalise to DLRM(1)/batch-1 as the figure does.
-    let reference = runner
-        .run_cpu(&PaperModel::Dlrm1.config(), 1)
-        .total_ns();
+    let reference = runner.run_cpu(&PaperModel::Dlrm1.config(), 1).total_ns();
 
     for model in PaperModel::all() {
         for batch in ExperimentRunner::batch_sizes() {

@@ -33,7 +33,8 @@ fn main() {
         &["Batch", "Total lookups/table", "CPU GB/s"],
     );
     for batch in ExperimentRunner::batch_sizes() {
-        for point in runner.lookup_sweep(batch, &[batch, batch * 5, batch * 25, 100, 200, 400, 800]) {
+        for point in runner.lookup_sweep(batch, &[batch, batch * 5, batch * 25, 100, 200, 400, 800])
+        {
             b.add_row(vec![
                 point.batch.to_string(),
                 point.total_lookups_per_table.to_string(),

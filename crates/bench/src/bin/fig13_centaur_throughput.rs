@@ -10,7 +10,13 @@ fn main() {
 
     let mut a = TextTable::new(
         "Figure 13(a): Centaur effective gather bandwidth and improvement vs CPU-only",
-        &["Model", "Batch", "Centaur GB/s", "CPU GB/s", "Improvement (x)"],
+        &[
+            "Model",
+            "Batch",
+            "Centaur GB/s",
+            "CPU GB/s",
+            "Improvement (x)",
+        ],
     );
     for model in PaperModel::all() {
         for batch in ExperimentRunner::batch_sizes() {
@@ -36,7 +42,8 @@ fn main() {
         &["Batch", "Total lookups/table", "Centaur GB/s", "CPU GB/s"],
     );
     for batch in ExperimentRunner::batch_sizes() {
-        for point in runner.lookup_sweep(batch, &[batch, batch * 5, batch * 25, 100, 200, 400, 800]) {
+        for point in runner.lookup_sweep(batch, &[batch, batch * 5, batch * 25, 100, 200, 400, 800])
+        {
             b.add_row(vec![
                 point.batch.to_string(),
                 point.total_lookups_per_table.to_string(),

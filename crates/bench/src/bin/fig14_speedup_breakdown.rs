@@ -21,25 +21,24 @@ fn main() {
             "Speedup (x)",
         ],
     );
-    for model in PaperModel::all() {
-        for batch in ExperimentRunner::batch_sizes() {
-            let cmp = runner.compare(model, batch);
-            let b = &cmp.centaur.breakdown;
-            let total = cmp.centaur.total_ns();
-            let pct = |x: f64| format!("{:.1}", x / total * 100.0);
-            table.add_row(vec![
-                model.label().to_string(),
-                batch.to_string(),
-                pct(b.index_fetch_ns),
-                pct(b.embedding_ns),
-                pct(b.dense_feature_ns),
-                pct(b.mlp_ns),
-                pct(b.other_ns),
-                format!("{:.1}", total / 1e3),
-                format!("{:.1}", cmp.cpu.total_ns() / 1e3),
-                format!("{:.2}", cmp.centaur_speedup_vs_cpu()),
-            ]);
-        }
+    // The full model × batch grid is simulated in parallel across cores.
+    let comparisons = runner.compare_matrix(&PaperModel::all(), &ExperimentRunner::batch_sizes());
+    for cmp in &comparisons {
+        let b = &cmp.centaur.breakdown;
+        let total = cmp.centaur.total_ns();
+        let pct = |x: f64| format!("{:.1}", x / total * 100.0);
+        table.add_row(vec![
+            cmp.model.label().to_string(),
+            cmp.batch.to_string(),
+            pct(b.index_fetch_ns),
+            pct(b.embedding_ns),
+            pct(b.dense_feature_ns),
+            pct(b.mlp_ns),
+            pct(b.other_ns),
+            format!("{:.1}", total / 1e3),
+            format!("{:.1}", cmp.cpu.total_ns() / 1e3),
+            format!("{:.2}", cmp.centaur_speedup_vs_cpu()),
+        ]);
     }
     table.print();
 }

@@ -20,35 +20,31 @@ fn main() {
             "Eff Centaur",
         ],
     );
-    for model in PaperModel::all() {
-        for batch in ExperimentRunner::batch_sizes() {
-            let cmp = runner.compare(model, batch);
-            table.add_row(vec![
-                model.label().to_string(),
-                batch.to_string(),
-                format!("{:.2}", cmp.performance_vs_cpu_gpu(SystemKind::CpuGpu)),
-                format!("{:.2}", cmp.performance_vs_cpu_gpu(SystemKind::CpuOnly)),
-                format!("{:.2}", cmp.performance_vs_cpu_gpu(SystemKind::Centaur)),
-                format!("{:.2}", cmp.efficiency_vs_cpu_gpu(SystemKind::CpuGpu)),
-                format!("{:.2}", cmp.efficiency_vs_cpu_gpu(SystemKind::CpuOnly)),
-                format!("{:.2}", cmp.efficiency_vs_cpu_gpu(SystemKind::Centaur)),
-            ]);
-        }
+    // The full model × batch grid is simulated in parallel across cores.
+    let comparisons = runner.compare_matrix(&PaperModel::all(), &ExperimentRunner::batch_sizes());
+    for cmp in &comparisons {
+        table.add_row(vec![
+            cmp.model.label().to_string(),
+            cmp.batch.to_string(),
+            format!("{:.2}", cmp.performance_vs_cpu_gpu(SystemKind::CpuGpu)),
+            format!("{:.2}", cmp.performance_vs_cpu_gpu(SystemKind::CpuOnly)),
+            format!("{:.2}", cmp.performance_vs_cpu_gpu(SystemKind::Centaur)),
+            format!("{:.2}", cmp.efficiency_vs_cpu_gpu(SystemKind::CpuGpu)),
+            format!("{:.2}", cmp.efficiency_vs_cpu_gpu(SystemKind::CpuOnly)),
+            format!("{:.2}", cmp.efficiency_vs_cpu_gpu(SystemKind::Centaur)),
+        ]);
     }
     table.print();
 
     // Summary line: the paper's headline range vs CPU-only.
     let mut speedups = Vec::new();
     let mut efficiencies = Vec::new();
-    for model in PaperModel::all() {
-        for batch in ExperimentRunner::batch_sizes() {
-            let cmp = runner.compare(model, batch);
-            speedups.push(cmp.centaur_speedup_vs_cpu());
-            efficiencies.push(
-                cmp.efficiency_vs_cpu_gpu(SystemKind::Centaur)
-                    / cmp.efficiency_vs_cpu_gpu(SystemKind::CpuOnly),
-            );
-        }
+    for cmp in &comparisons {
+        speedups.push(cmp.centaur_speedup_vs_cpu());
+        efficiencies.push(
+            cmp.efficiency_vs_cpu_gpu(SystemKind::Centaur)
+                / cmp.efficiency_vs_cpu_gpu(SystemKind::CpuOnly),
+        );
     }
     let minmax = |v: &[f64]| {
         (

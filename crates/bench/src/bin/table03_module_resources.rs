@@ -7,7 +7,14 @@ fn main() {
     let report = ResourceReport::harpv2_centaur();
     let mut table = TextTable::new(
         "Table III: sparse vs dense FPGA resource usage",
-        &["Complex", "Module", "LC comb.", "LC reg.", "Blk. Mem (bits)", "DSP"],
+        &[
+            "Complex",
+            "Module",
+            "LC comb.",
+            "LC reg.",
+            "Blk. Mem (bits)",
+            "DSP",
+        ],
     );
     for module in &report.modules {
         let complex = match module.complex {

@@ -45,12 +45,14 @@ impl SystemComparison {
 
     /// Performance of `system` normalized to CPU-GPU (Figure 15(a)).
     pub fn performance_vs_cpu_gpu(&self, system: SystemKind) -> f64 {
-        self.energy(system).performance_vs(&self.energy(SystemKind::CpuGpu))
+        self.energy(system)
+            .performance_vs(&self.energy(SystemKind::CpuGpu))
     }
 
     /// Energy-efficiency of `system` normalized to CPU-GPU (Figure 15(b)).
     pub fn efficiency_vs_cpu_gpu(&self, system: SystemKind) -> f64 {
-        self.energy(system).efficiency_vs(&self.energy(SystemKind::CpuGpu))
+        self.energy(system)
+            .efficiency_vs(&self.energy(SystemKind::CpuGpu))
     }
 }
 
@@ -142,6 +144,57 @@ impl ExperimentRunner {
         }
     }
 
+    /// Runs [`ExperimentRunner::compare`] over the full `models × batches`
+    /// grid, fanned out across the host's cores with `std::thread::scope`.
+    ///
+    /// Every figure/table sweep is embarrassingly parallel — each cell
+    /// builds its own simulator instances — so the grid is split into one
+    /// contiguous chunk per worker. Results come back in grid order
+    /// (models outer, batches inner), identical to the sequential loops the
+    /// binaries used to run.
+    pub fn compare_matrix(
+        &self,
+        models: &[PaperModel],
+        batches: &[usize],
+    ) -> Vec<SystemComparison> {
+        let cells: Vec<(PaperModel, usize)> = models
+            .iter()
+            .flat_map(|&m| batches.iter().map(move |&b| (m, b)))
+            .collect();
+        self.parallel_cells(&cells, |&(model, batch)| self.compare(model, batch))
+    }
+
+    /// Maps `f` over `cells` in parallel, preserving order.
+    fn parallel_cells<T, R, F>(&self, cells: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        if cells.is_empty() {
+            return Vec::new();
+        }
+        let workers = std::thread::available_parallelism()
+            .map_or(1, |t| t.get())
+            .min(cells.len());
+        if workers <= 1 {
+            return cells.iter().map(&f).collect();
+        }
+        let chunk = cells.len().div_ceil(workers);
+        let mut results: Vec<Vec<R>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = cells
+                .chunks(chunk)
+                .map(|part| scope.spawn(|| part.iter().map(&f).collect::<Vec<R>>()))
+                .collect();
+            results = handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep worker panicked"))
+                .collect();
+        });
+        results.into_iter().flatten().collect()
+    }
+
     /// Profiles the cache behaviour of one request (Figure 6).
     pub fn profile_cache(&self, model: PaperModel, batch: usize) -> CacheProfile {
         let config = model.config();
@@ -150,30 +203,26 @@ impl ExperimentRunner {
     }
 
     /// Sweeps the total lookups per table for a single-table DLRM(4)-style
-    /// configuration (Figures 7(b) and 13(b)).
+    /// configuration (Figures 7(b) and 13(b)), one sweep point per worker
+    /// thread.
     pub fn lookup_sweep(&self, batch: usize, lookups: &[usize]) -> Vec<BatchSweepPoint> {
         let base = PaperModel::Dlrm4.config().with_num_tables(1);
-        lookups
-            .iter()
-            .map(|&total| {
-                // The x-axis is the *total* lookups per table for the whole
-                // batch; convert to per-sample lookups (at least one).
-                let per_sample = (total / batch.max(1)).max(1);
-                let config = base.with_lookups_per_table(per_sample);
-                let cpu = self.run_cpu(&config, batch);
-                let centaur = self.run_centaur(&config, batch);
-                BatchSweepPoint {
-                    batch,
-                    total_lookups_per_table: per_sample * batch,
-                    cpu_gbs: cpu
-                        .effective_embedding_throughput()
-                        .gigabytes_per_second(),
-                    centaur_gbs: centaur
-                        .effective_embedding_throughput()
-                        .gigabytes_per_second(),
-                }
-            })
-            .collect()
+        self.parallel_cells(lookups, |&total| {
+            // The x-axis is the *total* lookups per table for the whole
+            // batch; convert to per-sample lookups (at least one).
+            let per_sample = (total / batch.max(1)).max(1);
+            let config = base.with_lookups_per_table(per_sample);
+            let cpu = self.run_cpu(&config, batch);
+            let centaur = self.run_centaur(&config, batch);
+            BatchSweepPoint {
+                batch,
+                total_lookups_per_table: per_sample * batch,
+                cpu_gbs: cpu.effective_embedding_throughput().gigabytes_per_second(),
+                centaur_gbs: centaur
+                    .effective_embedding_throughput()
+                    .gigabytes_per_second(),
+            }
+        })
     }
 }
 
@@ -207,6 +256,26 @@ mod tests {
         assert_eq!(points.len(), 3);
         assert!(points[0].cpu_gbs <= points[2].cpu_gbs * 1.05);
         assert!(points.iter().all(|p| p.centaur_gbs > 0.0));
+    }
+
+    #[test]
+    fn compare_matrix_matches_sequential_compare() {
+        let runner = ExperimentRunner::new();
+        let models = [PaperModel::Dlrm1, PaperModel::Dlrm3];
+        let batches = [1usize, 8];
+        let parallel = runner.compare_matrix(&models, &batches);
+        assert_eq!(parallel.len(), 4);
+        let mut i = 0;
+        for &model in &models {
+            for &batch in &batches {
+                let seq = runner.compare(model, batch);
+                assert_eq!(parallel[i].model, model);
+                assert_eq!(parallel[i].batch, batch);
+                assert_eq!(parallel[i].cpu.total_ns(), seq.cpu.total_ns());
+                assert_eq!(parallel[i].centaur.total_ns(), seq.centaur.total_ns());
+                i += 1;
+            }
+        }
     }
 
     #[test]

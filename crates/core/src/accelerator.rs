@@ -261,8 +261,7 @@ mod tests {
     #[test]
     fn speedup_is_largest_at_small_batch_for_embedding_bound_models() {
         let s1 = simulate(PaperModel::Dlrm4, 1).speedup_over(cpu_total(PaperModel::Dlrm4, 1));
-        let s128 =
-            simulate(PaperModel::Dlrm4, 128).speedup_over(cpu_total(PaperModel::Dlrm4, 128));
+        let s128 = simulate(PaperModel::Dlrm4, 128).speedup_over(cpu_total(PaperModel::Dlrm4, 128));
         assert!(
             s1 > s128,
             "speedup should shrink with batch: {s1:.2} vs {s128:.2}"
@@ -289,10 +288,17 @@ mod tests {
         let max = speedups.iter().cloned().fold(0.0, f64::max);
         assert!(min > 0.55, "worst-case speedup {min:.2}");
         assert!(max < 40.0, "best-case speedup {max:.2}");
-        assert!(max > 5.0, "best-case speedup {max:.2} should be substantial");
+        assert!(
+            max > 5.0,
+            "best-case speedup {max:.2} should be substantial"
+        );
         // The majority of the (model, batch) grid must favour Centaur.
         let wins = speedups.iter().filter(|&&s| s > 1.0).count();
-        assert!(wins * 3 >= speedups.len() * 2, "{wins}/{} wins", speedups.len());
+        assert!(
+            wins * 3 >= speedups.len() * 2,
+            "{wins}/{} wins",
+            speedups.len()
+        );
     }
 
     #[test]

@@ -167,10 +167,14 @@ mod tests {
     #[test]
     fn mmio_writes_then_reads_back() {
         let mut regs = BasePointerRegs::new(3);
-        regs.mmio_write(BasePointer::SparseIndexArray, 0x1000).unwrap();
-        regs.mmio_write(BasePointer::EmbeddingTable(0), 0x2000).unwrap();
-        regs.mmio_write(BasePointer::EmbeddingTable(1), 0x3000).unwrap();
-        regs.mmio_write(BasePointer::EmbeddingTable(2), 0x4000).unwrap();
+        regs.mmio_write(BasePointer::SparseIndexArray, 0x1000)
+            .unwrap();
+        regs.mmio_write(BasePointer::EmbeddingTable(0), 0x2000)
+            .unwrap();
+        regs.mmio_write(BasePointer::EmbeddingTable(1), 0x3000)
+            .unwrap();
+        regs.mmio_write(BasePointer::EmbeddingTable(2), 0x4000)
+            .unwrap();
         regs.mmio_write(BasePointer::MlpWeights, 0x5000).unwrap();
         regs.mmio_write(BasePointer::DenseFeatures, 0x6000).unwrap();
         regs.mmio_write(BasePointer::Output, 0x7000).unwrap();
@@ -188,7 +192,9 @@ mod tests {
     #[test]
     fn out_of_range_table_register_rejected() {
         let mut regs = BasePointerRegs::new(1);
-        assert!(regs.mmio_write(BasePointer::EmbeddingTable(5), 0x0).is_err());
+        assert!(regs
+            .mmio_write(BasePointer::EmbeddingTable(5), 0x0)
+            .is_err());
     }
 
     #[test]

@@ -90,9 +90,7 @@ impl ChipletLinkConfig {
     /// Achievable bulk-transfer bandwidth in GB/s (~17.5 for HARPv2).
     pub fn effective_bandwidth_gbs(&self) -> f64 {
         match self.path {
-            LinkPath::CacheCoherent => {
-                self.theoretical_bandwidth_gbs() * self.achievable_fraction
-            }
+            LinkPath::CacheCoherent => self.theoretical_bandwidth_gbs() * self.achievable_fraction,
             LinkPath::CacheBypass => self.bypass_gbs * self.achievable_fraction,
         }
     }
@@ -221,7 +219,9 @@ mod tests {
         assert!(future.streamer_bandwidth_gbs() > 5.0 * harp.streamer_bandwidth_gbs());
         assert_eq!(future.path, LinkPath::CacheBypass);
         let bytes = 64 * 1024 * 1024u64;
-        assert!(future.gather_stream_ns(bytes, bytes / 128) < harp.gather_stream_ns(bytes, bytes / 128));
+        assert!(
+            future.gather_stream_ns(bytes, bytes / 128) < harp.gather_stream_ns(bytes, bytes / 128)
+        );
     }
 
     #[test]

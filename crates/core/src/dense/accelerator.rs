@@ -8,9 +8,9 @@ use crate::dense::sigmoid_unit::SigmoidUnit;
 use crate::dense::sram::SramBuffer;
 use crate::error::CentaurError;
 use centaur_dlrm::config::ModelConfig;
+use centaur_dlrm::kernel::{global_backend, grow, KernelBackend, Workspace};
 use centaur_dlrm::model::DlrmModel;
 use centaur_dlrm::tensor::Matrix;
-use centaur_dlrm::Mlp;
 use serde::{Deserialize, Serialize};
 
 /// Timing of the dense stage of one batched request.
@@ -56,6 +56,15 @@ pub struct DenseAccelerator {
     /// Pipeline reconfiguration overhead between layers, in ns.
     per_layer_overhead_ns: f64,
     weights_loaded: bool,
+    /// Kernel backend executing the functional datapath.
+    backend: KernelBackend,
+    /// MLP ping/pong/pack scratch — models the on-chip activation SRAMs:
+    /// buffers are sized once and reused for every request.
+    ws: Workspace,
+    /// Interaction-input staging buffer (`[num_features, dim]`).
+    features: Vec<f32>,
+    /// Interaction-output staging buffer (`[1, dim + pairs]`).
+    interact_out: Vec<f32>,
 }
 
 impl DenseAccelerator {
@@ -71,7 +80,21 @@ impl DenseAccelerator {
             mlp_input_sram: SramBuffer::mlp_inputs_harpv2(),
             per_layer_overhead_ns: 250.0,
             weights_loaded: false,
+            backend: global_backend(),
+            ws: Workspace::new(),
+            features: Vec::new(),
+            interact_out: Vec::new(),
         }
+    }
+
+    /// The kernel backend executing the functional datapath.
+    pub fn backend(&self) -> KernelBackend {
+        self.backend
+    }
+
+    /// Selects the kernel backend for subsequent functional inferences.
+    pub fn set_backend(&mut self, backend: KernelBackend) {
+        self.backend = backend;
     }
 
     /// The MLP PE array.
@@ -93,8 +116,7 @@ impl DenseAccelerator {
     /// (MLP array + interaction PEs).
     pub fn peak_gflops(&self) -> f64 {
         self.mlp_unit.peak_gflops()
-            + self.interaction_unit.num_pes() as f64
-                * self.mlp_unit.pe_config().peak_gflops()
+            + self.interaction_unit.num_pes() as f64 * self.mlp_unit.pe_config().peak_gflops()
     }
 
     /// Returns `true` once model weights have been uploaded.
@@ -120,21 +142,14 @@ impl DenseAccelerator {
     // Functional path
     // ------------------------------------------------------------------
 
-    /// Runs an MLP through the PE array (tiled GEMM per layer, then bias and
-    /// activation), numerically matching [`Mlp::forward`].
-    fn forward_mlp(&mut self, mlp: &Mlp, input: &Matrix) -> Result<Matrix, CentaurError> {
-        let mut x = input.clone();
-        for layer in mlp.iter() {
-            let z = self.mlp_unit.matmul(&x, layer.weights());
-            let z = z.add_bias(layer.bias())?;
-            x = layer.activation().apply(&z);
-        }
-        Ok(x)
-    }
-
     /// Functionally executes the dense stage for one sample: bottom MLP over
     /// the dense features, feature interaction with the reduced embeddings,
     /// top MLP and sigmoid. Returns the event probability.
+    ///
+    /// The math runs on the configured [`KernelBackend`] through the
+    /// accelerator's persistent staging buffers (fused GEMM + bias +
+    /// activation per layer, no intermediate matrices): steady-state
+    /// requests are allocation-free on the `Naive`/`Blocked` backends.
     ///
     /// # Errors
     ///
@@ -147,25 +162,105 @@ impl DenseAccelerator {
         dense_row: &Matrix,
         reduced_embeddings: &Matrix,
     ) -> Result<f32, CentaurError> {
+        if dense_row.rows() != 1 {
+            return Err(centaur_dlrm::DlrmError::ShapeMismatch {
+                op: "dense features row",
+                lhs: (1, dense_row.cols()),
+                rhs: dense_row.shape(),
+            }
+            .into());
+        }
+        self.forward_sample_slice(model, dense_row.as_slice(), reduced_embeddings)
+    }
+
+    /// [`DenseAccelerator::forward_sample`] over a raw dense-feature row —
+    /// the zero-allocation entry point used by the runtime's batched path.
+    ///
+    /// Mirrors `DlrmModel::forward_sample_ws` stage for stage, but cannot
+    /// delegate to it: the hardware model's bookkeeping (SRAM refills, PE
+    /// counters) is interleaved *between* the stages. Keep the two in sync
+    /// when changing the staging layout.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DenseAccelerator::forward_sample`].
+    pub fn forward_sample_slice(
+        &mut self,
+        model: &DlrmModel,
+        dense_row: &[f32],
+        reduced_embeddings: &Matrix,
+    ) -> Result<f32, CentaurError> {
         if !self.weights_loaded {
             return Err(CentaurError::NotInitialised("MLP weight SRAM"));
         }
         // Per-request buffers are refilled for every inference.
         self.dense_feature_sram.clear();
-        self.dense_feature_sram.store(dense_row.size_bytes() as u64)?;
+        self.dense_feature_sram
+            .store(std::mem::size_of_val(dense_row) as u64)?;
 
-        // 1. Bottom MLP.
-        let bottom = self.forward_mlp(model.bottom_mlp(), dense_row)?;
+        let dim = reduced_embeddings.cols();
+        let num_features = reduced_embeddings.rows() + 1;
+        let interact_width = dim + num_features * (num_features - 1) / 2;
+        grow(&mut self.features, num_features * dim);
+        grow(&mut self.interact_out, interact_width);
+
+        // 1. Bottom MLP into interaction feature row 0.
+        {
+            let DenseAccelerator { ws, features, .. } = self;
+            let (bottom, cols) =
+                model
+                    .bottom_mlp()
+                    .forward_ws(self.backend, dense_row, 1, dense_row.len(), ws)?;
+            if cols != dim {
+                return Err(centaur_dlrm::DlrmError::ShapeMismatch {
+                    op: "bottom MLP output vs embedding dim",
+                    lhs: (1, dim),
+                    rhs: (1, cols),
+                }
+                .into());
+            }
+            features[..dim].copy_from_slice(bottom);
+        }
+        self.mlp_unit
+            .record_gemms(model.bottom_mlp().num_layers() as u64);
+        self.features[dim..num_features * dim].copy_from_slice(reduced_embeddings.as_slice());
+
         // 2. Feature interaction over [bottom; reduced embeddings].
-        let interaction_input = bottom.vconcat(reduced_embeddings)?;
-        let interaction_output = self.interaction_unit.interact(&interaction_input)?;
+        {
+            let DenseAccelerator {
+                interaction_unit,
+                features,
+                interact_out,
+                ..
+            } = self;
+            interaction_unit.interact_into(
+                &features[..num_features * dim],
+                num_features,
+                dim,
+                &mut interact_out[..interact_width],
+            )?;
+        }
         self.mlp_input_sram.clear();
         self.mlp_input_sram
-            .store(interaction_output.size_bytes() as u64)?;
-        // 3. Top MLP.
-        let top = self.forward_mlp(model.top_mlp(), &interaction_output)?;
-        // 4. Sigmoid.
-        Ok(self.sigmoid_unit.apply(top.get(0, 0)))
+            .store((interact_width * std::mem::size_of::<f32>()) as u64)?;
+
+        // 3. Top MLP + 4. sigmoid.
+        let DenseAccelerator {
+            ws,
+            interact_out,
+            sigmoid_unit,
+            ..
+        } = self;
+        let (top, _) = model.top_mlp().forward_ws(
+            self.backend,
+            &interact_out[..interact_width],
+            1,
+            interact_width,
+            ws,
+        )?;
+        self.mlp_unit
+            .record_gemms(model.top_mlp().num_layers() as u64);
+        Ok(sigmoid_unit.apply(top[0]))
     }
 
     // ------------------------------------------------------------------
@@ -176,16 +271,12 @@ impl DenseAccelerator {
     /// `config` (the `MLP` component of Figure 14).
     pub fn execute_timing(&self, config: &ModelConfig, batch: usize) -> DenseStageTiming {
         let batch = batch.max(1);
-        let bottom_mlp_ns = self.mlp_unit.mlp_time_ns(
-            &config.bottom_mlp_dims(),
-            batch,
-            self.per_layer_overhead_ns,
-        );
-        let top_mlp_ns = self.mlp_unit.mlp_time_ns(
-            &config.top_mlp_dims(),
-            batch,
-            self.per_layer_overhead_ns,
-        );
+        let bottom_mlp_ns =
+            self.mlp_unit
+                .mlp_time_ns(&config.bottom_mlp_dims(), batch, self.per_layer_overhead_ns);
+        let top_mlp_ns =
+            self.mlp_unit
+                .mlp_time_ns(&config.top_mlp_dims(), batch, self.per_layer_overhead_ns);
         let interaction_ns = self.interaction_unit.batch_time_ns(
             config.interaction_features(),
             config.embedding_dim,
@@ -235,15 +326,47 @@ mod tests {
         acc.load_model(model.config()).unwrap();
 
         let dense = Matrix::from_fn(1, 5, |_, c| c as f32 * 0.3 - 0.7);
-        let indices: Vec<Vec<u32>> = (0..3).map(|t| vec![t as u32 * 5, t as u32 * 5 + 1]).collect();
+        let indices: Vec<Vec<u32>> = (0..3)
+            .map(|t| vec![t as u32 * 5, t as u32 * 5 + 1])
+            .collect();
         let reduced = model.embeddings().sparse_lengths_reduce(&indices).unwrap();
 
         let ours = acc.forward_sample(&model, &dense, &reduced).unwrap();
-        let reference = model.forward_breakdown(&dense, &indices).unwrap().probability;
+        let reference = model
+            .forward_breakdown(&dense, &indices)
+            .unwrap()
+            .probability;
         assert!(
             (ours - reference).abs() < 1e-5,
             "accelerator {ours} vs reference {reference}"
         );
+    }
+
+    #[test]
+    fn functional_forward_advances_pe_counters() {
+        let model = tiny_model();
+        let mut acc = DenseAccelerator::harpv2();
+        acc.load_model(model.config()).unwrap();
+        let dense = Matrix::zeros(1, 5);
+        let reduced = Matrix::zeros(3, 8);
+        acc.forward_sample(&model, &dense, &reduced).unwrap();
+        // Every MLP layer occupies the array once per sample.
+        let layers = (model.bottom_mlp().num_layers() + model.top_mlp().num_layers()) as u64;
+        assert_eq!(acc.mlp_unit().gemms_executed(), layers);
+        assert_eq!(acc.interaction_unit().interactions_executed(), 1);
+    }
+
+    #[test]
+    fn failed_requests_do_not_advance_pe_counters() {
+        let model = tiny_model();
+        let mut acc = DenseAccelerator::harpv2();
+        acc.load_model(model.config()).unwrap();
+        // Wrong dense width: the bottom MLP rejects the request.
+        let bad_dense = Matrix::zeros(1, 3);
+        let reduced = Matrix::zeros(3, 8);
+        assert!(acc.forward_sample(&model, &bad_dense, &reduced).is_err());
+        assert_eq!(acc.mlp_unit().gemms_executed(), 0);
+        assert_eq!(acc.interaction_unit().interactions_executed(), 0);
     }
 
     #[test]

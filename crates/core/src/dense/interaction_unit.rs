@@ -22,7 +22,10 @@ impl FeatureInteractionUnit {
     ///
     /// Panics if `num_pes` is zero.
     pub fn new(num_pes: usize, pe_config: PeConfig) -> Self {
-        assert!(num_pes > 0, "feature interaction unit needs at least one PE");
+        assert!(
+            num_pes > 0,
+            "feature interaction unit needs at least one PE"
+        );
         FeatureInteractionUnit {
             num_pes,
             pe: ProcessingEngine::new(pe_config),
@@ -54,9 +57,30 @@ impl FeatureInteractionUnit {
     ///
     /// Propagates shape errors from the reference operator.
     pub fn interact(&mut self, features: &Matrix) -> Result<Matrix, DlrmError> {
-        self.interactions_executed += 1;
         let reference = FeatureInteraction::new(features.rows(), features.cols())?;
-        reference.interact(features)
+        let out = reference.interact(features)?;
+        self.interactions_executed += 1;
+        Ok(out)
+    }
+
+    /// Allocation-free variant of [`FeatureInteractionUnit::interact`] over
+    /// raw buffers: `features` is `[num_features, dim]` row-major, `out`
+    /// receives the `[1, dim + pairs]` top-MLP input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlrmError::InvalidConfig`] for degenerate shapes.
+    pub fn interact_into(
+        &mut self,
+        features: &[f32],
+        num_features: usize,
+        dim: usize,
+        out: &mut [f32],
+    ) -> Result<(), DlrmError> {
+        let reference = FeatureInteraction::new(num_features, dim)?;
+        reference.interact_into(features, out);
+        self.interactions_executed += 1;
+        Ok(())
     }
 
     /// PE cycles for the `R · Rᵀ` batched GEMM of one sample with
@@ -109,7 +133,10 @@ mod tests {
         let mut unit = FeatureInteractionUnit::harpv2();
         let features = Matrix::from_fn(6, 32, |r, c| ((r * 17 + c) % 9) as f32 - 4.0);
         let ours = unit.interact(&features).unwrap();
-        let reference = FeatureInteraction::new(6, 32).unwrap().interact(&features).unwrap();
+        let reference = FeatureInteraction::new(6, 32)
+            .unwrap()
+            .interact(&features)
+            .unwrap();
         assert_eq!(ours, reference);
         assert_eq!(unit.interactions_executed(), 1);
         assert_eq!(ours.cols(), 32 + 15);

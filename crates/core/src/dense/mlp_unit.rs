@@ -59,6 +59,14 @@ impl MlpUnit {
         self.gemms_executed
     }
 
+    /// Records `count` GEMMs dispatched to the array by the dense complex.
+    /// The functional datapath executes layer GEMMs through the optimized
+    /// kernel backend rather than the tile-by-tile model, but they still
+    /// occupy the array, so the utilization counter must advance.
+    pub fn record_gemms(&mut self, count: u64) {
+        self.gemms_executed += count;
+    }
+
     /// Functional GEMM through the tiled, output-stationary dataflow:
     /// `a` is `[m, k]` (inputs), `b` is `[k, n]` (weights); the result is
     /// `[m, n]`, numerically identical to a flat matrix product.

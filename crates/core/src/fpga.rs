@@ -130,15 +130,78 @@ pub struct ModuleUsage {
 pub fn centaur_modules() -> Vec<ModuleUsage> {
     use ComplexKind::*;
     vec![
-        ModuleUsage { name: "Base ptr reg.", complex: Sparse, lc_comb: 98, lc_reg: 211, block_mem_bits: 0, dsps: 0 },
-        ModuleUsage { name: "Gather unit", complex: Sparse, lc_comb: 295, lc_reg: 216, block_mem_bits: 0, dsps: 0 },
-        ModuleUsage { name: "Reduction unit", complex: Sparse, lc_comb: 108, lc_reg: 8_260, block_mem_bits: 0, dsps: 96 },
-        ModuleUsage { name: "Sparse SRAM arrays", complex: Sparse, lc_comb: 350, lc_reg: 98, block_mem_bits: 12_200_000, dsps: 0 },
-        ModuleUsage { name: "MLP unit", complex: Dense, lc_comb: 40_000, lc_reg: 131_000, block_mem_bits: 2_300_000, dsps: 512 },
-        ModuleUsage { name: "Feat. int. unit", complex: Dense, lc_comb: 10_000, lc_reg: 33_000, block_mem_bits: 593_000, dsps: 128 },
-        ModuleUsage { name: "Dense SRAM arrays", complex: Dense, lc_comb: 1_000, lc_reg: 11_000, block_mem_bits: 1_600_000, dsps: 48 },
-        ModuleUsage { name: "Weights", complex: Dense, lc_comb: 13, lc_reg: 77, block_mem_bits: 5_200_000, dsps: 0 },
-        ModuleUsage { name: "Misc.", complex: Other, lc_comb: 587, lc_reg: 6_000, block_mem_bits: 608_000, dsps: 0 },
+        ModuleUsage {
+            name: "Base ptr reg.",
+            complex: Sparse,
+            lc_comb: 98,
+            lc_reg: 211,
+            block_mem_bits: 0,
+            dsps: 0,
+        },
+        ModuleUsage {
+            name: "Gather unit",
+            complex: Sparse,
+            lc_comb: 295,
+            lc_reg: 216,
+            block_mem_bits: 0,
+            dsps: 0,
+        },
+        ModuleUsage {
+            name: "Reduction unit",
+            complex: Sparse,
+            lc_comb: 108,
+            lc_reg: 8_260,
+            block_mem_bits: 0,
+            dsps: 96,
+        },
+        ModuleUsage {
+            name: "Sparse SRAM arrays",
+            complex: Sparse,
+            lc_comb: 350,
+            lc_reg: 98,
+            block_mem_bits: 12_200_000,
+            dsps: 0,
+        },
+        ModuleUsage {
+            name: "MLP unit",
+            complex: Dense,
+            lc_comb: 40_000,
+            lc_reg: 131_000,
+            block_mem_bits: 2_300_000,
+            dsps: 512,
+        },
+        ModuleUsage {
+            name: "Feat. int. unit",
+            complex: Dense,
+            lc_comb: 10_000,
+            lc_reg: 33_000,
+            block_mem_bits: 593_000,
+            dsps: 128,
+        },
+        ModuleUsage {
+            name: "Dense SRAM arrays",
+            complex: Dense,
+            lc_comb: 1_000,
+            lc_reg: 11_000,
+            block_mem_bits: 1_600_000,
+            dsps: 48,
+        },
+        ModuleUsage {
+            name: "Weights",
+            complex: Dense,
+            lc_comb: 13,
+            lc_reg: 77,
+            block_mem_bits: 5_200_000,
+            dsps: 0,
+        },
+        ModuleUsage {
+            name: "Misc.",
+            complex: Other,
+            lc_comb: 587,
+            lc_reg: 6_000,
+            block_mem_bits: 608_000,
+            dsps: 0,
+        },
     ]
 }
 
@@ -213,7 +276,11 @@ mod tests {
     fn table2_utilization_percentages() {
         let report = ResourceReport::harpv2_centaur();
         let u = report.utilization();
-        assert!((u.alms * 100.0 - 29.9).abs() < 0.2, "ALM {:.1}%", u.alms * 100.0);
+        assert!(
+            (u.alms * 100.0 - 29.9).abs() < 0.2,
+            "ALM {:.1}%",
+            u.alms * 100.0
+        );
         assert!((u.block_mem_bits * 100.0 - 42.7).abs() < 0.5);
         assert!((u.ram_blocks * 100.0 - 82.5).abs() < 0.5);
         assert!((u.dsps * 100.0 - 51.6).abs() < 0.5);
@@ -229,7 +296,9 @@ mod tests {
         let sparse_mem = report.block_mem_of(ComplexKind::Sparse);
         let dense_mem = report.block_mem_of(ComplexKind::Dense);
         assert!(sparse_mem > dense_mem);
-        assert!(report.lc_comb_of(ComplexKind::Sparse) < report.lc_comb_of(ComplexKind::Dense) / 10);
+        assert!(
+            report.lc_comb_of(ComplexKind::Sparse) < report.lc_comb_of(ComplexKind::Dense) / 10
+        );
         assert!(report.dsps_of(ComplexKind::Sparse) < report.dsps_of(ComplexKind::Dense) / 4);
     }
 

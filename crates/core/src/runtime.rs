@@ -8,6 +8,7 @@ use crate::bpregs::{BasePointer, BasePointerRegs};
 use crate::dense::DenseAccelerator;
 use crate::error::CentaurError;
 use crate::sparse::EbStreamer;
+use centaur_dlrm::kernel::KernelBackend;
 use centaur_dlrm::model::DlrmModel;
 use centaur_dlrm::tensor::Matrix;
 use centaur_dlrm::trace::{InferenceTrace, TableLayout};
@@ -26,6 +27,9 @@ pub struct CentaurRuntime {
     streamer: EbStreamer,
     dense: DenseAccelerator,
     system: CentaurSystem,
+    /// Reused `[num_tables, dim]` staging matrix for reduced embeddings —
+    /// gathered rows land here every request, no per-request allocation.
+    reduced: Matrix,
 }
 
 impl CentaurRuntime {
@@ -54,13 +58,25 @@ impl CentaurRuntime {
         let mut dense = DenseAccelerator::harpv2();
         dense.load_model(model.config())?;
 
+        let reduced = Matrix::zeros(model.config().num_tables, model.config().embedding_dim);
         Ok(CentaurRuntime {
             model,
             bpregs,
             streamer: EbStreamer::new(config.link),
             dense,
             system: CentaurSystem::new(config),
+            reduced,
         })
+    }
+
+    /// The kernel backend executing the functional datapath.
+    pub fn backend(&self) -> KernelBackend {
+        self.dense.backend()
+    }
+
+    /// Selects the kernel backend for subsequent functional inferences.
+    pub fn set_backend(&mut self, backend: KernelBackend) {
+        self.dense.set_backend(backend);
     }
 
     /// Registers `model` on the HARPv2 proof-of-concept configuration.
@@ -93,10 +109,38 @@ impl CentaurRuntime {
         dense_row: &Matrix,
         indices_per_table: &[Vec<u32>],
     ) -> Result<f32, CentaurError> {
-        let reduced = self
-            .streamer
-            .gather_reduce(self.model.embeddings(), indices_per_table)?;
-        self.dense.forward_sample(&self.model, dense_row, &reduced)
+        if dense_row.rows() != 1 {
+            return Err(centaur_dlrm::DlrmError::ShapeMismatch {
+                op: "dense features row",
+                lhs: (1, dense_row.cols()),
+                rhs: dense_row.shape(),
+            }
+            .into());
+        }
+        self.infer_sample(dense_row.as_slice(), indices_per_table)
+    }
+
+    /// One sample through the accelerator datapath over raw buffers — the
+    /// allocation-free hot path shared by [`CentaurRuntime::infer_single`]
+    /// and [`CentaurRuntime::infer_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates datapath errors (index out of bounds, shape mismatches).
+    pub fn infer_sample(
+        &mut self,
+        dense_row: &[f32],
+        indices_per_table: &[Vec<u32>],
+    ) -> Result<f32, CentaurError> {
+        let CentaurRuntime {
+            model,
+            streamer,
+            dense,
+            reduced,
+            ..
+        } = self;
+        streamer.gather_reduce_into(model.embeddings(), indices_per_table, reduced)?;
+        dense.forward_sample_slice(model, dense_row, reduced)
     }
 
     /// Runs a batched functional inference; one probability per sample.
@@ -120,8 +164,7 @@ impl CentaurRuntime {
         }
         let mut out = Vec::with_capacity(batch_indices.len());
         for (i, indices) in batch_indices.iter().enumerate() {
-            let row = Matrix::row_vector(dense.row(i));
-            out.push(self.infer_single(&row, indices)?);
+            out.push(self.infer_sample(dense.row(i), indices)?);
         }
         Ok(out)
     }

@@ -21,7 +21,10 @@ impl EmbeddingReductionUnit {
     ///
     /// Panics if either parameter is zero.
     pub fn new(num_alus: usize, clock_mhz: f64) -> Self {
-        assert!(num_alus > 0 && clock_mhz > 0.0, "EB-RU needs ALUs and a clock");
+        assert!(
+            num_alus > 0 && clock_mhz > 0.0,
+            "EB-RU needs ALUs and a clock"
+        );
         EmbeddingReductionUnit {
             num_alus,
             clock_mhz,
@@ -86,6 +89,18 @@ impl EmbeddingReductionUnit {
             }
         }
         Matrix::from_vec(1, dim, acc).expect("accumulator has the right length")
+    }
+
+    /// Streams one gathered embedding vector into an accumulator (the
+    /// on-the-fly reduction the EB-RU performs as rows arrive off the
+    /// link), using the chunked SIMD-friendly add from the kernel layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn accumulate(&mut self, acc: &mut [f32], row: &[f32]) {
+        self.vectors_reduced += 1;
+        centaur_dlrm::kernel::add_assign(acc, row);
     }
 
     /// Peak reduction throughput in elements per nanosecond.

@@ -117,6 +117,31 @@ impl EbStreamer {
         bag: &EmbeddingBag,
         indices_per_table: &[Vec<u32>],
     ) -> Result<Matrix, CentaurError> {
+        let mut out = Matrix::zeros(bag.num_tables(), bag.dim());
+        self.gather_reduce_into(bag, indices_per_table, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free [`EbStreamer::gather_reduce`]: streams each chunk of
+    /// indices through the SRAM and accumulates rows on the fly into the
+    /// caller-owned `[num_tables, dim]` output — no per-chunk gather
+    /// matrices, exactly how the EB-RU reduces rows as they arrive off the
+    /// link.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EbStreamer::gather_reduce`], plus a shape mismatch when
+    /// `out` has the wrong shape, and [`DlrmError::InvalidConfig`] for bags
+    /// whose reduction operator is not `Sum` — the EB-RU accumulates rows
+    /// as they stream in and cannot compute Mean/Max on the fly.
+    ///
+    /// [`DlrmError::InvalidConfig`]: centaur_dlrm::DlrmError::InvalidConfig
+    pub fn gather_reduce_into(
+        &mut self,
+        bag: &EmbeddingBag,
+        indices_per_table: &[Vec<u32>],
+        out: &mut Matrix,
+    ) -> Result<(), CentaurError> {
         if indices_per_table.len() != bag.num_tables() {
             return Err(centaur_dlrm::DlrmError::TableCountMismatch {
                 provided: indices_per_table.len(),
@@ -124,21 +149,38 @@ impl EbStreamer {
             }
             .into());
         }
-        let dim = bag.dim();
-        let mut out = Matrix::zeros(bag.num_tables(), dim);
-        for (t, indices) in indices_per_table.iter().enumerate() {
-            // Stream the indices through the SRAM in chunks, gathering and
-            // reducing each chunk as it arrives.
-            let mut acc = Matrix::zeros(1, dim);
-            for chunk in indices.chunks(self.index_sram.capacity_indices().max(1)) {
-                self.index_sram.load(chunk)?;
-                let gathered = bag.table(t).gather(self.index_sram.contents())?;
-                let partial = self.reduction_unit.reduce(&gathered, ReductionOp::Sum);
-                acc = &acc + &partial;
+        if out.shape() != (bag.num_tables(), bag.dim()) {
+            return Err(centaur_dlrm::DlrmError::ShapeMismatch {
+                op: "eb-streamer gather_reduce_into",
+                lhs: (bag.num_tables(), bag.dim()),
+                rhs: out.shape(),
             }
-            out.row_mut(t).copy_from_slice(acc.row(0));
+            .into());
         }
-        Ok(out)
+        if bag.reduction_op() != ReductionOp::Sum {
+            return Err(centaur_dlrm::DlrmError::InvalidConfig(format!(
+                "EB-Streamer reduces on the fly and supports {} only, got {}",
+                ReductionOp::Sum.op_name(),
+                bag.reduction_op().op_name()
+            ))
+            .into());
+        }
+        let EbStreamer {
+            index_sram,
+            reduction_unit,
+            ..
+        } = self;
+        for (t, indices) in indices_per_table.iter().enumerate() {
+            let row_out = out.row_mut(t);
+            row_out.fill(0.0);
+            for chunk in indices.chunks(index_sram.capacity_indices().max(1)) {
+                index_sram.load(chunk)?;
+                for &idx in index_sram.contents() {
+                    reduction_unit.accumulate(row_out, bag.table(t).row(idx)?);
+                }
+            }
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -154,7 +196,9 @@ impl EbStreamer {
 
         // Generate the request stream (exercises the gather unit counters).
         for sample in &trace.gather.samples {
-            let _ = self.gather_unit.generate_all(&layout, &sample.rows_per_table);
+            let _ = self
+                .gather_unit
+                .generate_all(&layout, &sample.rows_per_table);
         }
 
         // 1. Fetch the sparse index array into the index SRAM (possibly in
@@ -195,6 +239,16 @@ mod tests {
     use super::*;
     use centaur_dlrm::config::PaperModel;
     use centaur_workload::{IndexDistribution, RequestGenerator};
+
+    #[test]
+    fn non_sum_bags_are_rejected() {
+        use centaur_dlrm::EmbeddingTable;
+        let tables = (0..2).map(|s| EmbeddingTable::random(16, 4, s)).collect();
+        let bag = EmbeddingBag::new(tables, ReductionOp::Mean);
+        let mut streamer = EbStreamer::default();
+        let err = streamer.gather_reduce(&bag, &[vec![0], vec![1]]);
+        assert!(err.is_err(), "EB-Streamer must reject Mean bags");
+    }
 
     #[test]
     fn functional_gather_reduce_matches_reference() {

@@ -124,18 +124,15 @@ impl EmbeddingEngine {
         let mut worker_time = vec![0.0_f64; workers];
         let mut outstanding: Vec<VecDeque<f64>> = vec![VecDeque::new(); workers];
 
-        loop {
-            // Advance the worker whose local clock is furthest behind.
-            let Some(worker) = (0..workers)
-                .filter(|&w| !work[w].is_empty())
-                .min_by(|&a, &b| {
-                    worker_time[a]
-                        .partial_cmp(&worker_time[b])
-                        .expect("worker times are finite")
-                })
-            else {
-                break;
-            };
+        // Advance the worker whose local clock is furthest behind.
+        while let Some(worker) = (0..workers)
+            .filter(|&w| !work[w].is_empty())
+            .min_by(|&a, &b| {
+                worker_time[a]
+                    .partial_cmp(&worker_time[b])
+                    .expect("worker times are finite")
+            })
+        {
             let (row, end_of_sample) = work[worker].pop_front().expect("non-empty queue");
             let mut t = worker_time[worker];
 
@@ -226,8 +223,14 @@ mod tests {
         let r = simulate(PaperModel::Dlrm4, 64, 4);
         let gbs = r.effective_throughput().gigabytes_per_second();
         let peak = DramConfig::ddr4_2400().peak_bandwidth_gbs();
-        assert!(gbs < 0.45 * peak, "effective {gbs:.1} GB/s vs peak {peak:.1}");
-        assert!(gbs > 1.0, "effective throughput should still be >1 GB/s, got {gbs:.2}");
+        assert!(
+            gbs < 0.45 * peak,
+            "effective {gbs:.1} GB/s vs peak {peak:.1}"
+        );
+        assert!(
+            gbs > 1.0,
+            "effective throughput should still be >1 GB/s, got {gbs:.2}"
+        );
     }
 
     #[test]

@@ -83,8 +83,7 @@ impl CacheProfiler {
         let resident_rows = (per_table_budget / row_bytes).min(trace.config.rows_per_table);
         for table in 0..trace.config.num_tables {
             for row in 0..resident_rows {
-                let addr = layout
-                    .address_of(centaur_dlrm::trace::EmbeddingAccess { table, row });
+                let addr = layout.address_of(centaur_dlrm::trace::EmbeddingAccess { table, row });
                 for line in lines_spanned(addr, row_bytes) {
                     hierarchy.install_all_levels(line);
                 }
@@ -137,7 +136,7 @@ impl CacheProfiler {
             for line in lines_spanned(offset, bytes) {
                 llc.install(line);
             }
-            offset += (bytes + 4095) / 4096 * 4096;
+            offset += bytes.div_ceil(4096) * 4096;
         }
 
         // One replay pass: tiles of up to 32 batch rows stream the weights
@@ -152,7 +151,11 @@ impl CacheProfiler {
                 let (w_addr, w_bytes) = weight_addrs[layer];
                 let in_bytes = (m * batch.min(tile_rows)) as u64 * 4;
                 let out_bytes = (n * batch.min(tile_rows)) as u64 * 4;
-                let in_addr = if layer == 0 { first_input_base } else { act_offset };
+                let in_addr = if layer == 0 {
+                    first_input_base
+                } else {
+                    act_offset
+                };
                 let out_addr = act_offset + in_bytes;
                 for _tile in 0..tiles {
                     for line in lines_spanned(w_addr, w_bytes) {

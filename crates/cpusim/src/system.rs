@@ -168,7 +168,10 @@ mod tests {
         let mut warm_gen = RequestGenerator::new(&config, IndexDistribution::Uniform, 100);
         let mut gen = RequestGenerator::new(&config, IndexDistribution::Uniform, 200);
         let mut system = CpuSystem::broadwell();
-        system.simulate_warm(&warm_gen.inference_trace(batch), &gen.inference_trace(batch))
+        system.simulate_warm(
+            &warm_gen.inference_trace(batch),
+            &gen.inference_trace(batch),
+        )
     }
 
     #[test]

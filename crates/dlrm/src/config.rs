@@ -52,7 +52,9 @@ impl ModelConfig {
             return Err(DlrmError::InvalidConfig("num_tables must be > 0".into()));
         }
         if self.rows_per_table == 0 {
-            return Err(DlrmError::InvalidConfig("rows_per_table must be > 0".into()));
+            return Err(DlrmError::InvalidConfig(
+                "rows_per_table must be > 0".into(),
+            ));
         }
         if self.embedding_dim == 0 {
             return Err(DlrmError::InvalidConfig("embedding_dim must be > 0".into()));
@@ -63,14 +65,21 @@ impl ModelConfig {
             ));
         }
         if self.dense_features == 0 {
-            return Err(DlrmError::InvalidConfig("dense_features must be > 0".into()));
+            return Err(DlrmError::InvalidConfig(
+                "dense_features must be > 0".into(),
+            ));
         }
         if self.bottom_mlp.is_empty() {
             return Err(DlrmError::InvalidConfig(
                 "bottom_mlp must have at least one layer".into(),
             ));
         }
-        if self.bottom_mlp.iter().chain(&self.top_mlp_hidden).any(|&d| d == 0) {
+        if self
+            .bottom_mlp
+            .iter()
+            .chain(&self.top_mlp_hidden)
+            .any(|&d| d == 0)
+        {
             return Err(DlrmError::InvalidConfig(
                 "MLP layer widths must be non-zero".into(),
             ));
@@ -138,11 +147,8 @@ impl ModelConfig {
 
     /// Number of MLP parameters (bottom + top, weights + biases).
     pub fn mlp_params(&self) -> u64 {
-        let count = |dims: &[usize]| -> u64 {
-            dims.windows(2)
-                .map(|w| (w[0] * w[1] + w[1]) as u64)
-                .sum()
-        };
+        let count =
+            |dims: &[usize]| -> u64 { dims.windows(2).map(|w| (w[0] * w[1] + w[1]) as u64).sum() };
         count(&self.bottom_mlp_dims()) + count(&self.top_mlp_dims())
     }
 
@@ -175,9 +181,8 @@ impl ModelConfig {
     /// Total forward-pass FLOPs per sample for the dense (MLP + interaction)
     /// portion of the model.
     pub fn dense_flops_per_sample(&self) -> u64 {
-        let gemm = |dims: &[usize]| -> u64 {
-            dims.windows(2).map(|w| 2 * (w[0] * w[1]) as u64).sum()
-        };
+        let gemm =
+            |dims: &[usize]| -> u64 { dims.windows(2).map(|w| 2 * (w[0] * w[1]) as u64).sum() };
         gemm(&self.bottom_mlp_dims())
             + gemm(&self.top_mlp_dims())
             + self.feature_interaction().flops()
@@ -305,9 +310,7 @@ impl ModelConfigBuilder {
                 .lookups_per_table
                 .ok_or_else(|| DlrmError::InvalidConfig("lookups_per_table not set".into()))?,
             dense_features: self.dense_features.unwrap_or(13),
-            bottom_mlp: self
-                .bottom_mlp
-                .unwrap_or_else(|| vec![64, embedding_dim]),
+            bottom_mlp: self.bottom_mlp.unwrap_or_else(|| vec![64, embedding_dim]),
             top_mlp_hidden: self.top_mlp.unwrap_or_else(|| vec![64, 32]),
         };
         config.validate()?;

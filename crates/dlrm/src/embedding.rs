@@ -6,6 +6,7 @@
 //! Caffe2's `SparseLengthsSum` in Figure 2 of the paper).
 
 use crate::error::DlrmError;
+use crate::kernel::{add_assign, max_assign, scale};
 use crate::tensor::Matrix;
 use crate::EMBEDDING_ELEM_BYTES;
 use rand::rngs::StdRng;
@@ -134,36 +135,53 @@ impl EmbeddingTable {
     ///
     /// Returns [`DlrmError::IndexOutOfBounds`] when any index is invalid.
     pub fn gather_reduce(&self, indices: &[u32], op: ReductionOp) -> Result<Matrix, DlrmError> {
-        let mut acc = vec![0.0f32; self.dim];
+        let mut acc = Matrix::zeros(1, self.dim);
+        self.gather_reduce_into(indices, op, acc.as_mut_slice())?;
+        Ok(acc)
+    }
+
+    /// Allocation-free [`EmbeddingTable::gather_reduce`]: accumulates the
+    /// gathered rows directly into `out` (width `dim`), using the chunked
+    /// SIMD-friendly reductions from [`crate::kernel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlrmError::IndexOutOfBounds`] when any index is invalid and
+    /// [`DlrmError::ShapeMismatch`] when `out` is not `dim` wide.
+    pub fn gather_reduce_into(
+        &self,
+        indices: &[u32],
+        op: ReductionOp,
+        out: &mut [f32],
+    ) -> Result<(), DlrmError> {
+        if out.len() != self.dim {
+            return Err(DlrmError::ShapeMismatch {
+                op: "gather_reduce_into",
+                lhs: (1, self.dim),
+                rhs: (1, out.len()),
+            });
+        }
+        out.fill(0.0);
         if indices.is_empty() {
-            return Matrix::from_vec(1, self.dim, acc);
+            return Ok(());
         }
         match op {
             ReductionOp::Sum | ReductionOp::Mean => {
                 for &idx in indices {
-                    for (a, &v) in acc.iter_mut().zip(self.row(idx)?.iter()) {
-                        *a += v;
-                    }
+                    add_assign(out, self.row(idx)?);
                 }
                 if op == ReductionOp::Mean {
-                    let n = indices.len() as f32;
-                    for a in &mut acc {
-                        *a /= n;
-                    }
+                    scale(out, 1.0 / indices.len() as f32);
                 }
             }
             ReductionOp::Max => {
-                acc.copy_from_slice(self.row(indices[0])?);
+                out.copy_from_slice(self.row(indices[0])?);
                 for &idx in &indices[1..] {
-                    for (a, &v) in acc.iter_mut().zip(self.row(idx)?.iter()) {
-                        if v > *a {
-                            *a = v;
-                        }
-                    }
+                    max_assign(out, self.row(idx)?);
                 }
             }
         }
-        Matrix::from_vec(1, self.dim, acc)
+        Ok(())
     }
 }
 
@@ -248,13 +266,69 @@ impl EmbeddingBag {
         }
         let dim = self.dim();
         let mut out = Matrix::zeros(self.tables.len(), dim);
-        for (t, (table, indices)) in self.tables.iter().zip(indices_per_table).enumerate() {
-            let reduced = table
-                .gather_reduce(indices, self.op)
-                .map_err(|e| annotate_table(e, t))?;
-            out.row_mut(t).copy_from_slice(reduced.row(0));
-        }
+        self.sparse_lengths_reduce_into(indices_per_table, &mut out)?;
         Ok(out)
+    }
+
+    /// Allocation-free [`EmbeddingBag::sparse_lengths_reduce`]: reduces each
+    /// table directly into the rows of a caller-owned `[num_tables, dim]`
+    /// matrix.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EmbeddingBag::sparse_lengths_reduce`], plus
+    /// [`DlrmError::ShapeMismatch`] when `out` has the wrong shape.
+    pub fn sparse_lengths_reduce_into(
+        &self,
+        indices_per_table: &[Vec<u32>],
+        out: &mut Matrix,
+    ) -> Result<(), DlrmError> {
+        if out.shape() != (self.tables.len(), self.dim()) {
+            return Err(DlrmError::ShapeMismatch {
+                op: "sparse_lengths_reduce_into",
+                lhs: (self.tables.len(), self.dim()),
+                rhs: out.shape(),
+            });
+        }
+        self.reduce_into_slice(indices_per_table, out.as_mut_slice())
+    }
+
+    /// Slice-level [`EmbeddingBag::sparse_lengths_reduce_into`]: `out` is a
+    /// row-major `[num_tables, dim]` buffer. Used by the zero-allocation
+    /// model forward path, which reduces straight into the feature-
+    /// interaction input.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EmbeddingBag::sparse_lengths_reduce`], plus
+    /// [`DlrmError::ShapeMismatch`] when `out` has the wrong length.
+    pub fn reduce_into_slice(
+        &self,
+        indices_per_table: &[Vec<u32>],
+        out: &mut [f32],
+    ) -> Result<(), DlrmError> {
+        if indices_per_table.len() != self.tables.len() {
+            return Err(DlrmError::TableCountMismatch {
+                provided: indices_per_table.len(),
+                expected: self.tables.len(),
+            });
+        }
+        let dim = self.dim();
+        if out.len() != self.tables.len() * dim {
+            return Err(DlrmError::ShapeMismatch {
+                op: "reduce_into_slice",
+                lhs: (self.tables.len(), dim),
+                rhs: (out.len(), 1),
+            });
+        }
+        for (t, (table, indices)) in self.tables.iter().zip(indices_per_table).enumerate() {
+            // Explicit slicing (not chunks_exact_mut) so dim == 0 tables
+            // still route through gather_reduce_into and validate indices.
+            table
+                .gather_reduce_into(indices, self.op, &mut out[t * dim..(t + 1) * dim])
+                .map_err(|e| annotate_table(e, t))?;
+        }
+        Ok(())
     }
 
     /// Batched version of [`EmbeddingBag::sparse_lengths_reduce`]: one index
@@ -327,8 +401,7 @@ pub fn sparse_lengths_sum(
                 indices.len()
             )));
         }
-        let reduced = table.gather_reduce(&indices[start..end], ReductionOp::Sum)?;
-        out.row_mut(a).copy_from_slice(reduced.row(0));
+        table.gather_reduce_into(&indices[start..end], ReductionOp::Sum, out.row_mut(a))?;
     }
     Ok(out)
 }
@@ -357,7 +430,11 @@ mod tests {
         assert!(t.row(7).is_ok());
         assert!(matches!(
             t.row(8),
-            Err(DlrmError::IndexOutOfBounds { index: 8, rows: 8, .. })
+            Err(DlrmError::IndexOutOfBounds {
+                index: 8,
+                rows: 8,
+                ..
+            })
         ));
     }
 
@@ -415,7 +492,10 @@ mod tests {
         let wrong = vec![vec![0u32]; 2];
         assert!(matches!(
             bag.sparse_lengths_reduce(&wrong),
-            Err(DlrmError::TableCountMismatch { provided: 2, expected: 3 })
+            Err(DlrmError::TableCountMismatch {
+                provided: 2,
+                expected: 3
+            })
         ));
 
         let oob = vec![vec![0], vec![99], vec![0]];
@@ -423,6 +503,21 @@ mod tests {
             bag.sparse_lengths_reduce(&oob),
             Err(DlrmError::IndexOutOfBounds { table: 1, .. })
         ));
+    }
+
+    #[test]
+    fn zero_dim_bag_still_validates_indices() {
+        // dim == 0 tables must still reject out-of-bounds rows.
+        let tables = (0..2).map(|s| EmbeddingTable::random(8, 0, s)).collect();
+        let bag = EmbeddingBag::new(tables, ReductionOp::Sum);
+        let mut out = Matrix::zeros(2, 0);
+        assert!(matches!(
+            bag.sparse_lengths_reduce_into(&[vec![0], vec![99]], &mut out),
+            Err(DlrmError::IndexOutOfBounds { table: 1, .. })
+        ));
+        assert!(bag
+            .sparse_lengths_reduce_into(&[vec![0], vec![7]], &mut out)
+            .is_ok());
     }
 
     #[test]

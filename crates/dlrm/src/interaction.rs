@@ -8,6 +8,7 @@
 //! bottom-MLP output to form the top-MLP input.
 
 use crate::error::DlrmError;
+use crate::kernel::dot;
 use crate::tensor::Matrix;
 
 /// Dot-product feature interaction operator.
@@ -86,14 +87,32 @@ impl FeatureInteraction {
                 rhs: features.shape(),
             });
         }
-        let mut out = Vec::with_capacity(self.output_dim());
-        out.extend_from_slice(features.row(0));
+        let mut out = Matrix::zeros(1, self.output_dim());
+        self.interact_into(features.as_slice(), out.as_mut_slice());
+        Ok(out)
+    }
+
+    /// Allocation-free [`FeatureInteraction::interact`] over raw row-major
+    /// buffers: `features` is `[num_features, dim]` and `out` receives the
+    /// `[1, output_dim()]` top-MLP input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice length disagrees with the configured shape
+    /// (shape validation is the caller's job on this hot path).
+    pub fn interact_into(&self, features: &[f32], out: &mut [f32]) {
+        assert_eq!(features.len(), self.num_features * self.dim);
+        assert_eq!(out.len(), self.output_dim());
+        let dim = self.dim;
+        out[..dim].copy_from_slice(&features[..dim]);
+        let mut k = dim;
         for i in 1..self.num_features {
+            let row_i = &features[i * dim..(i + 1) * dim];
             for j in 0..i {
-                out.push(features.row_dot(i, features, j));
+                out[k] = dot(row_i, &features[j * dim..(j + 1) * dim]);
+                k += 1;
             }
         }
-        Matrix::from_vec(1, self.output_dim(), out)
     }
 
     /// Computes the full Gram matrix `features * features^T` for one sample.
@@ -140,8 +159,7 @@ mod tests {
     #[test]
     fn interact_known_values() {
         // Three 2-dim features: f0=[1,0], f1=[0,1], f2=[2,2]
-        let features =
-            Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 2.0, 2.0]).unwrap();
+        let features = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 2.0, 2.0]).unwrap();
         let fi = FeatureInteraction::new(3, 2).unwrap();
         let out = fi.interact(&features).unwrap();
         // output = [f0 (2 values), f1·f0, f2·f0, f2·f1] = [1,0, 0, 2, 2]

@@ -1,0 +1,745 @@
+//! The optimized compute backend: cache-blocked, packed GEMM microkernels
+//! with fused bias + activation epilogues, reusable scratch workspaces and
+//! SIMD-friendly chunked reductions.
+//!
+//! Everything that executes real math in the workspace — `Matrix::matmul`,
+//! `DenseLayer`/`Mlp` forward passes, the feature interaction and the
+//! embedding gather/reduce — routes through this module. Three backends are
+//! offered:
+//!
+//! - [`KernelBackend::Naive`] — the textbook `ijk` triple loop. Slow by
+//!   design; kept as the correctness oracle every optimized backend is
+//!   property-tested against.
+//! - [`KernelBackend::Blocked`] — the default single-threaded kernel:
+//!   `B` is packed block-by-block into contiguous panels, and a 4-row
+//!   microkernel accumulates into output rows that stay resident in L1.
+//! - [`KernelBackend::BlockedParallel`] — the blocked kernel with the
+//!   output rows split into per-thread bands (`std::thread::scope`; no
+//!   external dependency). Only available with the `parallel` feature
+//!   (enabled by default); falls back to [`KernelBackend::Blocked`] for
+//!   small problems where threads would cost more than they save.
+//!
+//! `Blocked` and `BlockedParallel` produce **bitwise-identical** results:
+//! row-band parallelism never changes the floating-point accumulation order
+//! within a row. `Naive` differs only by float-summation order, within
+//! `1e-4` relative tolerance on well-conditioned inputs.
+//!
+//! Steady-state inference performs **zero heap allocations** when driven
+//! through a [`Workspace`]: all intermediates (MLP ping/pong buffers, packed
+//! `B` panels, interaction features) live in buffers that grow to a
+//! high-water mark and are reused across calls.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Rows processed together by the GEMM microkernel.
+const MR: usize = 4;
+/// `k`-dimension block size: one packed panel spans at most `KC` rows of `B`.
+const KC: usize = 256;
+/// `n`-dimension block size: columns of `B` packed per panel.
+const NC: usize = 512;
+/// Minimum FLOP count (`2·m·n·k`) before the parallel path spawns threads.
+const PARALLEL_FLOP_THRESHOLD: usize = 1 << 20;
+/// Chunk width for the unrolled reduction helpers.
+const LANES: usize = 8;
+
+/// Which GEMM implementation executes the dense math.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KernelBackend {
+    /// Textbook `ijk` triple loop — the correctness oracle.
+    Naive,
+    /// Cache-blocked, packed, 4-row microkernel (single-threaded).
+    #[default]
+    Blocked,
+    /// Blocked kernel with row-parallel execution across threads.
+    BlockedParallel,
+}
+
+impl KernelBackend {
+    /// Every available backend, for equivalence sweeps in tests/benches.
+    pub fn all() -> [KernelBackend; 3] {
+        [
+            KernelBackend::Naive,
+            KernelBackend::Blocked,
+            KernelBackend::BlockedParallel,
+        ]
+    }
+
+    /// Short label for bench/report output.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelBackend::Naive => "naive",
+            KernelBackend::Blocked => "blocked",
+            KernelBackend::BlockedParallel => "blocked-parallel",
+        }
+    }
+}
+
+/// Process-wide default backend, encoded for the atomic.
+fn encode(backend: KernelBackend) -> u8 {
+    match backend {
+        KernelBackend::Naive => 0,
+        KernelBackend::Blocked => 1,
+        KernelBackend::BlockedParallel => 2,
+    }
+}
+
+fn decode(value: u8) -> KernelBackend {
+    match value {
+        0 => KernelBackend::Naive,
+        1 => KernelBackend::Blocked,
+        _ => KernelBackend::BlockedParallel,
+    }
+}
+
+static GLOBAL_BACKEND: AtomicU8 = AtomicU8::new(u8::MAX);
+static ENV_BACKEND: OnceLock<KernelBackend> = OnceLock::new();
+
+fn builtin_default() -> KernelBackend {
+    if cfg!(feature = "parallel") {
+        KernelBackend::BlockedParallel
+    } else {
+        KernelBackend::Blocked
+    }
+}
+
+/// The process-wide default backend used by [`Matrix::matmul`] and the
+/// model forward passes.
+///
+/// Resolution order: the last [`set_global_backend`] call, else the
+/// `CENTAUR_KERNEL_BACKEND` environment variable (`naive` | `blocked` |
+/// `parallel`), else `BlockedParallel` when the `parallel` feature is on and
+/// `Blocked` otherwise.
+///
+/// [`Matrix::matmul`]: crate::tensor::Matrix::matmul
+pub fn global_backend() -> KernelBackend {
+    let value = GLOBAL_BACKEND.load(Ordering::Relaxed);
+    if value != u8::MAX {
+        return decode(value);
+    }
+    *ENV_BACKEND.get_or_init(
+        || match std::env::var("CENTAUR_KERNEL_BACKEND").as_deref() {
+            Ok("naive") => KernelBackend::Naive,
+            Ok("blocked") => KernelBackend::Blocked,
+            Ok("parallel") | Ok("blocked-parallel") => KernelBackend::BlockedParallel,
+            _ => builtin_default(),
+        },
+    )
+}
+
+/// Overrides the process-wide default backend.
+///
+/// Prefer the explicit `*_with` APIs in tests — a global override leaks into
+/// concurrently running tests.
+pub fn set_global_backend(backend: KernelBackend) {
+    GLOBAL_BACKEND.store(encode(backend), Ordering::Relaxed);
+}
+
+/// Activation fused into the GEMM epilogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FusedAct {
+    /// No activation.
+    #[default]
+    Identity,
+    /// `max(x, 0)`.
+    Relu,
+    /// Numerically stable logistic sigmoid.
+    Sigmoid,
+}
+
+impl FusedAct {
+    #[inline]
+    fn apply(self, x: f32) -> f32 {
+        match self {
+            FusedAct::Identity => x,
+            FusedAct::Relu => {
+                if x > 0.0 {
+                    x
+                } else {
+                    0.0
+                }
+            }
+            FusedAct::Sigmoid => crate::tensor::sigmoid_scalar(x),
+        }
+    }
+}
+
+/// Reusable scratch buffers for allocation-free inference.
+///
+/// Buffers grow to a high-water mark and never shrink, so after the first
+/// (warm-up) call through any given model shape, forward passes driven by
+/// the same workspace perform no heap allocations (`Naive`/`Blocked`
+/// backends; the parallel backend's thread spawning allocates by nature).
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    /// MLP layer input (ping) buffer.
+    pub(crate) ping: Vec<f32>,
+    /// MLP layer output (pong) buffer.
+    pub(crate) pong: Vec<f32>,
+    /// Packed-`B` panel for the blocked GEMM.
+    pub(crate) pack: Vec<f32>,
+}
+
+impl Workspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Total bytes currently held across all scratch buffers.
+    pub fn capacity_bytes(&self) -> usize {
+        (self.ping.capacity() + self.pong.capacity() + self.pack.capacity())
+            * std::mem::size_of::<f32>()
+    }
+}
+
+/// Grows `buf` to at least `len` elements without ever shrinking it — the
+/// high-water-mark discipline every scratch buffer in the workspace follows.
+#[inline]
+pub fn grow(buf: &mut Vec<f32>, len: usize) {
+    if buf.len() < len {
+        buf.resize(len, 0.0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GEMM
+// ---------------------------------------------------------------------------
+
+/// `out = a · b` where `a` is `[m, k]`, `b` is `[k, n]`, all row-major.
+///
+/// Overwrite semantics: `out` is fully written. Allocates a packing scratch
+/// internally; use [`gemm_into`] with a [`Workspace`] for the zero-alloc
+/// path.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with its shape.
+pub fn gemm(
+    backend: KernelBackend,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let mut pack = Vec::new();
+    gemm_bias_act_into(
+        backend,
+        a,
+        b,
+        None,
+        FusedAct::Identity,
+        out,
+        m,
+        k,
+        n,
+        &mut pack,
+    );
+}
+
+/// [`gemm`] writing its packed panels into a caller-provided workspace.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_into(
+    backend: KernelBackend,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ws: &mut Workspace,
+) {
+    gemm_bias_act_into(
+        backend,
+        a,
+        b,
+        None,
+        FusedAct::Identity,
+        out,
+        m,
+        k,
+        n,
+        &mut ws.pack,
+    );
+}
+
+/// Fused `out = act(a · b + bias)` — GEMM, bias broadcast and activation in
+/// one pass over a single output buffer, with no intermediate matrices.
+///
+/// `bias` is `[n]` broadcast over rows; `None` skips the bias add.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with its shape.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_bias_act(
+    backend: KernelBackend,
+    a: &[f32],
+    b: &[f32],
+    bias: Option<&[f32]>,
+    act: FusedAct,
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let mut pack = Vec::new();
+    gemm_bias_act_into(backend, a, b, bias, act, out, m, k, n, &mut pack);
+}
+
+/// [`gemm_bias_act`] with a caller-provided packing scratch (zero-alloc in
+/// steady state for the `Naive`/`Blocked` backends).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_bias_act_into(
+    backend: KernelBackend,
+    a: &[f32],
+    b: &[f32],
+    bias: Option<&[f32]>,
+    act: FusedAct,
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    pack: &mut Vec<f32>,
+) {
+    assert_eq!(a.len(), m * k, "A length must be m*k");
+    assert_eq!(b.len(), k * n, "B length must be k*n");
+    assert_eq!(out.len(), m * n, "out length must be m*n");
+    if let Some(bias) = bias {
+        assert_eq!(bias.len(), n, "bias length must be n");
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    match backend {
+        KernelBackend::Naive => gemm_naive(a, b, out, m, k, n),
+        KernelBackend::Blocked => gemm_blocked(a, b, out, m, k, n, pack),
+        KernelBackend::BlockedParallel => gemm_parallel(a, b, out, m, k, n, pack),
+    }
+    epilogue(out, bias, act, m, n);
+}
+
+/// Applies the fused bias + activation epilogue over the accumulated output.
+fn epilogue(out: &mut [f32], bias: Option<&[f32]>, act: FusedAct, m: usize, n: usize) {
+    match (bias, act) {
+        (None, FusedAct::Identity) => {}
+        (Some(bias), act) => {
+            for row in out.chunks_exact_mut(n).take(m) {
+                for (o, &b) in row.iter_mut().zip(bias) {
+                    *o = act.apply(*o + b);
+                }
+            }
+        }
+        (None, act) => {
+            for o in out.iter_mut() {
+                *o = act.apply(*o);
+            }
+        }
+    }
+}
+
+/// The correctness oracle: textbook `ijk` loop, scalar accumulator, no
+/// blocking, strided access to `B` — intentionally unoptimized.
+fn gemm_naive(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a[i * k + kk] * b[kk * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+/// Cache-blocked GEMM: packs `B` into `KC × NC` panels and runs the 4-row
+/// microkernel over them. `out` is zeroed first and accumulated across `k`
+/// blocks.
+fn gemm_blocked(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    pack: &mut Vec<f32>,
+) {
+    out.fill(0.0);
+    if k == 0 {
+        return;
+    }
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for kc in (0..k).step_by(KC) {
+            let kcb = KC.min(k - kc);
+            // Pack the B block so the microkernel streams contiguous panels
+            // regardless of the parent matrix's row stride.
+            grow(pack, kcb * nc);
+            for kk in 0..kcb {
+                let src = &b[(kc + kk) * n + jc..(kc + kk) * n + jc + nc];
+                pack[kk * nc..kk * nc + nc].copy_from_slice(src);
+            }
+            let packed = &pack[..kcb * nc];
+
+            let mut i = 0;
+            while i + MR <= m {
+                microkernel_4(a, packed, out, i, kc, kcb, jc, nc, k, n);
+                i += MR;
+            }
+            while i < m {
+                microkernel_1(a, packed, out, i, kc, kcb, jc, nc, k, n);
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Accumulates 4 consecutive output rows against one packed `B` panel. The
+/// 4 output row segments (≤ `NC` floats each) stay L1-resident across the
+/// whole `k` block, and the inner loop is a pure vectorizable AXPY.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn microkernel_4(
+    a: &[f32],
+    packed: &[f32],
+    out: &mut [f32],
+    i: usize,
+    kc: usize,
+    kcb: usize,
+    jc: usize,
+    nc: usize,
+    k: usize,
+    n: usize,
+) {
+    let rows = &mut out[i * n..(i + MR) * n];
+    let (r0, rest) = rows.split_at_mut(n);
+    let (r1, rest) = rest.split_at_mut(n);
+    let (r2, r3) = rest.split_at_mut(n);
+    let o0 = &mut r0[jc..jc + nc];
+    let o1 = &mut r1[jc..jc + nc];
+    let o2 = &mut r2[jc..jc + nc];
+    let o3 = &mut r3[jc..jc + nc];
+    for kk in 0..kcb {
+        let a0 = a[i * k + kc + kk];
+        let a1 = a[(i + 1) * k + kc + kk];
+        let a2 = a[(i + 2) * k + kc + kk];
+        let a3 = a[(i + 3) * k + kc + kk];
+        let brow = &packed[kk * nc..kk * nc + nc];
+        for j in 0..nc {
+            let bv = brow[j];
+            o0[j] += a0 * bv;
+            o1[j] += a1 * bv;
+            o2[j] += a2 * bv;
+            o3[j] += a3 * bv;
+        }
+    }
+}
+
+/// Single-row edge case of the microkernel.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn microkernel_1(
+    a: &[f32],
+    packed: &[f32],
+    out: &mut [f32],
+    i: usize,
+    kc: usize,
+    kcb: usize,
+    jc: usize,
+    nc: usize,
+    k: usize,
+    n: usize,
+) {
+    let o = &mut out[i * n + jc..i * n + jc + nc];
+    for kk in 0..kcb {
+        let av = a[i * k + kc + kk];
+        let brow = &packed[kk * nc..kk * nc + nc];
+        for j in 0..nc {
+            o[j] += av * brow[j];
+        }
+    }
+}
+
+/// Row-parallel blocked GEMM: output rows are split into per-thread bands
+/// and each band runs the single-threaded blocked kernel independently
+/// (bitwise-identical results to [`KernelBackend::Blocked`]).
+#[cfg(feature = "parallel")]
+fn gemm_parallel(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    pack: &mut Vec<f32>,
+) {
+    let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+    // One band per MR-multiple of rows, at most one per hardware thread.
+    let max_bands = m.div_ceil(MR);
+    let bands = threads.min(max_bands);
+    if bands <= 1 || 2 * m * n * k < PARALLEL_FLOP_THRESHOLD {
+        return gemm_blocked(a, b, out, m, k, n, pack);
+    }
+    // Round band height to a multiple of MR so only the last band hits the
+    // single-row edge path.
+    let band_rows = m.div_ceil(bands).div_ceil(MR) * MR;
+    std::thread::scope(|scope| {
+        for (band, out_band) in out.chunks_mut(band_rows * n).enumerate() {
+            let row0 = band * band_rows;
+            let rows = out_band.len() / n;
+            let a_band = &a[row0 * k..(row0 + rows) * k];
+            scope.spawn(move || {
+                let mut pack = Vec::new();
+                gemm_blocked(a_band, b, out_band, rows, k, n, &mut pack);
+            });
+        }
+    });
+}
+
+/// Without the `parallel` feature the parallel backend degrades to the
+/// blocked kernel.
+#[cfg(not(feature = "parallel"))]
+fn gemm_parallel(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    pack: &mut Vec<f32>,
+) {
+    gemm_blocked(a, b, out, m, k, n, pack)
+}
+
+// ---------------------------------------------------------------------------
+// Chunked reductions (gather/reduce building blocks)
+// ---------------------------------------------------------------------------
+
+/// `acc[i] += row[i]`, unrolled in chunks of [`LANES`] so the compiler emits
+/// straight-line vector adds.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn add_assign(acc: &mut [f32], row: &[f32]) {
+    assert_eq!(acc.len(), row.len(), "reduction width mismatch");
+    let mut acc_chunks = acc.chunks_exact_mut(LANES);
+    let mut row_chunks = row.chunks_exact(LANES);
+    for (a, r) in acc_chunks.by_ref().zip(row_chunks.by_ref()) {
+        for l in 0..LANES {
+            a[l] += r[l];
+        }
+    }
+    for (a, r) in acc_chunks
+        .into_remainder()
+        .iter_mut()
+        .zip(row_chunks.remainder())
+    {
+        *a += r;
+    }
+}
+
+/// `acc[i] = max(acc[i], row[i])`, chunked like [`add_assign`].
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn max_assign(acc: &mut [f32], row: &[f32]) {
+    assert_eq!(acc.len(), row.len(), "reduction width mismatch");
+    let mut acc_chunks = acc.chunks_exact_mut(LANES);
+    let mut row_chunks = row.chunks_exact(LANES);
+    for (a, r) in acc_chunks.by_ref().zip(row_chunks.by_ref()) {
+        for l in 0..LANES {
+            if r[l] > a[l] {
+                a[l] = r[l];
+            }
+        }
+    }
+    for (a, r) in acc_chunks
+        .into_remainder()
+        .iter_mut()
+        .zip(row_chunks.remainder())
+    {
+        if *r > *a {
+            *a = *r;
+        }
+    }
+}
+
+/// `acc[i] *= s`.
+#[inline]
+pub fn scale(acc: &mut [f32], s: f32) {
+    for a in acc.iter_mut() {
+        *a *= s;
+    }
+}
+
+/// Dot product of two equal-length slices, accumulated in [`LANES`] partial
+/// sums so the compiler can keep them in vector registers.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dot width mismatch");
+    let mut lanes = [0.0f32; LANES];
+    let mut xc = x.chunks_exact(LANES);
+    let mut yc = y.chunks_exact(LANES);
+    for (a, b) in xc.by_ref().zip(yc.by_ref()) {
+        for l in 0..LANES {
+            lanes[l] += a[l] * b[l];
+        }
+    }
+    let mut acc: f32 = lanes.iter().sum();
+    for (a, b) in xc.remainder().iter().zip(yc.remainder()) {
+        acc += a * b;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(m: usize, n: usize, f: impl Fn(usize, usize) -> f32) -> Vec<f32> {
+        let mut v = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                v[i * n + j] = f(i, j);
+            }
+        }
+        v
+    }
+
+    fn max_rel_diff(a: &[f32], b: &[f32]) -> f32 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs() / x.abs().max(y.abs()).max(1.0))
+            .fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn blocked_matches_naive_across_shapes() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (1, 7, 5),
+            (5, 7, 1),
+            (4, 4, 4),
+            (3, 300, 9),
+            (17, 33, 65),
+            (64, 128, 64),
+            (70, 513, 70),
+        ] {
+            let a = fill(m, k, |i, j| ((i * 13 + j * 7) % 19) as f32 * 0.25 - 2.0);
+            let b = fill(k, n, |i, j| ((i * 5 + j * 11) % 17) as f32 * 0.125 - 1.0);
+            let mut naive = vec![0.0; m * n];
+            let mut blocked = vec![0.0; m * n];
+            let mut parallel = vec![0.0; m * n];
+            gemm(KernelBackend::Naive, &a, &b, &mut naive, m, k, n);
+            gemm(KernelBackend::Blocked, &a, &b, &mut blocked, m, k, n);
+            gemm(
+                KernelBackend::BlockedParallel,
+                &a,
+                &b,
+                &mut parallel,
+                m,
+                k,
+                n,
+            );
+            assert!(
+                max_rel_diff(&naive, &blocked) < 1e-4,
+                "blocked mismatch at {m}x{k}x{n}"
+            );
+            // Row-band parallelism must be bitwise identical to blocked.
+            assert_eq!(blocked, parallel, "parallel mismatch at {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn fused_epilogue_matches_separate_ops() {
+        let (m, k, n) = (6, 40, 10);
+        let a = fill(m, k, |i, j| (i as f32 - j as f32) * 0.1);
+        let b = fill(k, n, |i, j| ((i + j) % 7) as f32 * 0.2 - 0.5);
+        let bias: Vec<f32> = (0..n).map(|j| j as f32 * 0.3 - 1.0).collect();
+        let mut plain = vec![0.0; m * n];
+        gemm(KernelBackend::Blocked, &a, &b, &mut plain, m, k, n);
+        let mut fused = vec![0.0; m * n];
+        gemm_bias_act(
+            KernelBackend::Blocked,
+            &a,
+            &b,
+            Some(&bias),
+            FusedAct::Relu,
+            &mut fused,
+            m,
+            k,
+            n,
+        );
+        for i in 0..m {
+            for j in 0..n {
+                let expected = (plain[i * n + j] + bias[j]).max(0.0);
+                assert!((fused[i * n + j] - expected).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_into_is_alloc_free_after_warmup() {
+        let (m, k, n) = (8, 300, 40);
+        let a = fill(m, k, |i, j| (i + j) as f32 * 0.01);
+        let b = fill(k, n, |i, j| (i as f32 - j as f32) * 0.01);
+        let mut out = vec![0.0; m * n];
+        let mut ws = Workspace::new();
+        gemm_into(KernelBackend::Blocked, &a, &b, &mut out, m, k, n, &mut ws);
+        let cap = ws.pack.capacity();
+        for _ in 0..3 {
+            gemm_into(KernelBackend::Blocked, &a, &b, &mut out, m, k, n, &mut ws);
+        }
+        assert_eq!(ws.pack.capacity(), cap, "pack buffer must not regrow");
+    }
+
+    #[test]
+    fn empty_dims_are_noops() {
+        let mut out = vec![7.0; 0];
+        gemm(KernelBackend::Blocked, &[], &[], &mut out, 0, 3, 0);
+        // k == 0: the product is the zero matrix.
+        let mut out = [0.5, 0.5];
+        gemm(KernelBackend::Blocked, &[], &[], &mut out, 2, 0, 1);
+        assert_eq!(out, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn reductions_match_scalar_loops() {
+        let row: Vec<f32> = (0..37).map(|i| i as f32 * 0.5 - 9.0).collect();
+        let other: Vec<f32> = (0..37).map(|i| ((i * 7) % 11) as f32 - 5.0).collect();
+        let mut acc = row.clone();
+        add_assign(&mut acc, &other);
+        for i in 0..37 {
+            assert_eq!(acc[i], row[i] + other[i]);
+        }
+        let mut acc = row.clone();
+        max_assign(&mut acc, &other);
+        for i in 0..37 {
+            assert_eq!(acc[i], row[i].max(other[i]));
+        }
+        let d = dot(&row, &other);
+        let expected: f32 = row.iter().zip(&other).map(|(a, b)| a * b).sum();
+        assert!((d - expected).abs() < 1e-3);
+        let mut acc = row.clone();
+        scale(&mut acc, 0.5);
+        assert_eq!(acc[4], row[4] * 0.5);
+    }
+
+    #[test]
+    fn backend_labels_and_global_default() {
+        assert_eq!(KernelBackend::Naive.label(), "naive");
+        assert_eq!(KernelBackend::all().len(), 3);
+        // The global default must be one of the optimized backends.
+        assert_ne!(global_backend(), KernelBackend::Naive);
+    }
+}

@@ -47,6 +47,7 @@ pub mod config;
 pub mod embedding;
 pub mod error;
 pub mod interaction;
+pub mod kernel;
 pub mod mlp;
 pub mod model;
 pub mod tensor;
@@ -56,8 +57,9 @@ pub use config::{ModelConfig, ModelConfigBuilder, PaperModel};
 pub use embedding::{EmbeddingBag, EmbeddingTable, ReductionOp};
 pub use error::DlrmError;
 pub use interaction::FeatureInteraction;
-pub use mlp::{Activation, DenseLayer, Mlp};
-pub use model::{DlrmModel, ForwardBreakdown};
+pub use kernel::{global_backend, set_global_backend, FusedAct, KernelBackend, Workspace};
+pub use mlp::{Activation, DenseLayer, Mlp, MlpStack};
+pub use model::{DlrmModel, ForwardBreakdown, ModelWorkspace};
 pub use tensor::Matrix;
 pub use trace::{EmbeddingAccess, GatherTrace, InferenceTrace};
 

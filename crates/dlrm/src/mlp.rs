@@ -2,6 +2,7 @@
 //! activations and MLP stacks used for the bottom and top MLPs of DLRM.
 
 use crate::error::DlrmError;
+use crate::kernel::{self, grow, FusedAct, KernelBackend, Workspace};
 use crate::tensor::{gemm_flops, Matrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -25,6 +26,15 @@ impl Activation {
             Activation::Relu => input.relu(),
             Activation::Sigmoid => input.sigmoid(),
             Activation::Identity => input.clone(),
+        }
+    }
+
+    /// The fused-epilogue equivalent used by the optimized kernels.
+    pub fn fused(self) -> FusedAct {
+        match self {
+            Activation::Relu => FusedAct::Relu,
+            Activation::Sigmoid => FusedAct::Sigmoid,
+            Activation::Identity => FusedAct::Identity,
         }
     }
 }
@@ -64,9 +74,7 @@ impl DenseLayer {
     pub fn random(in_dim: usize, out_dim: usize, activation: Activation, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let limit = (6.0 / (in_dim + out_dim) as f32).sqrt();
-        let weights = Matrix::from_fn(in_dim, out_dim, |_, _| {
-            rng.gen_range(-limit..limit)
-        });
+        let weights = Matrix::from_fn(in_dim, out_dim, |_, _| rng.gen_range(-limit..limit));
         let bias = Matrix::from_fn(1, out_dim, |_, _| rng.gen_range(-0.01..0.01));
         DenseLayer {
             weights,
@@ -115,14 +123,79 @@ impl DenseLayer {
         gemm_flops(batch, self.out_dim(), self.in_dim()) + (batch * self.out_dim()) as u64
     }
 
-    /// Forward pass: `act(input * W + b)`.
+    /// Forward pass: `act(input * W + b)`, computed by the fused
+    /// GEMM + bias + activation kernel on the process-wide default backend —
+    /// one output allocation, no intermediate matrices.
     ///
     /// # Errors
     ///
     /// Returns [`DlrmError::ShapeMismatch`] if `input.cols() != in_dim`.
     pub fn forward(&self, input: &Matrix) -> Result<Matrix, DlrmError> {
-        let z = input.matmul(&self.weights)?.add_bias(&self.bias)?;
-        Ok(self.activation.apply(&z))
+        self.forward_with(kernel::global_backend(), input)
+    }
+
+    /// [`DenseLayer::forward`] on an explicit backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlrmError::ShapeMismatch`] if `input.cols() != in_dim`.
+    pub fn forward_with(
+        &self,
+        backend: KernelBackend,
+        input: &Matrix,
+    ) -> Result<Matrix, DlrmError> {
+        self.check_input(input.cols())?;
+        let mut out = Matrix::zeros(input.rows(), self.out_dim());
+        let mut pack = Vec::new();
+        self.forward_into(
+            backend,
+            input.as_slice(),
+            input.rows(),
+            out.as_mut_slice(),
+            &mut pack,
+        );
+        Ok(out)
+    }
+
+    /// Allocation-free forward pass into a caller-provided output buffer
+    /// (`[batch, out_dim]`), using `pack` as the GEMM packing scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != batch * in_dim` or
+    /// `out.len() != batch * out_dim` (shape validation is the caller's job
+    /// on this hot path).
+    pub fn forward_into(
+        &self,
+        backend: KernelBackend,
+        input: &[f32],
+        batch: usize,
+        out: &mut [f32],
+        pack: &mut Vec<f32>,
+    ) {
+        kernel::gemm_bias_act_into(
+            backend,
+            input,
+            self.weights.as_slice(),
+            Some(self.bias.as_slice()),
+            self.activation.fused(),
+            out,
+            batch,
+            self.in_dim(),
+            self.out_dim(),
+            pack,
+        );
+    }
+
+    fn check_input(&self, cols: usize) -> Result<(), DlrmError> {
+        if cols != self.in_dim() {
+            return Err(DlrmError::ShapeMismatch {
+                op: "dense layer input",
+                lhs: (1, self.in_dim()),
+                rhs: (1, cols),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -157,7 +230,7 @@ impl Mlp {
                 "an MLP needs at least an input and an output width, got {dims:?}"
             )));
         }
-        if dims.iter().any(|&d| d == 0) {
+        if dims.contains(&0) {
             return Err(DlrmError::InvalidConfig(
                 "MLP layer widths must be non-zero".to_string(),
             ));
@@ -233,17 +306,108 @@ impl Mlp {
 
     /// Forward pass through every layer in order.
     ///
+    /// Uses an internal scratch [`Workspace`] (two ping/pong buffers for the
+    /// whole stack instead of several allocations per layer); callers on the
+    /// steady-state path should hold their own workspace and use
+    /// [`Mlp::forward_ws`], which allocates nothing at all.
+    ///
     /// # Errors
     ///
     /// Propagates shape mismatches from the individual layers.
     pub fn forward(&self, input: &Matrix) -> Result<Matrix, DlrmError> {
-        let mut x = input.clone();
-        for layer in &self.layers {
-            x = layer.forward(&x)?;
+        self.forward_with(kernel::global_backend(), input)
+    }
+
+    /// [`Mlp::forward`] on an explicit backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape mismatches from the individual layers.
+    pub fn forward_with(
+        &self,
+        backend: KernelBackend,
+        input: &Matrix,
+    ) -> Result<Matrix, DlrmError> {
+        let mut ws = Workspace::new();
+        let batch = input.rows();
+        let (data, cols) =
+            self.forward_ws(backend, input.as_slice(), batch, input.cols(), &mut ws)?;
+        Matrix::from_vec(batch, cols, data.to_vec())
+    }
+
+    /// Zero-allocation forward pass: runs the whole stack through the
+    /// workspace's ping/pong buffers and returns the output as
+    /// `(data, out_cols)` borrowed from the workspace.
+    ///
+    /// After the workspace has warmed up to the model's widest layer, this
+    /// performs **no heap allocations** per call (`Naive`/`Blocked`
+    /// backends).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlrmError::ShapeMismatch`] if `in_cols` does not match the
+    /// first layer, or [`DlrmError::BatchMismatch`] if
+    /// `input.len() != batch * in_cols`.
+    pub fn forward_ws<'w>(
+        &self,
+        backend: KernelBackend,
+        input: &[f32],
+        batch: usize,
+        in_cols: usize,
+        ws: &'w mut Workspace,
+    ) -> Result<(&'w [f32], usize), DlrmError> {
+        if input.len() != batch * in_cols {
+            return Err(DlrmError::BatchMismatch {
+                what: "mlp input length vs batch * in_cols",
+                left: input.len(),
+                right: batch * in_cols,
+            });
         }
-        Ok(x)
+        if let Some(first) = self.layers.first() {
+            if in_cols != first.in_dim() {
+                return Err(DlrmError::ShapeMismatch {
+                    op: "mlp input",
+                    lhs: (batch, first.in_dim()),
+                    rhs: (batch, in_cols),
+                });
+            }
+        }
+        // Size both ping/pong buffers to the widest layer up front: the
+        // buffers swap roles every layer, so growing lazily inside the loop
+        // would keep reallocating on stacks with an odd number of layers.
+        let max_width = self
+            .layers
+            .iter()
+            .map(DenseLayer::out_dim)
+            .fold(in_cols, usize::max);
+        grow(&mut ws.ping, batch * max_width);
+        grow(&mut ws.pong, batch * max_width);
+        ws.ping[..input.len()].copy_from_slice(input);
+        let mut cols = in_cols;
+        for layer in &self.layers {
+            let out_len = batch * layer.out_dim();
+            // Split the borrows: read from ping, write into pong, pack in
+            // its own buffer; then swap the ping/pong roles.
+            let Workspace {
+                ping, pong, pack, ..
+            } = ws;
+            layer.forward_into(
+                backend,
+                &ping[..batch * cols],
+                batch,
+                &mut pong[..out_len],
+                pack,
+            );
+            std::mem::swap(&mut ws.ping, &mut ws.pong);
+            cols = layer.out_dim();
+        }
+        Ok((&ws.ping[..batch * cols], cols))
     }
 }
+
+/// The paper-facing name for a stack of dense layers; `MlpStack` and
+/// [`Mlp`] are the same type.
+pub type MlpStack = Mlp;
 
 #[cfg(test)]
 mod tests {

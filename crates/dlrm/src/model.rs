@@ -5,6 +5,7 @@ use crate::config::ModelConfig;
 use crate::embedding::{EmbeddingBag, EmbeddingTable, ReductionOp};
 use crate::error::DlrmError;
 use crate::interaction::FeatureInteraction;
+use crate::kernel::{self, grow, KernelBackend, Workspace};
 use crate::mlp::{Activation, Mlp};
 use crate::tensor::Matrix;
 
@@ -25,6 +26,36 @@ pub struct DlrmModel {
     embeddings: EmbeddingBag,
     interaction: FeatureInteraction,
     top_mlp: Mlp,
+}
+
+/// Reusable scratch for the zero-allocation model forward path: the MLP
+/// ping/pong/pack workspace plus the interaction input/output buffers.
+///
+/// Hold one per serving thread and feed it to
+/// [`DlrmModel::forward_sample_ws`] / [`DlrmModel::forward_batch_with`];
+/// after the first (warm-up) call every buffer has reached its high-water
+/// mark and steady-state inference allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct ModelWorkspace {
+    /// MLP scratch (ping/pong layer buffers + GEMM packing panel).
+    mlp: Workspace,
+    /// Interaction input: `[num_tables + 1, embedding_dim]` row-major.
+    features: Vec<f32>,
+    /// Interaction output: `[1, output_dim]`.
+    interact: Vec<f32>,
+}
+
+impl ModelWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        ModelWorkspace::default()
+    }
+
+    /// Total bytes currently held across all scratch buffers.
+    pub fn capacity_bytes(&self) -> usize {
+        self.mlp.capacity_bytes()
+            + (self.features.capacity() + self.interact.capacity()) * std::mem::size_of::<f32>()
+    }
 }
 
 /// Intermediate results of a single-sample forward pass, exposed so that
@@ -207,11 +238,17 @@ impl DlrmModel {
         dense: &Matrix,
         indices_per_table: &[Vec<u32>],
     ) -> Result<Vec<f32>, DlrmError> {
-        Ok(vec![self.forward_breakdown(dense, indices_per_table)?.probability])
+        Ok(vec![
+            self.forward_breakdown(dense, indices_per_table)?
+                .probability,
+        ])
     }
 
     /// Runs a batched forward pass: one dense-feature row and one per-table
     /// index list per sample. Returns one probability per sample.
+    ///
+    /// Internally reuses one [`ModelWorkspace`] across the whole batch, so
+    /// per-sample work is allocation-free after the first sample.
     ///
     /// # Errors
     ///
@@ -222,6 +259,20 @@ impl DlrmModel {
         dense: &Matrix,
         batch_indices: &[Vec<Vec<u32>>],
     ) -> Result<Vec<f32>, DlrmError> {
+        self.forward_batch_with(kernel::global_backend(), dense, batch_indices)
+    }
+
+    /// [`DlrmModel::forward_batch`] on an explicit [`KernelBackend`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DlrmModel::forward_batch`].
+    pub fn forward_batch_with(
+        &self,
+        backend: KernelBackend,
+        dense: &Matrix,
+        batch_indices: &[Vec<Vec<u32>>],
+    ) -> Result<Vec<f32>, DlrmError> {
         if dense.rows() != batch_indices.len() {
             return Err(DlrmError::BatchMismatch {
                 what: "dense rows vs sparse samples",
@@ -229,12 +280,85 @@ impl DlrmModel {
                 right: batch_indices.len(),
             });
         }
+        let mut ws = ModelWorkspace::new();
         let mut out = Vec::with_capacity(batch_indices.len());
         for (i, indices) in batch_indices.iter().enumerate() {
-            let row = Matrix::row_vector(dense.row(i));
-            out.push(self.forward_breakdown(&row, indices)?.probability);
+            out.push(self.forward_sample_ws(backend, dense.row(i), indices, &mut ws)?);
         }
         Ok(out)
+    }
+
+    /// The zero-allocation hot path: one sample end to end (bottom MLP,
+    /// gather/reduce, interaction, top MLP, sigmoid) with every
+    /// intermediate written into `ws`. Numerically identical to
+    /// [`DlrmModel::forward_breakdown`] on the same backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape and index errors from the individual stages.
+    pub fn forward_sample_ws(
+        &self,
+        backend: KernelBackend,
+        dense_row: &[f32],
+        indices_per_table: &[Vec<u32>],
+        ws: &mut ModelWorkspace,
+    ) -> Result<f32, DlrmError> {
+        let dense_width = self.config.dense_features;
+        if dense_row.len() != dense_width {
+            return Err(DlrmError::ShapeMismatch {
+                op: "dense features",
+                lhs: (1, dense_width),
+                rhs: (1, dense_row.len()),
+            });
+        }
+        let dim = self.config.embedding_dim;
+        let num_features = self.interaction.num_features();
+        let interact_width = self.interaction.output_dim();
+        grow(&mut ws.features, num_features * dim);
+        grow(&mut ws.interact, interact_width);
+
+        // 1. Embedding gathers + reductions, straight into interaction
+        //    feature rows 1..=num_tables.
+        self.embeddings
+            .reduce_into_slice(indices_per_table, &mut ws.features[dim..num_features * dim])?;
+
+        // 2. Bottom MLP into interaction feature row 0.
+        {
+            let ModelWorkspace { mlp, features, .. } = ws;
+            let (bottom, cols) =
+                self.bottom_mlp
+                    .forward_ws(backend, dense_row, 1, dense_width, mlp)?;
+            if cols != dim {
+                return Err(DlrmError::ShapeMismatch {
+                    op: "bottom MLP output",
+                    lhs: (1, dim),
+                    rhs: (1, cols),
+                });
+            }
+            features[..dim].copy_from_slice(bottom);
+        }
+
+        // 3. Dot-product feature interaction.
+        {
+            let ModelWorkspace {
+                features, interact, ..
+            } = ws;
+            self.interaction.interact_into(
+                &features[..num_features * dim],
+                &mut interact[..interact_width],
+            );
+        }
+
+        // 4. Top MLP + sigmoid.
+        let ModelWorkspace { mlp, interact, .. } = ws;
+        let (top, _) = self.top_mlp.forward_ws(
+            backend,
+            &interact[..interact_width],
+            1,
+            interact_width,
+            mlp,
+        )?;
+        Ok(crate::tensor::sigmoid_scalar(top[0]))
     }
 }
 
@@ -259,7 +383,11 @@ mod tests {
 
     fn tiny_indices(config: &ModelConfig) -> Vec<Vec<u32>> {
         (0..config.num_tables)
-            .map(|t| (0..config.lookups_per_table as u32).map(|i| (t as u32 * 7 + i) % 64).collect())
+            .map(|t| {
+                (0..config.lookups_per_table as u32)
+                    .map(|i| (t as u32 * 7 + i) % 64)
+                    .collect()
+            })
             .collect()
     }
 
@@ -268,7 +396,9 @@ mod tests {
         let config = tiny_config();
         let model = DlrmModel::random(&config, 1).unwrap();
         let dense = Matrix::from_fn(1, 5, |_, c| c as f32 * 0.2 - 0.4);
-        let p = model.forward_single(&dense, &tiny_indices(&config)).unwrap();
+        let p = model
+            .forward_single(&dense, &tiny_indices(&config))
+            .unwrap();
         assert_eq!(p.len(), 1);
         assert!((0.0..=1.0).contains(&p[0]));
     }
@@ -278,7 +408,9 @@ mod tests {
         let config = tiny_config();
         let model = DlrmModel::random(&config, 2).unwrap();
         let dense = Matrix::filled(1, 5, 0.1);
-        let b = model.forward_breakdown(&dense, &tiny_indices(&config)).unwrap();
+        let b = model
+            .forward_breakdown(&dense, &tiny_indices(&config))
+            .unwrap();
         assert_eq!(b.bottom_output.shape(), (1, 8));
         assert_eq!(b.reduced_embeddings.shape(), (3, 8));
         assert_eq!(b.interaction_input.shape(), (4, 8));
@@ -336,7 +468,9 @@ mod tests {
         let config = tiny_config();
         let model = DlrmModel::random(&config, 6).unwrap();
         let wrong = Matrix::zeros(1, 4);
-        assert!(model.forward_single(&wrong, &tiny_indices(&config)).is_err());
+        assert!(model
+            .forward_single(&wrong, &tiny_indices(&config))
+            .is_err());
     }
 
     #[test]
@@ -370,7 +504,11 @@ mod tests {
         let model = DlrmModel::random(&config, 9).unwrap();
         let dense = Matrix::filled(1, 13, 0.05);
         let indices: Vec<Vec<u32>> = (0..config.num_tables)
-            .map(|t| (0..config.lookups_per_table as u32).map(|i| (t as u32 + i * 11) % 128).collect())
+            .map(|t| {
+                (0..config.lookups_per_table as u32)
+                    .map(|i| (t as u32 + i * 11) % 128)
+                    .collect()
+            })
             .collect();
         let p = model.forward_single(&dense, &indices).unwrap();
         assert!((0.0..=1.0).contains(&p[0]));
@@ -381,7 +519,9 @@ mod tests {
         let config = tiny_config();
         let model = DlrmModel::random(&config, 10).unwrap();
         let dense = Matrix::filled(1, 5, 0.1);
-        let a = model.forward_single(&dense, &tiny_indices(&config)).unwrap();
+        let a = model
+            .forward_single(&dense, &tiny_indices(&config))
+            .unwrap();
         let other: Vec<Vec<u32>> = (0..3).map(|t| vec![60 - t as u32]).collect();
         let b = model.forward_single(&dense, &other).unwrap();
         assert_ne!(a, b);

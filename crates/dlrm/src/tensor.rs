@@ -1,12 +1,15 @@
 //! A minimal dense matrix type and the numeric kernels (GEMM, bias,
 //! activations) the DLRM reference model is built from.
 //!
-//! The matrix is deliberately simple — row-major `Vec<f32>` storage — because
-//! the point of this crate is semantic clarity, not raw speed. The Criterion
-//! benches in `centaur-bench` still exercise these kernels so the relative
-//! cost of dense layers is visible.
+//! The matrix is row-major `Vec<f32>` storage for semantic clarity; the
+//! heavy math (GEMM, fused bias/activation) is delegated to the optimized
+//! backends in [`crate::kernel`], with [`KernelBackend::Naive`] retained as
+//! the correctness oracle. The Criterion benches in `centaur-bench` and
+//! `centaur-dlrm` exercise these kernels so the relative cost of dense
+//! layers is visible.
 
 use crate::error::DlrmError;
+use crate::kernel::KernelBackend;
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
 
@@ -153,15 +156,54 @@ impl Matrix {
         self.data[r * self.cols + c] = value;
     }
 
-    /// Matrix product `self * rhs`.
-    ///
-    /// This is the naive triple loop with the inner loop over `k` hoisted so
-    /// the access pattern is row-major friendly (an "ikj" loop order).
+    /// Matrix product `self * rhs`, executed by the process-wide default
+    /// [`KernelBackend`] (the cache-blocked kernel unless overridden).
     ///
     /// # Errors
     ///
     /// Returns [`DlrmError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, DlrmError> {
+        self.matmul_with(crate::kernel::global_backend(), rhs)
+    }
+
+    /// Matrix product `self * rhs` on an explicit [`KernelBackend`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlrmError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn matmul_with(&self, backend: KernelBackend, rhs: &Matrix) -> Result<Matrix, DlrmError> {
+        if self.cols != rhs.rows {
+            return Err(DlrmError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        crate::kernel::gemm(
+            backend,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            rhs.cols,
+        );
+        Ok(out)
+    }
+
+    /// Matrix product for a *sparse* left operand: skips zero elements of
+    /// `self` in an `ikj` loop.
+    ///
+    /// The zero-skip branch used to live in [`Matrix::matmul`], where it
+    /// poisoned branch prediction on dense data; it only pays off when the
+    /// left operand is mostly zeros (e.g. one-hot/multi-hot encodings), so
+    /// it now lives in this explicitly sparse-aware entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlrmError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn matmul_sparse_aware(&self, rhs: &Matrix) -> Result<Matrix, DlrmError> {
         if self.cols != rhs.rows {
             return Err(DlrmError::ShapeMismatch {
                 op: "matmul",
@@ -327,7 +369,12 @@ impl fmt::Display for Matrix {
         for r in 0..self.rows.min(8) {
             let row = self.row(r);
             let shown: Vec<String> = row.iter().take(8).map(|x| format!("{x:.4}")).collect();
-            writeln!(f, "  [{}{}]", shown.join(", "), if self.cols > 8 { ", ..." } else { "" })?;
+            writeln!(
+                f,
+                "  [{}{}]",
+                shown.join(", "),
+                if self.cols > 8 { ", ..." } else { "" }
+            )?;
         }
         if self.rows > 8 {
             writeln!(f, "  ...")?;
@@ -449,9 +496,30 @@ mod tests {
     fn matmul_matches_naive() {
         let a = Matrix::from_fn(3, 5, |r, c| (r * 5 + c) as f32 * 0.25 - 1.0);
         let b = Matrix::from_fn(5, 4, |r, c| (r as f32 - c as f32) * 0.5);
-        let fast = a.matmul(&b).unwrap();
         let slow = naive_matmul(&a, &b);
-        assert!(fast.max_abs_diff(&slow) < 1e-5);
+        for backend in KernelBackend::all() {
+            let fast = a.matmul_with(backend, &b).unwrap();
+            assert!(fast.max_abs_diff(&slow) < 1e-5, "{backend:?}");
+        }
+        assert!(a.matmul(&b).unwrap().max_abs_diff(&slow) < 1e-5);
+    }
+
+    #[test]
+    fn sparse_aware_matmul_matches_dense() {
+        // Mostly-zero left operand: the sparse-aware path must agree with
+        // the dense kernels.
+        let a = Matrix::from_fn(4, 6, |r, c| {
+            if (r + c) % 3 == 0 {
+                (r + c) as f32
+            } else {
+                0.0
+            }
+        });
+        let b = Matrix::from_fn(6, 5, |r, c| (r as f32 - c as f32) * 0.5);
+        let dense = a.matmul(&b).unwrap();
+        let sparse = a.matmul_sparse_aware(&b).unwrap();
+        assert!(dense.max_abs_diff(&sparse) < 1e-5);
+        assert!(a.matmul_sparse_aware(&Matrix::zeros(4, 2)).is_err());
     }
 
     #[test]

@@ -123,7 +123,7 @@ impl TableLayout {
     /// aligned up to a 4 KiB page boundary.
     pub fn new(base: u64, num_tables: usize, rows_per_table: u64, row_bytes: u64) -> Self {
         let raw = rows_per_table * row_bytes;
-        let table_stride = (raw + 4095) / 4096 * 4096;
+        let table_stride = raw.div_ceil(4096) * 4096;
         TableLayout {
             base,
             row_bytes,
@@ -320,7 +320,11 @@ mod tests {
         let per_sample: Vec<SampleTrace> = (0..4)
             .map(|s| SampleTrace {
                 rows_per_table: (0..c.num_tables)
-                    .map(|t| (0..c.lookups_per_table as u64).map(|i| (s + t as u64 + i) % 1000).collect())
+                    .map(|t| {
+                        (0..c.lookups_per_table as u64)
+                            .map(|i| (s + t as u64 + i) % 1000)
+                            .collect()
+                    })
                     .collect(),
             })
             .collect();

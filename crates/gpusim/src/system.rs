@@ -107,8 +107,8 @@ impl CpuGpuSystem {
         //    probabilities back.
         let h2d_bytes = Self::host_to_device_bytes(model, batch);
         let d2h_bytes = 4 * batch as u64;
-        let transfer_ns = self.gpu.pcie.transfer_time_ns(h2d_bytes)
-            + self.gpu.pcie.transfer_time_ns(d2h_bytes);
+        let transfer_ns =
+            self.gpu.pcie.transfer_time_ns(h2d_bytes) + self.gpu.pcie.transfer_time_ns(d2h_bytes);
 
         // 3. GPU dense execution: same operator count as the CPU, but each
         //    operator pays a kernel-launch overhead and runs at GPU GEMM

@@ -156,7 +156,8 @@ mod tests {
         let m = AddressMapping::broadwell_like();
         // Walk addresses that stay in channel 0, bank 0, rank 0: stride =
         // channels * banks * ranks lines.
-        let stride = (m.channels * m.banks_per_rank * m.ranks_per_channel) as u64 * CACHE_LINE_BYTES;
+        let stride =
+            (m.channels * m.banks_per_rank * m.ranks_per_channel) as u64 * CACHE_LINE_BYTES;
         let first = m.map(0);
         let lines_per_row = m.lines_per_row();
         let same_row = m.map(stride * (lines_per_row - 1));

@@ -34,7 +34,10 @@ impl CacheConfig {
     /// Panics if the capacity is not an exact multiple of `ways *
     /// CACHE_LINE_BYTES`, or if either is zero.
     pub fn new(size_bytes: u64, ways: usize, latency_ns: f64) -> Self {
-        assert!(size_bytes > 0 && ways > 0, "cache geometry must be non-zero");
+        assert!(
+            size_bytes > 0 && ways > 0,
+            "cache geometry must be non-zero"
+        );
         assert_eq!(
             size_bytes % (ways as u64 * CACHE_LINE_BYTES),
             0,

@@ -288,7 +288,10 @@ mod tests {
             addr = addr.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(12345) % (1 << 34);
         }
         let bw = d.stats().achieved_bandwidth_gbs();
-        assert!(bw < 1.5, "serialized random reads should be ~0.8 GB/s, got {bw:.2}");
+        assert!(
+            bw < 1.5,
+            "serialized random reads should be ~0.8 GB/s, got {bw:.2}"
+        );
     }
 
     #[test]
@@ -302,9 +305,7 @@ mod tests {
             * mapping.ranks_per_channel as u64
             * CACHE_LINE_BYTES
             * mapping.lines_per_row();
-        let completions: Vec<f64> = (0..8)
-            .map(|i| d.access(i * stride, 0.0))
-            .collect();
+        let completions: Vec<f64> = (0..8).map(|i| d.access(i * stride, 0.0)).collect();
         // Each successive completion must be strictly later: the bank is busy.
         for w in completions.windows(2) {
             assert!(w[1] > w[0]);

@@ -140,10 +140,7 @@ mod tests {
     #[test]
     fn arrivals_are_monotonic() {
         let stream = QueryStream::generate(ArrivalProcess::Poisson { rate_qps: 50.0 }, 1000, 3);
-        assert!(stream
-            .arrivals_seconds()
-            .windows(2)
-            .all(|w| w[1] >= w[0]));
+        assert!(stream.arrivals_seconds().windows(2).all(|w| w[1] >= w[0]));
         assert!(!stream.is_empty());
     }
 

@@ -11,10 +11,11 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// How sparse indices are drawn from an embedding table.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum IndexDistribution {
     /// Every row is equally likely — the paper's worst-case (and default)
     /// locality assumption.
+    #[default]
     Uniform,
     /// Zipf-like popularity with exponent `s` (> 0). Larger `s` concentrates
     /// accesses on fewer rows.
@@ -32,12 +33,6 @@ pub enum IndexDistribution {
         /// Probability that an access hits the hot set (0.0–1.0).
         hot_fraction: f64,
     },
-}
-
-impl Default for IndexDistribution {
-    fn default() -> Self {
-        IndexDistribution::Uniform
-    }
 }
 
 impl IndexDistribution {

@@ -164,7 +164,10 @@ mod tests {
             t.gather.total_lookups(),
             32 * g.config().lookups_per_sample()
         );
-        assert_eq!(t.gathered_bytes(), 32 * g.config().gathered_bytes_per_sample());
+        assert_eq!(
+            t.gathered_bytes(),
+            32 * g.config().gathered_bytes_per_sample()
+        );
     }
 
     #[test]
@@ -196,10 +199,7 @@ mod tests {
         for (sample, sparse) in batch.trace.gather.samples.iter().zip(&batch.sparse) {
             for (rows, indices) in sample.rows_per_table.iter().zip(sparse) {
                 assert_eq!(rows.len(), indices.len());
-                assert!(rows
-                    .iter()
-                    .zip(indices)
-                    .all(|(&r, &i)| r == i as u64));
+                assert!(rows.iter().zip(indices).all(|(&r, &i)| r == i as u64));
             }
         }
     }
@@ -207,11 +207,7 @@ mod tests {
     #[test]
     fn zipfian_generator_skews_rows() {
         let config = PaperModel::Dlrm3.config();
-        let mut g = RequestGenerator::new(
-            &config,
-            IndexDistribution::Zipfian { exponent: 1.1 },
-            5,
-        );
+        let mut g = RequestGenerator::new(&config, IndexDistribution::Zipfian { exponent: 1.1 }, 5);
         let t = g.gather_trace(64);
         let head = t
             .iter_accesses()

@@ -50,8 +50,14 @@ fn main() {
     let gpu_result = gpu.simulate_warm(&warm, &trace);
     let centaur_result = CentaurSystem::harpv2().simulate(&trace);
 
-    println!("Ads CTR ranking: {} ({} candidates per query, p99 SLA {SLA_MS} ms)\n", model.name, batch);
-    println!("{:<10} {:>14} {:>20}", "system", "latency (us)", "max QPS under SLA");
+    println!(
+        "Ads CTR ranking: {} ({} candidates per query, p99 SLA {SLA_MS} ms)\n",
+        model.name, batch
+    );
+    println!(
+        "{:<10} {:>14} {:>20}",
+        "system", "latency (us)", "max QPS under SLA"
+    );
     for (name, latency_us) in [
         ("CPU-only", cpu_result.total_ns() / 1e3),
         ("CPU-GPU", gpu_result.total_ns() / 1e3),

@@ -33,7 +33,9 @@ fn future_chiplets_beat_the_harpv2_prototype() {
     let future = CentaurSystem::new(CentaurConfig::future_chiplet(200.0)).simulate(&t);
     assert!(future.total_ns() < harp.total_ns());
     assert!(
-        future.effective_embedding_throughput().gigabytes_per_second()
+        future
+            .effective_embedding_throughput()
+            .gigabytes_per_second()
             > harp.effective_embedding_throughput().gigabytes_per_second()
     );
 }
@@ -51,7 +53,9 @@ fn reduction_unit_caps_gather_throughput_on_very_wide_links() {
         gain < 1.1,
         "past the EB-RU limit the link should stop mattering (gain {gain:.2})"
     );
-    let gbs = wider.effective_embedding_throughput().gigabytes_per_second();
+    let gbs = wider
+        .effective_embedding_throughput()
+        .gigabytes_per_second();
     assert!(
         gbs <= 25.6 + 1e-6,
         "gather throughput must respect the EB-RU ceiling, got {gbs:.1}"

@@ -47,8 +47,14 @@ fn cpu_effective_throughput_grows_with_batch_but_stays_far_below_peak() {
         .run_cpu(&config, 64)
         .effective_embedding_throughput()
         .gigabytes_per_second();
-    assert!(large > 2.0 * small, "throughput should grow with batch: {small:.2} -> {large:.2}");
-    assert!(large < 0.5 * 76.8, "even large batches stay far below the 77 GB/s peak");
+    assert!(
+        large > 2.0 * small,
+        "throughput should grow with batch: {small:.2} -> {large:.2}"
+    );
+    assert!(
+        large < 0.5 * 76.8,
+        "even large batches stay far below the 77 GB/s peak"
+    );
 }
 
 #[test]
@@ -99,8 +105,14 @@ fn centaur_speedup_and_efficiency_match_paper_magnitudes() {
     }
     let min = speedups.iter().cloned().fold(f64::MAX, f64::min);
     let max = speedups.iter().cloned().fold(0.0_f64, f64::max);
-    assert!(min > 1.0, "Centaur should win everywhere at batch <= 16 (min {min:.2})");
-    assert!(max > 5.0 && max < 40.0, "peak speedup {max:.2} should be paper-magnitude");
+    assert!(
+        min > 1.0,
+        "Centaur should win everywhere at batch <= 16 (min {min:.2})"
+    );
+    assert!(
+        max > 5.0 && max < 40.0,
+        "peak speedup {max:.2} should be paper-magnitude"
+    );
 }
 
 #[test]
@@ -130,7 +142,14 @@ fn mlp_heavy_model_benefits_from_the_dense_accelerator() {
 #[test]
 fn speedup_decreases_as_batch_grows_for_lookup_heavy_models() {
     let runner = ExperimentRunner::new();
-    let small = runner.compare(PaperModel::Dlrm4, 1).centaur_speedup_vs_cpu();
-    let large = runner.compare(PaperModel::Dlrm4, 64).centaur_speedup_vs_cpu();
-    assert!(small > large, "speedup should shrink with batch: {small:.2} vs {large:.2}");
+    let small = runner
+        .compare(PaperModel::Dlrm4, 1)
+        .centaur_speedup_vs_cpu();
+    let large = runner
+        .compare(PaperModel::Dlrm4, 64)
+        .centaur_speedup_vs_cpu();
+    assert!(
+        small > large,
+        "speedup should shrink with batch: {small:.2} vs {large:.2}"
+    );
 }

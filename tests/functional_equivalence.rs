@@ -3,7 +3,7 @@
 //! model shapes and request patterns.
 
 use centaur::CentaurRuntime;
-use centaur_dlrm::{DlrmModel, ModelConfig, PaperModel};
+use centaur_dlrm::{DlrmModel, KernelBackend, ModelConfig, PaperModel};
 use centaur_workload::{IndexDistribution, RequestGenerator};
 
 fn scaled(model: PaperModel, rows: u64) -> ModelConfig {
@@ -11,7 +11,7 @@ fn scaled(model: PaperModel, rows: u64) -> ModelConfig {
 }
 
 #[test]
-fn centaur_matches_reference_for_every_paper_model() {
+fn centaur_matches_reference_for_every_paper_model_on_every_backend() {
     for paper_model in PaperModel::all() {
         let config = scaled(paper_model, 512);
         let model = DlrmModel::random(&config, 7).expect("valid config");
@@ -19,20 +19,34 @@ fn centaur_matches_reference_for_every_paper_model() {
         let mut generator = RequestGenerator::new(&config, IndexDistribution::Uniform, 13);
         let batch = generator.functional_batch(4);
 
-        let accelerated = runtime
-            .infer_batch(&batch.dense, &batch.sparse)
-            .expect("accelerator inference succeeds");
-        let reference = model
-            .forward_batch(&batch.dense, &batch.sparse)
-            .expect("reference inference succeeds");
+        let mut per_backend: Vec<Vec<f32>> = Vec::new();
+        for backend in KernelBackend::all() {
+            runtime.set_backend(backend);
+            let accelerated = runtime
+                .infer_batch(&batch.dense, &batch.sparse)
+                .expect("accelerator inference succeeds");
+            let reference = model
+                .forward_batch_with(backend, &batch.dense, &batch.sparse)
+                .expect("reference inference succeeds");
 
-        assert_eq!(accelerated.len(), reference.len());
-        for (i, (a, r)) in accelerated.iter().zip(&reference).enumerate() {
-            assert!(
-                (a - r).abs() < 1e-4,
-                "{paper_model} sample {i}: accelerator {a} vs reference {r}"
-            );
-            assert!((0.0..=1.0).contains(a), "probability out of range: {a}");
+            assert_eq!(accelerated.len(), reference.len());
+            for (i, (a, r)) in accelerated.iter().zip(&reference).enumerate() {
+                assert!(
+                    (a - r).abs() < 1e-4,
+                    "{paper_model}/{backend:?} sample {i}: accelerator {a} vs reference {r}"
+                );
+                assert!((0.0..=1.0).contains(a), "probability out of range: {a}");
+            }
+            per_backend.push(accelerated);
+        }
+        // The backends must agree with each other on the final probabilities.
+        for later in &per_backend[1..] {
+            for (a, b) in per_backend[0].iter().zip(later) {
+                assert!(
+                    (a - b).abs() < 1e-4,
+                    "{paper_model}: backends disagree ({a} vs {b})"
+                );
+            }
         }
     }
 }
@@ -42,22 +56,27 @@ fn centaur_matches_reference_under_skewed_traffic() {
     let config = scaled(PaperModel::Dlrm3, 1024);
     let model = DlrmModel::random(&config, 11).unwrap();
     let mut runtime = CentaurRuntime::harpv2(model.clone()).unwrap();
-    for (seed, distribution) in [
-        (1u64, IndexDistribution::Zipfian { exponent: 1.05 }),
-        (
-            2,
-            IndexDistribution::HotSet {
-                hot_rows: 32,
-                hot_fraction: 0.95,
-            },
-        ),
-    ] {
-        let mut generator = RequestGenerator::new(&config, distribution, seed);
-        let batch = generator.functional_batch(6);
-        let accelerated = runtime.infer_batch(&batch.dense, &batch.sparse).unwrap();
-        let reference = model.forward_batch(&batch.dense, &batch.sparse).unwrap();
-        for (a, r) in accelerated.iter().zip(&reference) {
-            assert!((a - r).abs() < 1e-4);
+    for backend in KernelBackend::all() {
+        runtime.set_backend(backend);
+        for (seed, distribution) in [
+            (1u64, IndexDistribution::Zipfian { exponent: 1.05 }),
+            (
+                2,
+                IndexDistribution::HotSet {
+                    hot_rows: 32,
+                    hot_fraction: 0.95,
+                },
+            ),
+        ] {
+            let mut generator = RequestGenerator::new(&config, distribution, seed);
+            let batch = generator.functional_batch(6);
+            let accelerated = runtime.infer_batch(&batch.dense, &batch.sparse).unwrap();
+            let reference = model
+                .forward_batch_with(backend, &batch.dense, &batch.sparse)
+                .unwrap();
+            for (a, r) in accelerated.iter().zip(&reference) {
+                assert!((a - r).abs() < 1e-4, "{backend:?}: {a} vs {r}");
+            }
         }
     }
 }

@@ -1,0 +1,125 @@
+//! Proves the steady-state zero-allocation guarantee of the workspace
+//! inference paths with a counting global allocator: after a warm-up call
+//! has grown every scratch buffer to its high-water mark, repeated forward
+//! passes must not touch the heap at all.
+//!
+//! Everything is measured inside a single `#[test]` so no concurrent test
+//! in this binary can perturb the allocation counter.
+
+use centaur_dlrm::kernel::{KernelBackend, Workspace};
+use centaur_dlrm::{Activation, Matrix, Mlp, ModelConfig};
+use centaur_dlrm::{DlrmModel, EmbeddingTable, FeatureInteraction, ModelWorkspace, ReductionOp};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator wrapper that counts every allocation/reallocation.
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Runs `f` and returns how many heap allocations it performed.
+fn allocations_during<F: FnMut()>(mut f: F) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    f();
+    ALLOCATIONS.load(Ordering::SeqCst) - before
+}
+
+#[test]
+fn steady_state_inference_paths_do_not_allocate() {
+    // The parallel backend spawns threads (which allocate); the guarantee
+    // covers the deterministic single-threaded backends.
+    let backend = KernelBackend::Blocked;
+
+    // --- MlpStack::forward via a Workspace --------------------------------
+    let mlp = Mlp::random(&[13, 64, 32, 8], Activation::Relu, 3).unwrap();
+    let x = Matrix::from_fn(4, 13, |r, c| (r as f32 - c as f32) * 0.1);
+    let mut ws = Workspace::new();
+    // Warm-up grows every buffer to its high-water mark.
+    mlp.forward_ws(backend, x.as_slice(), 4, 13, &mut ws)
+        .unwrap();
+    let allocs = allocations_during(|| {
+        for _ in 0..10 {
+            mlp.forward_ws(backend, x.as_slice(), 4, 13, &mut ws)
+                .unwrap();
+        }
+    });
+    assert_eq!(allocs, 0, "Mlp::forward_ws allocated in steady state");
+
+    // --- Embedding gather/reduce into a preallocated buffer ---------------
+    let table = EmbeddingTable::random(512, 32, 7);
+    let indices: Vec<u32> = (0..40).map(|i| (i * 13) % 512).collect();
+    let mut reduced = vec![0.0f32; 32];
+    table
+        .gather_reduce_into(&indices, ReductionOp::Sum, &mut reduced)
+        .unwrap();
+    let allocs = allocations_during(|| {
+        for op in [ReductionOp::Sum, ReductionOp::Mean, ReductionOp::Max] {
+            table
+                .gather_reduce_into(&indices, op, &mut reduced)
+                .unwrap();
+        }
+    });
+    assert_eq!(allocs, 0, "gather_reduce_into allocated in steady state");
+
+    // --- Feature interaction into a preallocated buffer -------------------
+    let fi = FeatureInteraction::new(9, 32).unwrap();
+    let features = Matrix::from_fn(9, 32, |r, c| ((r * 7 + c) % 5) as f32 - 2.0);
+    let mut interact_out = vec![0.0f32; fi.output_dim()];
+    let allocs = allocations_during(|| {
+        for _ in 0..10 {
+            fi.interact_into(features.as_slice(), &mut interact_out);
+        }
+    });
+    assert_eq!(allocs, 0, "interact_into allocated in steady state");
+
+    // --- Full model sample through a ModelWorkspace -----------------------
+    let config = ModelConfig::builder()
+        .name("zero-alloc")
+        .num_tables(4)
+        .rows_per_table(256)
+        .embedding_dim(32)
+        .lookups_per_table(8)
+        .dense_features(13)
+        .bottom_mlp(&[64, 32])
+        .top_mlp(&[64, 1])
+        .build()
+        .unwrap();
+    let model = DlrmModel::random(&config, 11).unwrap();
+    let dense = Matrix::from_fn(1, 13, |_, c| c as f32 * 0.05 - 0.3);
+    let sparse: Vec<Vec<u32>> = (0..4)
+        .map(|t| (0..8u32).map(|i| (t as u32 * 31 + i * 7) % 256).collect())
+        .collect();
+    let mut model_ws = ModelWorkspace::new();
+    let warm = model
+        .forward_sample_ws(backend, dense.row(0), &sparse, &mut model_ws)
+        .unwrap();
+    let mut probs = [0.0f32; 10];
+    let allocs = allocations_during(|| {
+        for p in probs.iter_mut() {
+            *p = model
+                .forward_sample_ws(backend, dense.row(0), &sparse, &mut model_ws)
+                .unwrap();
+        }
+    });
+    assert_eq!(allocs, 0, "forward_sample_ws allocated in steady state");
+    assert!(probs.iter().all(|&p| (p - warm).abs() < 1e-7));
+}

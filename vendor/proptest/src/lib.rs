@@ -1,0 +1,239 @@
+//! Offline mini property-testing harness.
+//!
+//! Source-compatible with the subset of the real
+//! [`proptest`](https://crates.io/crates/proptest) API this workspace uses:
+//! the `proptest!` macro with `#![proptest_config(...)]`, range and
+//! `collection::vec` strategies, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from the real crate: inputs are drawn from a fixed seed
+//! derived from the test name (fully deterministic, no persistence file) and
+//! there is **no shrinking** — on failure the harness prints the case number
+//! and the generated inputs so the case can be reproduced by reading the
+//! values off the panic message.
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// Strategies: types that can generate values from entropy.
+pub mod strategy {
+    use super::*;
+
+    /// A value generator (massively simplified from the real crate: no
+    /// value trees, no shrinking).
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: Debug;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut rand::rngs::StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut rand::rngs::StdRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    /// Strategy producing `Vec`s of an element strategy with a length drawn
+    /// from a range (mirrors `proptest::collection::vec`).
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut rand::rngs::StdRng) -> Vec<S::Value> {
+            let len = rand::Rng::gen_range(rng, self.len.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Collection strategies (mirrors `proptest::collection`).
+pub mod collection {
+    use super::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// Generates vectors whose elements come from `element` and whose length
+    /// is drawn uniformly from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Runner configuration (mirrors `proptest::test_runner::ProptestConfig`).
+pub mod test_runner {
+    /// How many cases each property runs.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// Everything a test module needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+
+    /// FNV-1a over the test name: a stable per-test seed.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Prints the failing case on panic so it can be reproduced.
+    pub struct CaseReporter {
+        pub test: &'static str,
+        pub case: u32,
+        pub inputs: String,
+        pub armed: bool,
+    }
+
+    impl Drop for CaseReporter {
+        fn drop(&mut self) {
+            if self.armed && std::thread::panicking() {
+                eprintln!(
+                    "proptest failure in `{}` at case {}:\n  inputs: {}",
+                    self.test, self.case, self.inputs
+                );
+            }
+        }
+    }
+}
+
+/// Defines property tests. Supports the form
+/// `proptest! { #![proptest_config(expr)] #[test] fn name(arg in strategy, ...) { body } ... }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            (<$crate::test_runner::ProptestConfig as ::std::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng =
+                <$crate::__rt::StdRng as $crate::__rt::SeedableRng>::seed_from_u64(
+                    $crate::__rt::seed_for(stringify!($name)),
+                );
+            for __case in 0..__cfg.cases {
+                let __values = ($(
+                    $crate::strategy::Strategy::sample(&($strat), &mut __rng)
+                ),+ ,);
+                let mut __reporter = $crate::__rt::CaseReporter {
+                    test: stringify!($name),
+                    case: __case,
+                    inputs: format!(
+                        ::std::concat!("(", $(::std::stringify!($arg), ", "),+ , ") = {:?}"),
+                        &__values
+                    ),
+                    armed: true,
+                };
+                let ($($arg),+ ,) = __values;
+                $body
+                __reporter.armed = false;
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// `assert!` under a name the real proptest exposes.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a name the real proptest exposes.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..9, y in 0u32..2) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(y < 2);
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(mut v in crate::collection::vec(0u64..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            v.push(0);
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u8..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn run_generated_tests() {
+        ranges_respect_bounds();
+        vec_strategy_respects_len();
+        default_config_runs();
+    }
+}

@@ -1,0 +1,10 @@
+//! Offline stub of the `serde` facade.
+//!
+//! The workspace annotates result/config structs with
+//! `#[derive(Serialize, Deserialize)]` but never actually serializes them
+//! (there is no `serde_json`/`bincode` consumer), and the build environment
+//! has no registry access. This stub re-exports no-op derive macros so the
+//! annotations stay source-compatible with the real crate. Swap in upstream
+//! `serde` if a serialization consumer is ever added.
+
+pub use serde_derive::{Deserialize, Serialize};

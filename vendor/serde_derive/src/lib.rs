@@ -1,0 +1,21 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros backing
+//! the offline `serde` stub.
+//!
+//! The workspace derives these traits purely as API documentation — nothing
+//! serializes at runtime, and the registry is unreachable from the build
+//! environment — so the derives expand to nothing. If real serialization is
+//! ever needed, replace `vendor/serde*` with the upstream crates.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; satisfies `#[derive(Serialize)]` syntactically.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; satisfies `#[derive(Deserialize)]` syntactically.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
