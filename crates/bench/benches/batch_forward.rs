@@ -1,0 +1,73 @@
+//! Criterion group `batch_forward`: the per-sample inference loop
+//! (`DlrmModel::forward_sample_ws`, one `m = 1` GEMM per layer per sample)
+//! against the batch-major path (`DlrmModel::forward_batch_into`, one GEMM
+//! per layer for the whole batch), across every kernel backend and a sweep
+//! of batch sizes.
+//!
+//! This is the evidence for the paper's core batching claim: the dense
+//! complex only amortizes MLP weight reads when the batch rides through the
+//! GEMM as `m` — the acceptance bar is batch-major ≥ 3× samples/s over the
+//! per-sample loop at batch 64 on `Blocked`.
+
+use centaur_dlrm::config::PaperModel;
+use centaur_dlrm::kernel::KernelBackend;
+use centaur_dlrm::{BatchWorkspace, DlrmModel, ModelWorkspace};
+use centaur_workload::{FunctionalBatch, IndexDistribution, RequestGenerator};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn request(model: &DlrmModel, batch: usize) -> FunctionalBatch {
+    let mut generator = RequestGenerator::new(model.config(), IndexDistribution::Uniform, 0xBA7C4);
+    generator.functional_batch(batch)
+}
+
+fn bench_batch_forward(c: &mut Criterion) {
+    // DLRM(6) is the paper's MLP-heavy configuration (heavyweight MLP, two
+    // lookups per table) — the workload whose dense compute batching is
+    // supposed to amortize. Tables are scaled down (the MLP shapes, which
+    // are what is being measured, stay the paper's).
+    let config = PaperModel::Dlrm6.config().with_rows_per_table(4096);
+    let model = DlrmModel::random(&config, 3).expect("valid model");
+
+    for &batch in &[16usize, 64] {
+        let req = request(&model, batch);
+        for backend in KernelBackend::all() {
+            let label = backend.label();
+
+            let mut sample_ws = ModelWorkspace::new();
+            let mut out = vec![0.0f32; batch];
+            c.bench_function(&format!("per_sample_{label}_b{batch}"), |b| {
+                b.iter(|| {
+                    for (i, indices) in req.sparse.iter().enumerate() {
+                        out[i] = model
+                            .forward_sample_ws(
+                                backend,
+                                black_box(req.dense.row(i)),
+                                black_box(indices),
+                                &mut sample_ws,
+                            )
+                            .unwrap();
+                    }
+                })
+            });
+
+            let mut batch_ws = BatchWorkspace::new();
+            c.bench_function(&format!("batch_major_{label}_b{batch}"), |b| {
+                b.iter(|| {
+                    model
+                        .forward_batch_into(
+                            backend,
+                            black_box(&req.dense),
+                            black_box(&req.sparse),
+                            &mut out,
+                            &mut batch_ws,
+                        )
+                        .unwrap()
+                })
+            });
+        }
+    }
+}
+
+criterion_group!(batch_forward, bench_batch_forward);
+criterion_main!(batch_forward);

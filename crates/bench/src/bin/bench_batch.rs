@@ -1,0 +1,62 @@
+//! Measures functional batched-inference throughput through the accelerator
+//! datapath — batch-major (`infer_batch`, one GEMM per MLP layer) vs the
+//! per-sample loop — across batch sizes and kernel backends, prints the
+//! table and writes the machine-readable `BENCH_batch.json` tracked for the
+//! performance trajectory.
+//!
+//! Two paper workloads bracket the behaviour: DLRM(1) is gather-heavy
+//! (light MLP, 20 lookups/table), where the identical embedding work
+//! dilutes the batching win; DLRM(6) is MLP-heavy (2 lookups/table), where
+//! the one-GEMM-per-layer path shows its full weight-reuse speedup.
+//!
+//! `CRITERION_QUICK=1` collapses the measurement to a smoke run (used by
+//! CI, where the numbers only need to exist, not to be stable).
+
+use centaur_bench::{ExperimentRunner, TextTable};
+use centaur_dlrm::kernel::KernelBackend;
+use centaur_dlrm::PaperModel;
+
+fn main() {
+    let runner = ExperimentRunner::new();
+    let batches = [1usize, 4, 16, 64, 128];
+    let mut sections = Vec::new();
+    // Tables are scaled down to fit functional benchmarking; the MLP and
+    // interaction shapes (the dense work being measured) are the paper's.
+    for model in [PaperModel::Dlrm1, PaperModel::Dlrm6] {
+        let config = model.config().with_rows_per_table(4096);
+        let points = runner.functional_batch_throughput(&config, &batches, &KernelBackend::all());
+
+        let mut table = TextTable::new(
+            &format!("Functional batched-inference throughput, {model} (measured)"),
+            &[
+                "Batch",
+                "Backend",
+                "Batch-major samples/s",
+                "Per-sample samples/s",
+                "Speedup (x)",
+            ],
+        );
+        for p in &points {
+            table.add_row(vec![
+                p.batch.to_string(),
+                p.backend.label().to_string(),
+                format!("{:.0}", p.batch_major_sps),
+                format!("{:.0}", p.per_sample_sps),
+                format!("{:.2}", p.speedup()),
+            ]);
+        }
+        table.print();
+        sections.push((model.label().to_string(), points));
+    }
+
+    let borrowed: Vec<(&str, &[centaur_bench::BatchThroughputPoint])> = sections
+        .iter()
+        .map(|(name, points)| (name.as_str(), points.as_slice()))
+        .collect();
+    let json = ExperimentRunner::bench_batch_json(&borrowed);
+    let path = "BENCH_batch.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -3,6 +3,7 @@
 //! lookups per table.
 
 use centaur_bench::{ExperimentRunner, TextTable};
+use centaur_dlrm::kernel::KernelBackend;
 use centaur_dlrm::PaperModel;
 
 fn main() {
@@ -53,4 +54,27 @@ fn main() {
         }
     }
     b.print();
+
+    // Companion measurement on the *functional* datapath: the throughput
+    // the paper attributes to batching only materializes when the batch
+    // rides through the MLP GEMMs as m — shown here as measured samples/s
+    // of the batch-major path vs the per-sample loop.
+    let mut c = TextTable::new(
+        "Figure 13(c): measured functional throughput, batch-major vs per-sample (DLRM(1), Blocked)",
+        &["Batch", "Batch-major samples/s", "Per-sample samples/s", "Speedup (x)"],
+    );
+    let config = PaperModel::Dlrm1.config().with_rows_per_table(4096);
+    for point in runner.functional_batch_throughput(
+        &config,
+        &ExperimentRunner::batch_sizes(),
+        &[KernelBackend::Blocked],
+    ) {
+        c.add_row(vec![
+            point.batch.to_string(),
+            format!("{:.0}", point.batch_major_sps),
+            format!("{:.0}", point.per_sample_sps),
+            format!("{:.2}", point.speedup()),
+        ]);
+    }
+    c.print();
 }

@@ -41,4 +41,31 @@ fn main() {
         ]);
     }
     table.print();
+
+    // The MLP share above assumes the dense complex amortizes weight reads
+    // over the batch; cross-check with the measured functional datapath —
+    // batch-major vs per-sample execution across all kernel backends.
+    let mut measured = TextTable::new(
+        "Figure 14 companion: measured batch-major speedup at batch 64 (DLRM(1))",
+        &[
+            "Backend",
+            "Batch-major samples/s",
+            "Per-sample samples/s",
+            "Speedup (x)",
+        ],
+    );
+    let config = PaperModel::Dlrm1.config().with_rows_per_table(4096);
+    for point in runner.functional_batch_throughput(
+        &config,
+        &[64],
+        &centaur_dlrm::kernel::KernelBackend::all(),
+    ) {
+        measured.add_row(vec![
+            point.backend.label().to_string(),
+            format!("{:.0}", point.batch_major_sps),
+            format!("{:.0}", point.per_sample_sps),
+            format!("{:.2}", point.speedup()),
+        ]);
+    }
+    measured.print();
 }

@@ -56,4 +56,23 @@ fn main() {
     let (emin, emax) = minmax(&efficiencies);
     println!("Centaur vs CPU-only: speedup {smin:.1}-{smax:.1}x (paper: 1.7-17.2x)");
     println!("Centaur vs CPU-only: energy-efficiency {emin:.1}-{emax:.1}x (paper: 1.7-19.5x)");
+
+    // Measured on the functional datapath: the batch-major execution the
+    // performance model assumes, vs the per-sample loop it replaced.
+    let config = PaperModel::Dlrm1.config().with_rows_per_table(4096);
+    if let Some(p) = runner
+        .functional_batch_throughput(
+            &config,
+            &[64],
+            &[centaur_dlrm::kernel::KernelBackend::Blocked],
+        )
+        .first()
+    {
+        println!(
+            "Measured batch-major inference at batch 64 (Blocked): {:.0} samples/s, \
+             {:.2}x over the per-sample loop",
+            p.batch_major_sps,
+            p.speedup()
+        );
+    }
 }

@@ -19,4 +19,4 @@ pub mod report;
 pub mod runner;
 
 pub use report::TextTable;
-pub use runner::{BatchSweepPoint, ExperimentRunner, SystemComparison};
+pub use runner::{BatchSweepPoint, BatchThroughputPoint, ExperimentRunner, SystemComparison};

@@ -1,12 +1,14 @@
 //! Shared experiment-sweep logic used by every figure/table binary and by
 //! the workspace integration tests.
 
-use centaur::{CentaurInferenceResult, CentaurSystem};
+use centaur::{CentaurInferenceResult, CentaurRuntime, CentaurSystem};
 use centaur_cpusim::{CacheProfile, CacheProfiler, CpuConfig, CpuInferenceResult, CpuSystem};
 use centaur_dlrm::config::{ModelConfig, PaperModel};
+use centaur_dlrm::{DlrmModel, KernelBackend};
 use centaur_gpusim::{CpuGpuInferenceResult, CpuGpuSystem};
 use centaur_power::{EnergyReport, SystemKind};
 use centaur_workload::{IndexDistribution, RequestGenerator};
+use std::time::Instant;
 
 /// Results of running all three systems on the same request.
 #[derive(Debug, Clone)]
@@ -67,6 +69,33 @@ pub struct BatchSweepPoint {
     pub cpu_gbs: f64,
     /// Centaur effective gather throughput in GB/s.
     pub centaur_gbs: f64,
+}
+
+/// Measured functional inference throughput of the accelerator datapath at
+/// one batch size on one kernel backend: the batch-major path
+/// (`CentaurRuntime::infer_batch`, one GEMM per MLP layer with `m = batch`)
+/// against the per-sample loop (`infer_sample` once per sample).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchThroughputPoint {
+    /// Batch size of the request.
+    pub batch: usize,
+    /// Kernel backend executing the dense math.
+    pub backend: KernelBackend,
+    /// Batch-major throughput in samples per second.
+    pub batch_major_sps: f64,
+    /// Per-sample-loop throughput in samples per second.
+    pub per_sample_sps: f64,
+}
+
+impl BatchThroughputPoint {
+    /// Batch-major speedup over the per-sample loop.
+    pub fn speedup(&self) -> f64 {
+        if self.per_sample_sps <= 0.0 {
+            0.0
+        } else {
+            self.batch_major_sps / self.per_sample_sps
+        }
+    }
 }
 
 /// Drives the three system simulators over the paper's workloads with
@@ -195,6 +224,103 @@ impl ExperimentRunner {
         results.into_iter().flatten().collect()
     }
 
+    /// Measures *real* functional inference throughput through the
+    /// accelerator datapath (not the timing model): for every
+    /// `batch × backend` cell, times `CentaurRuntime::infer_batch`
+    /// (batch-major, one GEMM per MLP layer) and the equivalent
+    /// per-sample `infer_sample` loop on identical inputs, after warm-up.
+    ///
+    /// The measurement loop is adaptive (~50 ms per cell, 3 repetitions
+    /// minimum); set `CRITERION_QUICK=1` to collapse it to a smoke run.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the model does not fit the accelerator or a request
+    /// fails — these are fixed, known-good configurations.
+    pub fn functional_batch_throughput(
+        &self,
+        config: &ModelConfig,
+        batches: &[usize],
+        backends: &[KernelBackend],
+    ) -> Vec<BatchThroughputPoint> {
+        let quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| v == "1");
+        self.functional_batch_throughput_with(config, batches, backends, quick)
+    }
+
+    /// [`ExperimentRunner::functional_batch_throughput`] with the
+    /// measurement mode passed explicitly instead of read from the
+    /// environment (tests use `quick = true` without touching process-global
+    /// state).
+    pub fn functional_batch_throughput_with(
+        &self,
+        config: &ModelConfig,
+        batches: &[usize],
+        backends: &[KernelBackend],
+        quick: bool,
+    ) -> Vec<BatchThroughputPoint> {
+        let model = DlrmModel::random(config, self.seed).expect("valid benchmark model");
+        let mut runtime = CentaurRuntime::harpv2(model).expect("benchmark model fits on chip");
+        let mut points = Vec::with_capacity(batches.len() * backends.len());
+        for &batch in batches {
+            let mut generator = RequestGenerator::new(config, self.distribution, self.seed);
+            let request = generator.functional_batch(batch);
+            let mut out = vec![0.0f32; batch];
+            for &backend in backends {
+                runtime.set_backend(backend);
+                let batch_major_sps = time_samples_per_sec(batch, quick, || {
+                    runtime
+                        .infer_batch_into(&request.dense, &request.sparse, &mut out)
+                        .expect("batched inference succeeds");
+                });
+                let per_sample_sps = time_samples_per_sec(batch, quick, || {
+                    for (i, indices) in request.sparse.iter().enumerate() {
+                        out[i] = runtime
+                            .infer_sample(request.dense.row(i), indices)
+                            .expect("per-sample inference succeeds");
+                    }
+                });
+                points.push(BatchThroughputPoint {
+                    batch,
+                    backend,
+                    batch_major_sps,
+                    per_sample_sps,
+                });
+            }
+        }
+        points
+    }
+
+    /// Renders batched-throughput measurements as the machine-readable
+    /// `BENCH_batch.json` document tracked for the performance trajectory:
+    /// per model, batch size → samples/s per backend, both execution modes,
+    /// plus the batch-major speedup.
+    pub fn bench_batch_json(sections: &[(&str, &[BatchThroughputPoint])]) -> String {
+        let mut json = String::from("{\n  \"unit\": \"samples_per_sec\",\n  \"models\": [\n");
+        for (mi, (model_name, points)) in sections.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"model\": \"{model_name}\", \"points\": [\n"
+            ));
+            for (i, p) in points.iter().enumerate() {
+                json.push_str(&format!(
+                    "      {{\"batch\": {}, \"backend\": \"{}\", \"batch_major\": {:.1}, \
+                     \"per_sample\": {:.1}, \"speedup\": {:.2}}}{}\n",
+                    p.batch,
+                    p.backend.label(),
+                    p.batch_major_sps,
+                    p.per_sample_sps,
+                    p.speedup(),
+                    if i + 1 < points.len() { "," } else { "" }
+                ));
+            }
+            json.push_str(&format!(
+                "    ]}}{}\n",
+                if mi + 1 < sections.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        json
+    }
+
     /// Profiles the cache behaviour of one request (Figure 6).
     pub fn profile_cache(&self, model: PaperModel, batch: usize) -> CacheProfile {
         let config = model.config();
@@ -230,6 +356,31 @@ impl Default for ExperimentRunner {
     fn default() -> Self {
         ExperimentRunner::new()
     }
+}
+
+/// Times repeated executions of `f` (each covering `batch` samples) and
+/// returns the sustained samples-per-second rate. One warm-up call, then an
+/// adaptive repetition count targeting ~50 ms of measurement.
+fn time_samples_per_sec(batch: usize, quick: bool, mut f: impl FnMut()) -> f64 {
+    f(); // Warm-up: grows every staging buffer to its high-water mark.
+    if batch == 0 {
+        return 0.0;
+    }
+    let probe = Instant::now();
+    f();
+    let per_rep = probe.elapsed().as_secs_f64();
+    let target = if quick { 0.0 } else { 0.05 };
+    let reps = if per_rep > 0.0 {
+        ((target / per_rep) as u64).clamp(3, 100_000)
+    } else {
+        3
+    };
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    (batch as u64 * reps) as f64 / elapsed
 }
 
 #[cfg(test)]
@@ -276,6 +427,29 @@ mod tests {
                 i += 1;
             }
         }
+    }
+
+    #[test]
+    fn functional_batch_throughput_produces_positive_rates() {
+        let runner = ExperimentRunner::new();
+        let config = PaperModel::Dlrm1.config().with_rows_per_table(256);
+        let points = runner.functional_batch_throughput_with(
+            &config,
+            &[1, 4],
+            &[KernelBackend::Naive, KernelBackend::Blocked],
+            true,
+        );
+        assert_eq!(points.len(), 4);
+        assert!(points
+            .iter()
+            .all(|p| p.batch_major_sps > 0.0 && p.per_sample_sps > 0.0 && p.speedup() > 0.0));
+
+        let json =
+            ExperimentRunner::bench_batch_json(&[("DLRM(1)", &points), ("other", &points[..2])]);
+        assert!(json.contains("\"model\": \"DLRM(1)\""));
+        assert!(json.contains("\"model\": \"other\""));
+        assert!(json.contains("\"backend\": \"blocked\""));
+        assert_eq!(json.matches("\"batch\":").count(), 6);
     }
 
     #[test]

@@ -263,6 +263,179 @@ impl DenseAccelerator {
         Ok(sigmoid_unit.apply(top[0]))
     }
 
+    /// The **batch-major** functional dense stage: the whole batch flows
+    /// through one GEMM per MLP layer (`m = batch`), the interaction runs
+    /// as one batched pass and the sigmoid unit converts every logit in one
+    /// sweep. `reduced_batch` is the EB-Streamer's batch-major output —
+    /// each sample's `[num_tables * dim]` reduced embeddings back to back —
+    /// and `out` receives one probability per sample.
+    ///
+    /// Per-request SRAMs are refilled in as-large-as-fit sample waves
+    /// (double-buffered batch staging), so large batches stream through the
+    /// same Table-III capacities the per-sample path models.
+    ///
+    /// Numerically identical (bitwise, per backend) to looping
+    /// [`DenseAccelerator::forward_sample_slice`] over the batch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DenseAccelerator::forward_sample`], plus a batch mismatch
+    /// when `dense.rows()`, the reduced batch and `out` disagree.
+    pub fn forward_batch_into(
+        &mut self,
+        model: &DlrmModel,
+        dense: &Matrix,
+        reduced_batch: &[f32],
+        out: &mut [f32],
+    ) -> Result<(), CentaurError> {
+        if !self.weights_loaded {
+            return Err(CentaurError::NotInitialised("MLP weight SRAM"));
+        }
+        let batch = dense.rows();
+        let dim = model.config().embedding_dim;
+        let num_tables = model.config().num_tables;
+        if out.len() != batch {
+            return Err(centaur_dlrm::DlrmError::BatchMismatch {
+                what: "dense rows vs output slots",
+                left: batch,
+                right: out.len(),
+            }
+            .into());
+        }
+        if reduced_batch.len() != batch * num_tables * dim {
+            return Err(centaur_dlrm::DlrmError::BatchMismatch {
+                what: "reduced embedding elements vs batch",
+                left: reduced_batch.len(),
+                right: batch * num_tables * dim,
+            }
+            .into());
+        }
+        let num_features = num_tables + 1;
+        let interact_width = dim + num_features * (num_features - 1) / 2;
+        let stride = num_features * dim;
+        grow(&mut self.features, batch * stride);
+        grow(&mut self.interact_out, batch * interact_width);
+
+        // Per-request buffers stream the batch in as-large-as-fit waves.
+        Self::stage_batch(
+            &mut self.dense_feature_sram,
+            (dense.cols() * std::mem::size_of::<f32>()) as u64,
+            batch,
+        )?;
+
+        // 1. Bottom MLP over the whole batch — one GEMM per layer with
+        //    m = batch — scattered into feature row 0 of every sample.
+        {
+            let DenseAccelerator { ws, features, .. } = self;
+            let (bottom, cols) = model.bottom_mlp().forward_batch_ws(
+                self.backend,
+                dense.as_slice(),
+                batch,
+                dense.cols(),
+                ws,
+            )?;
+            if cols != dim {
+                return Err(centaur_dlrm::DlrmError::ShapeMismatch {
+                    op: "bottom MLP output vs embedding dim",
+                    lhs: (batch, dim),
+                    rhs: (batch, cols),
+                }
+                .into());
+            }
+            for (src, dst) in bottom
+                .chunks_exact(dim)
+                .zip(features.chunks_exact_mut(stride))
+            {
+                dst[..dim].copy_from_slice(src);
+            }
+        }
+        // One GEMM per layer for the whole batch, not one per sample.
+        self.mlp_unit
+            .record_gemms(model.bottom_mlp().num_layers() as u64);
+        for (src, dst) in reduced_batch
+            .chunks_exact(num_tables * dim)
+            .zip(self.features.chunks_exact_mut(stride))
+        {
+            dst[dim..stride].copy_from_slice(src);
+        }
+
+        // 2. Batched feature interaction over every sample's
+        //    [bottom; reduced embeddings] block.
+        {
+            let DenseAccelerator {
+                interaction_unit,
+                features,
+                interact_out,
+                ..
+            } = self;
+            interaction_unit.interact_batch_into(
+                &features[..batch * stride],
+                batch,
+                num_features,
+                dim,
+                &mut interact_out[..batch * interact_width],
+            )?;
+        }
+        Self::stage_batch(
+            &mut self.mlp_input_sram,
+            (interact_width * std::mem::size_of::<f32>()) as u64,
+            batch,
+        )?;
+
+        // 3. Top MLP with m = batch + 4. one sigmoid sweep over the batch.
+        let DenseAccelerator {
+            ws,
+            interact_out,
+            sigmoid_unit,
+            ..
+        } = self;
+        let (top, top_cols) = model.top_mlp().forward_batch_ws(
+            self.backend,
+            &interact_out[..batch * interact_width],
+            batch,
+            interact_width,
+            ws,
+        )?;
+        self.mlp_unit
+            .record_gemms(model.top_mlp().num_layers() as u64);
+        if top_cols == 1 {
+            sigmoid_unit.apply_slice(&top[..batch], out);
+        } else {
+            for (o, row) in out.iter_mut().zip(top.chunks_exact(top_cols)) {
+                *o = sigmoid_unit.apply(row[0]);
+            }
+        }
+        Ok(())
+    }
+
+    /// Refills a per-request SRAM with `batch` samples of `bytes_per_sample`
+    /// each, in as many full-buffer waves as the capacity requires — the
+    /// functional model of double-buffered batch staging.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CentaurError::CapacityExceeded`] when even a single sample
+    /// does not fit (the same condition the per-sample path hits).
+    fn stage_batch(
+        sram: &mut SramBuffer,
+        bytes_per_sample: u64,
+        batch: usize,
+    ) -> Result<(), CentaurError> {
+        sram.clear();
+        if bytes_per_sample == 0 || batch == 0 {
+            return Ok(());
+        }
+        let per_wave = (sram.capacity_bytes() / bytes_per_sample).max(1) as usize;
+        let mut remaining = batch;
+        while remaining > 0 {
+            let wave = remaining.min(per_wave);
+            sram.clear();
+            sram.store(bytes_per_sample * wave as u64)?;
+            remaining -= wave;
+        }
+        Ok(())
+    }
+
     // ------------------------------------------------------------------
     // Timing path
     // ------------------------------------------------------------------
@@ -340,6 +513,61 @@ mod tests {
             (ours - reference).abs() < 1e-5,
             "accelerator {ours} vs reference {reference}"
         );
+    }
+
+    #[test]
+    fn batched_forward_matches_per_sample_loop() {
+        let model = tiny_model();
+        let mut per_sample = DenseAccelerator::harpv2();
+        per_sample.load_model(model.config()).unwrap();
+        let mut batched = DenseAccelerator::harpv2();
+        batched.load_model(model.config()).unwrap();
+
+        let batch = 5;
+        let dense = Matrix::from_fn(batch, 5, |r, c| (r as f32 - c as f32) * 0.2);
+        let batch_indices: Vec<Vec<Vec<u32>>> = (0..batch)
+            .map(|s| (0..3).map(|t| vec![(s * 7 + t) as u32 % 64]).collect())
+            .collect();
+        // Batch-major reduced staging buffer: [batch, num_tables * dim].
+        let mut reduced_batch = vec![0.0f32; batch * 3 * 8];
+        for (s, indices) in batch_indices.iter().enumerate() {
+            let mut m = Matrix::zeros(3, 8);
+            model
+                .embeddings()
+                .sparse_lengths_reduce_into(indices, &mut m)
+                .unwrap();
+            reduced_batch[s * 24..(s + 1) * 24].copy_from_slice(m.as_slice());
+        }
+
+        let mut batch_out = vec![0.0f32; batch];
+        batched
+            .forward_batch_into(&model, &dense, &reduced_batch, &mut batch_out)
+            .unwrap();
+        for (s, indices) in batch_indices.iter().enumerate() {
+            let reduced = model.embeddings().sparse_lengths_reduce(indices).unwrap();
+            let single = per_sample
+                .forward_sample_slice(&model, dense.row(s), &reduced)
+                .unwrap();
+            assert_eq!(batch_out[s], single, "sample {s} diverged");
+        }
+    }
+
+    #[test]
+    fn batched_forward_records_one_gemm_per_layer() {
+        let model = tiny_model();
+        let mut acc = DenseAccelerator::harpv2();
+        acc.load_model(model.config()).unwrap();
+        let batch = 6;
+        let dense = Matrix::zeros(batch, 5);
+        let reduced_batch = vec![0.0f32; batch * 3 * 8];
+        let mut out = vec![0.0f32; batch];
+        acc.forward_batch_into(&model, &dense, &reduced_batch, &mut out)
+            .unwrap();
+        // One GEMM per MLP layer for the *whole* batch, not one per sample…
+        let layers = (model.bottom_mlp().num_layers() + model.top_mlp().num_layers()) as u64;
+        assert_eq!(acc.mlp_unit().gemms_executed(), layers);
+        // …while every sample still occupies an interaction PE.
+        assert_eq!(acc.interaction_unit().interactions_executed(), batch as u64);
     }
 
     #[test]

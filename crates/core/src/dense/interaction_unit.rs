@@ -83,6 +83,28 @@ impl FeatureInteractionUnit {
         Ok(())
     }
 
+    /// Batch-major [`FeatureInteractionUnit::interact_into`]: `features` is
+    /// the `[batch, num_features * dim]` matrix and `out` receives the
+    /// `[batch, dim + pairs]` top-MLP input in one pass. Counts one executed
+    /// interaction per sample (each sample still occupies a PE).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlrmError::InvalidConfig`] for degenerate shapes.
+    pub fn interact_batch_into(
+        &mut self,
+        features: &[f32],
+        batch: usize,
+        num_features: usize,
+        dim: usize,
+        out: &mut [f32],
+    ) -> Result<(), DlrmError> {
+        let reference = FeatureInteraction::new(num_features, dim)?;
+        reference.interact_batch_into(features, batch, out);
+        self.interactions_executed += batch as u64;
+        Ok(())
+    }
+
     /// PE cycles for the `R · Rᵀ` batched GEMM of one sample with
     /// `num_features` vectors of width `dim` (partial tiles cost fewer
     /// cycles, down to the pipeline-fill minimum).

@@ -37,6 +37,18 @@ impl SigmoidUnit {
         xs.iter().map(|&x| self.apply(x)).collect()
     }
 
+    /// Allocation-free [`SigmoidUnit::apply_batch`]: one vectorized sweep
+    /// over the batch of logits into a caller-owned output — the unit is
+    /// fully pipelined, so the batch-major datapath converts all logits in
+    /// one pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn apply_slice(&self, xs: &[f32], out: &mut [f32]) {
+        centaur_dlrm::tensor::sigmoid_into(xs, out);
+    }
+
     /// Latency to produce `batch` probabilities, in nanoseconds (fully
     /// pipelined: fill + one value per cycle).
     pub fn latency_ns(&self, batch: usize) -> f64 {

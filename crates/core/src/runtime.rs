@@ -8,8 +8,8 @@ use crate::bpregs::{BasePointer, BasePointerRegs};
 use crate::dense::DenseAccelerator;
 use crate::error::CentaurError;
 use crate::sparse::EbStreamer;
-use centaur_dlrm::kernel::KernelBackend;
-use centaur_dlrm::model::DlrmModel;
+use centaur_dlrm::kernel::{grow, KernelBackend};
+use centaur_dlrm::model::{check_batch_inputs, DlrmModel};
 use centaur_dlrm::tensor::Matrix;
 use centaur_dlrm::trace::{InferenceTrace, TableLayout};
 
@@ -30,6 +30,10 @@ pub struct CentaurRuntime {
     /// Reused `[num_tables, dim]` staging matrix for reduced embeddings —
     /// gathered rows land here every request, no per-request allocation.
     reduced: Matrix,
+    /// Reused batch-major staging buffer (`[batch, num_tables * dim]`) for
+    /// the batched path — grows to the high-water batch size and is reused
+    /// across requests.
+    reduced_batch: Vec<f32>,
 }
 
 impl CentaurRuntime {
@@ -66,6 +70,7 @@ impl CentaurRuntime {
             dense,
             system: CentaurSystem::new(config),
             reduced,
+            reduced_batch: Vec::new(),
         })
     }
 
@@ -145,28 +150,60 @@ impl CentaurRuntime {
 
     /// Runs a batched functional inference; one probability per sample.
     ///
+    /// This is the **batch-major** accelerator path: the EB-Streamer gathers
+    /// and reduces every sample's bags into one batch-major staging buffer,
+    /// then the dense complex runs one GEMM per MLP layer with `m = batch`,
+    /// one batched interaction pass and one sigmoid sweep — no per-sample
+    /// `m = 1` GEMMs.
+    ///
     /// # Errors
     ///
     /// Returns a batch-mismatch error when the dense batch and sparse batch
-    /// disagree, plus any per-sample datapath error.
+    /// disagree, plus any datapath error.
     pub fn infer_batch(
         &mut self,
         dense: &Matrix,
         batch_indices: &[Vec<Vec<u32>>],
     ) -> Result<Vec<f32>, CentaurError> {
-        if dense.rows() != batch_indices.len() {
-            return Err(centaur_dlrm::DlrmError::BatchMismatch {
-                what: "dense rows vs sparse samples",
-                left: dense.rows(),
-                right: batch_indices.len(),
-            }
-            .into());
-        }
-        let mut out = Vec::with_capacity(batch_indices.len());
-        for (i, indices) in batch_indices.iter().enumerate() {
-            out.push(self.infer_sample(dense.row(i), indices)?);
-        }
+        let mut out = vec![0.0; batch_indices.len()];
+        self.infer_batch_into(dense, batch_indices, &mut out)?;
         Ok(out)
+    }
+
+    /// Allocation-free [`CentaurRuntime::infer_batch`]: writes one
+    /// probability per sample into the caller-owned `out`. After the
+    /// runtime's staging buffers have warmed up to the high-water batch
+    /// size, repeated batched requests reuse them without reallocating.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CentaurRuntime::infer_batch`], plus a batch mismatch when
+    /// `out` is not one slot per sample.
+    pub fn infer_batch_into(
+        &mut self,
+        dense: &Matrix,
+        batch_indices: &[Vec<Vec<u32>>],
+        out: &mut [f32],
+    ) -> Result<(), CentaurError> {
+        check_batch_inputs(dense, batch_indices)?;
+        let batch = batch_indices.len();
+        let stride = self.model.config().num_tables * self.model.config().embedding_dim;
+        grow(&mut self.reduced_batch, batch * stride);
+        let CentaurRuntime {
+            model,
+            streamer,
+            dense: dense_complex,
+            reduced_batch,
+            ..
+        } = self;
+        streamer.gather_reduce_batch_into(
+            model.embeddings(),
+            batch_indices,
+            &mut reduced_batch[..batch * stride],
+            stride,
+            0,
+        )?;
+        dense_complex.forward_batch_into(model, dense, &reduced_batch[..batch * stride], out)
     }
 
     /// Predicts the latency of a batched request on this device.
@@ -206,6 +243,24 @@ mod tests {
         assert_eq!(ours.len(), reference.len());
         for (a, b) in ours.iter().zip(&reference) {
             assert!((a - b).abs() < 1e-4, "accelerator {a} vs reference {b}");
+        }
+    }
+
+    #[test]
+    fn batch_major_inference_matches_per_sample_loop() {
+        let model = small_model();
+        let config = model.config().clone();
+        let mut batched = CentaurRuntime::harpv2(model.clone()).unwrap();
+        let mut per_sample = CentaurRuntime::harpv2(model).unwrap();
+        let mut generator = RequestGenerator::new(&config, IndexDistribution::Uniform, 29);
+        let batch = generator.functional_batch(8);
+
+        let ours = batched.infer_batch(&batch.dense, &batch.sparse).unwrap();
+        for (i, indices) in batch.sparse.iter().enumerate() {
+            let single = per_sample
+                .infer_sample(batch.dense.row(i), indices)
+                .unwrap();
+            assert_eq!(ours[i], single, "sample {i} diverged from per-sample path");
         }
     }
 

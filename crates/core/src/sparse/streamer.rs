@@ -157,6 +157,50 @@ impl EbStreamer {
             }
             .into());
         }
+        self.check_streamable(bag)?;
+        self.stream_sample(bag, indices_per_table, out.as_mut_slice())
+    }
+
+    /// Batch-major gather/reduce: streams **every** sample's gathers through
+    /// the index SRAM and reduction unit, accumulating each sample's reduced
+    /// tables directly into its row of a caller-owned `[batch, row_stride]`
+    /// buffer at column `row_offset` — exactly the layout of the dense
+    /// complex's batch-major feature matrix, so gathered rows land where the
+    /// interaction unit reads them with no intermediate staging matrices.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EbStreamer::gather_reduce_into`] per sample, plus a shape
+    /// mismatch when `out` is not `batch * row_stride` long or a sample's
+    /// reduced block does not fit its row.
+    pub fn gather_reduce_batch_into(
+        &mut self,
+        bag: &EmbeddingBag,
+        batch_indices: &[Vec<Vec<u32>>],
+        out: &mut [f32],
+        row_stride: usize,
+        row_offset: usize,
+    ) -> Result<(), CentaurError> {
+        self.check_streamable(bag)?;
+        let width = bag.num_tables() * bag.dim();
+        if row_offset + width > row_stride || out.len() != batch_indices.len() * row_stride {
+            return Err(centaur_dlrm::DlrmError::ShapeMismatch {
+                op: "eb-streamer gather_reduce_batch_into",
+                lhs: (batch_indices.len(), row_stride),
+                rhs: (out.len(), row_offset + width),
+            }
+            .into());
+        }
+        for (sample, indices_per_table) in batch_indices.iter().enumerate() {
+            let base = sample * row_stride + row_offset;
+            self.stream_sample(bag, indices_per_table, &mut out[base..base + width])?;
+        }
+        Ok(())
+    }
+
+    /// The EB-RU only accumulates rows as they stream off the link, so only
+    /// `Sum` bags can be served.
+    fn check_streamable(&self, bag: &EmbeddingBag) -> Result<(), CentaurError> {
         if bag.reduction_op() != ReductionOp::Sum {
             return Err(centaur_dlrm::DlrmError::InvalidConfig(format!(
                 "EB-Streamer reduces on the fly and supports {} only, got {}",
@@ -165,13 +209,33 @@ impl EbStreamer {
             ))
             .into());
         }
+        Ok(())
+    }
+
+    /// Streams one sample's gathers: chunks each table's indices through the
+    /// index SRAM and reduces rows on the fly into the sample's
+    /// `[num_tables * dim]` output block.
+    fn stream_sample(
+        &mut self,
+        bag: &EmbeddingBag,
+        indices_per_table: &[Vec<u32>],
+        out: &mut [f32],
+    ) -> Result<(), CentaurError> {
+        if indices_per_table.len() != bag.num_tables() {
+            return Err(centaur_dlrm::DlrmError::TableCountMismatch {
+                provided: indices_per_table.len(),
+                expected: bag.num_tables(),
+            }
+            .into());
+        }
         let EbStreamer {
             index_sram,
             reduction_unit,
             ..
         } = self;
+        let dim = bag.dim();
         for (t, indices) in indices_per_table.iter().enumerate() {
-            let row_out = out.row_mut(t);
+            let row_out = &mut out[t * dim..(t + 1) * dim];
             row_out.fill(0.0);
             for chunk in indices.chunks(index_sram.capacity_indices().max(1)) {
                 index_sram.load(chunk)?;
@@ -277,6 +341,57 @@ mod tests {
         let reference = bag.sparse_lengths_reduce(&indices).unwrap();
         assert!(ours.max_abs_diff(&reference) < 1e-4);
         assert!(streamer.index_sram().loads() >= 7);
+    }
+
+    #[test]
+    fn batched_gather_reduce_matches_reference_with_offset_layout() {
+        let bag = EmbeddingBag::random(3, 128, 8, 5);
+        let batch_indices: Vec<Vec<Vec<u32>>> = (0..4)
+            .map(|s| {
+                (0..3)
+                    .map(|t| {
+                        (0..6u32)
+                            .map(|i| (s as u32 * 41 + t * 13 + i * 7) % 128)
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        // Feature-matrix layout: stride = (tables + 1) * dim, reduced block
+        // at column `dim` — row 0 of each sample is left for the bottom MLP.
+        let stride = 4 * 8;
+        let mut out = vec![f32::NAN; 4 * stride];
+        let mut streamer = EbStreamer::default();
+        streamer
+            .gather_reduce_batch_into(&bag, &batch_indices, &mut out, stride, 8)
+            .unwrap();
+        for (s, indices) in batch_indices.iter().enumerate() {
+            let reference = bag.sparse_lengths_reduce(indices).unwrap();
+            let block = &out[s * stride + 8..s * stride + 8 + 24];
+            for (a, b) in block.iter().zip(reference.as_slice()) {
+                assert!((a - b).abs() < 1e-5);
+            }
+            // The bottom-MLP slot must be untouched.
+            assert!(out[s * stride..s * stride + 8].iter().all(|x| x.is_nan()));
+        }
+        assert_eq!(streamer.reduction_unit().vectors_reduced(), 4 * 3 * 6);
+    }
+
+    #[test]
+    fn batched_gather_reduce_rejects_bad_layout() {
+        let bag = EmbeddingBag::random(2, 64, 8, 1);
+        let batch_indices = vec![vec![vec![0u32], vec![1]]];
+        let mut streamer = EbStreamer::default();
+        // Reduced block (16) does not fit the row past the offset.
+        let mut out = vec![0.0f32; 20];
+        assert!(streamer
+            .gather_reduce_batch_into(&bag, &batch_indices, &mut out, 20, 8)
+            .is_err());
+        // Wrong total length.
+        let mut out = vec![0.0f32; 16];
+        assert!(streamer
+            .gather_reduce_batch_into(&bag, &batch_indices, &mut out, 24, 0)
+            .is_err());
     }
 
     #[test]

@@ -331,6 +331,52 @@ impl EmbeddingBag {
         Ok(())
     }
 
+    /// Batch-major gather/reduce: reduces every sample's bags directly into
+    /// a caller-owned `[batch, row_stride]` row-major buffer, writing each
+    /// sample's `num_tables * dim` reduced block at column `row_offset` of
+    /// its row.
+    ///
+    /// This is the sparse frontend of the batch-major forward path: the
+    /// model passes its `[batch, num_features * dim]` interaction-feature
+    /// matrix with `row_offset = dim`, so reduced embeddings land in
+    /// feature rows `1..=num_tables` of every sample with no intermediate
+    /// per-sample matrices and no copies.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EmbeddingBag::sparse_lengths_reduce`] per sample, plus
+    /// [`DlrmError::ShapeMismatch`] when `out` is not
+    /// `batch_indices.len() * row_stride` long or the reduced block does
+    /// not fit a row (`row_offset + num_tables * dim > row_stride`).
+    pub fn reduce_batch_into(
+        &self,
+        batch_indices: &[Vec<Vec<u32>>],
+        out: &mut [f32],
+        row_stride: usize,
+        row_offset: usize,
+    ) -> Result<(), DlrmError> {
+        let width = self.num_tables() * self.dim();
+        if row_offset + width > row_stride {
+            return Err(DlrmError::ShapeMismatch {
+                op: "reduce_batch_into row layout",
+                lhs: (1, row_stride),
+                rhs: (1, row_offset + width),
+            });
+        }
+        if out.len() != batch_indices.len() * row_stride {
+            return Err(DlrmError::ShapeMismatch {
+                op: "reduce_batch_into",
+                lhs: (batch_indices.len(), row_stride),
+                rhs: (out.len(), 1),
+            });
+        }
+        for (sample, per_table) in batch_indices.iter().enumerate() {
+            let base = sample * row_stride + row_offset;
+            self.reduce_into_slice(per_table, &mut out[base..base + width])?;
+        }
+        Ok(())
+    }
+
     /// Batched version of [`EmbeddingBag::sparse_lengths_reduce`]: one index
     /// list per `(sample, table)` pair. Returns one `[num_tables, dim]`
     /// matrix per sample.

@@ -115,6 +115,28 @@ impl FeatureInteraction {
         }
     }
 
+    /// Batch-major [`FeatureInteraction::interact_into`]: `features` is the
+    /// `[batch, num_features * dim]` matrix (each row one sample's stacked
+    /// feature vectors, bottom-MLP output first) and `out` receives the
+    /// `[batch, output_dim()]` top-MLP input in one pass over both buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice length disagrees with
+    /// `batch ×` the configured shape (shape validation is the caller's job
+    /// on this hot path).
+    pub fn interact_batch_into(&self, features: &[f32], batch: usize, out: &mut [f32]) {
+        let in_width = self.num_features * self.dim;
+        assert_eq!(features.len(), batch * in_width);
+        assert_eq!(out.len(), batch * self.output_dim());
+        for (feature_row, out_row) in features
+            .chunks_exact(in_width)
+            .zip(out.chunks_exact_mut(self.output_dim()))
+        {
+            self.interact_into(feature_row, out_row);
+        }
+    }
+
     /// Computes the full Gram matrix `features * features^T` for one sample.
     ///
     /// This is the raw batched-GEMM the dense accelerator executes; the

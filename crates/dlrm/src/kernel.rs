@@ -34,12 +34,27 @@ use std::sync::OnceLock;
 
 /// Rows processed together by the GEMM microkernel.
 const MR: usize = 4;
+/// Rows processed by the wide microkernel used on batch-major GEMMs: each
+/// pass over a packed `B` panel feeds 8 output rows, halving panel traffic
+/// versus the 4-row kernel when `m` (the batch) is large.
+const MR_WIDE: usize = 8;
 /// `k`-dimension block size: one packed panel spans at most `KC` rows of `B`.
 const KC: usize = 256;
 /// `n`-dimension block size: columns of `B` packed per panel.
 const NC: usize = 512;
 /// Minimum FLOP count (`2·m·n·k`) before the parallel path spawns threads.
-const PARALLEL_FLOP_THRESHOLD: usize = 1 << 20;
+///
+/// Re-tuned for the batch-major inference path, where `BlockedParallel`
+/// finally sees GEMMs with `m = batch` rows to split: a spawned band must
+/// carry enough work to amortize its `std::thread` spawn/join cost
+/// (~30–60 µs) against the blocked kernel's ~20 GFLOP/s single-core rate,
+/// i.e. ≥ ~2 MFLOP per band. At `1 << 22` (~4.2 MFLOP for two bands) the
+/// batched MLP layer GEMMs of the paper models clear the bar from batch
+/// ≈ 32 up (e.g. 64×256×256 ≈ 8.4 MFLOP), while per-sample `m = 1` layer
+/// GEMMs (≤ 0.3 MFLOP on every Table-I shape) always stay on the
+/// single-threaded kernel. See the `batch_forward` bench group and the
+/// README "Measured kernel speedups" table for the numbers behind this.
+const PARALLEL_FLOP_THRESHOLD: usize = 1 << 22;
 /// Chunk width for the unrolled reduction helpers.
 const LANES: usize = 8;
 
@@ -384,6 +399,10 @@ fn gemm_blocked(
             let packed = &pack[..kcb * nc];
 
             let mut i = 0;
+            while i + MR_WIDE <= m {
+                microkernel_8(a, packed, out, i, kc, kcb, jc, nc, k, n);
+                i += MR_WIDE;
+            }
             while i + MR <= m {
                 microkernel_4(a, packed, out, i, kc, kcb, jc, nc, k, n);
                 i += MR;
@@ -437,6 +456,130 @@ fn microkernel_4(
     }
 }
 
+/// Column-tile width of the register-blocked wide microkernel.
+const TJ: usize = 16;
+
+/// 8×16 register-tiled microkernel for batch-major GEMMs: an 8-row ×
+/// 16-column accumulator tile stays in registers across the *whole* `k`
+/// block, so the output is loaded and stored once per tile instead of once
+/// per `kk` step (the 4-row kernel's store-port bottleneck), and each
+/// packed-`B` panel is streamed `m / 8` times per batch instead of `m / 4`.
+///
+/// Per output element the accumulation order is still `kk` ascending —
+/// identical to [`microkernel_4`]/[`microkernel_1`] — so results are
+/// bitwise the same for every `m` and every row-to-kernel assignment.
+///
+/// On x86-64 with AVX2 the same body is re-compiled with 256-bit vectors
+/// and dispatched at runtime ([`microkernel_8_avx2`]). FMA is deliberately
+/// **not** enabled: fused multiply-adds round differently, and this kernel
+/// guarantees bitwise-identical results to the scalar build — the AVX2
+/// path executes the exact same IEEE multiply and add per element, just 8
+/// lanes at a time.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn microkernel_8(
+    a: &[f32],
+    packed: &[f32],
+    out: &mut [f32],
+    i: usize,
+    kc: usize,
+    kcb: usize,
+    jc: usize,
+    nc: usize,
+    k: usize,
+    n: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: guarded by the runtime AVX2 check above.
+        return unsafe { microkernel_8_avx2(a, packed, out, i, kc, kcb, jc, nc, k, n) };
+    }
+    microkernel_8_impl(a, packed, out, i, kc, kcb, jc, nc, k, n);
+}
+
+/// Whether the running CPU supports AVX2, detected once.
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    static AVX2: OnceLock<bool> = OnceLock::new();
+    *AVX2.get_or_init(|| std::is_x86_feature_detected!("avx2"))
+}
+
+/// [`microkernel_8_impl`] compiled with AVX2 codegen (256-bit vector mul +
+/// add, no FMA — see [`microkernel_8`] for why fusion is excluded).
+///
+/// # Safety
+///
+/// The caller must ensure the running CPU supports AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn microkernel_8_avx2(
+    a: &[f32],
+    packed: &[f32],
+    out: &mut [f32],
+    i: usize,
+    kc: usize,
+    kcb: usize,
+    jc: usize,
+    nc: usize,
+    k: usize,
+    n: usize,
+) {
+    microkernel_8_impl(a, packed, out, i, kc, kcb, jc, nc, k, n);
+}
+
+/// Shared body of the wide microkernel; `inline(always)` so the
+/// `target_feature` wrapper re-compiles it under AVX2 codegen.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn microkernel_8_impl(
+    a: &[f32],
+    packed: &[f32],
+    out: &mut [f32],
+    i: usize,
+    kc: usize,
+    kcb: usize,
+    jc: usize,
+    nc: usize,
+    k: usize,
+    n: usize,
+) {
+    let mut jt = 0;
+    while jt + TJ <= nc {
+        let mut acc = [[0.0f32; TJ]; MR_WIDE];
+        for (r, acc_row) in acc.iter_mut().enumerate() {
+            acc_row.copy_from_slice(&out[(i + r) * n + jc + jt..][..TJ]);
+        }
+        for kk in 0..kcb {
+            let brow: &[f32; TJ] = packed[kk * nc + jt..][..TJ].try_into().expect("TJ tile");
+            for (r, acc_row) in acc.iter_mut().enumerate() {
+                let av = a[(i + r) * k + kc + kk];
+                for (o, &bv) in acc_row.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        for (r, acc_row) in acc.iter().enumerate() {
+            out[(i + r) * n + jc + jt..][..TJ].copy_from_slice(acc_row);
+        }
+        jt += TJ;
+    }
+    // Remainder columns (nc not a multiple of TJ): streaming form, same
+    // per-element order.
+    if jt < nc {
+        for kk in 0..kcb {
+            let brow = &packed[kk * nc + jt..kk * nc + nc];
+            for r in 0..MR_WIDE {
+                let av = a[(i + r) * k + kc + kk];
+                let orow = &mut out[(i + r) * n + jc + jt..(i + r) * n + jc + nc];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+}
+
 /// Single-row edge case of the microkernel.
 #[allow(clippy::too_many_arguments)]
 #[inline]
@@ -465,6 +608,15 @@ fn microkernel_1(
 /// Row-parallel blocked GEMM: output rows are split into per-thread bands
 /// and each band runs the single-threaded blocked kernel independently
 /// (bitwise-identical results to [`KernelBackend::Blocked`]).
+/// Hardware thread count, resolved once: `available_parallelism` reads
+/// cgroup/affinity state from the kernel on every call (~10 µs in a
+/// container), which used to dominate small GEMMs on the parallel backend.
+#[cfg(feature = "parallel")]
+fn hardware_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| std::thread::available_parallelism().map_or(1, |t| t.get()))
+}
+
 #[cfg(feature = "parallel")]
 fn gemm_parallel(
     a: &[f32],
@@ -475,16 +627,26 @@ fn gemm_parallel(
     n: usize,
     pack: &mut Vec<f32>,
 ) {
-    let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
-    // One band per MR-multiple of rows, at most one per hardware thread.
-    let max_bands = m.div_ceil(MR);
-    let bands = threads.min(max_bands);
-    if bands <= 1 || 2 * m * n * k < PARALLEL_FLOP_THRESHOLD {
+    // Cheap size gate first: small problems must not even pay for the
+    // (cached) thread-count lookup, let alone a spawn.
+    if 2 * m * n * k < PARALLEL_FLOP_THRESHOLD {
         return gemm_blocked(a, b, out, m, k, n, pack);
     }
-    // Round band height to a multiple of MR so only the last band hits the
-    // single-row edge path.
-    let band_rows = m.div_ceil(bands).div_ceil(MR) * MR;
+    // One band per MR_WIDE-multiple of rows (band heights are rounded to
+    // the wide microkernel below, so planning with a finer granularity
+    // would promise more bands than can actually spawn), at most one per
+    // hardware thread.
+    let max_bands = m.div_ceil(MR_WIDE);
+    let bands = hardware_threads().min(max_bands);
+    if bands <= 1 {
+        return gemm_blocked(a, b, out, m, k, n, pack);
+    }
+    // Round band height to a multiple of MR_WIDE so every full band still
+    // runs the 8×16 register-tiled kernel (a multiple of MR would hand
+    // 4-row bands to the slower kernel on many-core hosts) and only the
+    // last band hits the narrow edge paths. Per-element accumulation order
+    // is identical in every microkernel, so banding stays bitwise-neutral.
+    let band_rows = m.div_ceil(bands).div_ceil(MR_WIDE) * MR_WIDE;
     std::thread::scope(|scope| {
         for (band, out_band) in out.chunks_mut(band_rows * n).enumerate() {
             let row0 = band * band_rows;

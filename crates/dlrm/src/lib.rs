@@ -59,7 +59,7 @@ pub use error::DlrmError;
 pub use interaction::FeatureInteraction;
 pub use kernel::{global_backend, set_global_backend, FusedAct, KernelBackend, Workspace};
 pub use mlp::{Activation, DenseLayer, Mlp, MlpStack};
-pub use model::{DlrmModel, ForwardBreakdown, ModelWorkspace};
+pub use model::{check_batch_inputs, BatchWorkspace, DlrmModel, ForwardBreakdown, ModelWorkspace};
 pub use tensor::Matrix;
 pub use trace::{EmbeddingAccess, GatherTrace, InferenceTrace};
 

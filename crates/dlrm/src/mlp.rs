@@ -403,6 +403,30 @@ impl Mlp {
         }
         Ok((&ws.ping[..batch * cols], cols))
     }
+
+    /// The batch-major forward pass: the whole batch flows through **one
+    /// GEMM per layer with `m = batch`**, so each layer's packed `B` panels
+    /// are amortized over every sample instead of being re-packed per
+    /// sample — the weight-reuse win the paper attributes to batching.
+    ///
+    /// Numerically this is bitwise-identical to running
+    /// [`Mlp::forward_ws`] with `batch == 1` once per sample: the blocked
+    /// microkernels accumulate each output row in the same `k`-block order
+    /// regardless of `m`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Mlp::forward_ws`].
+    pub fn forward_batch_ws<'w>(
+        &self,
+        backend: KernelBackend,
+        input: &[f32],
+        batch: usize,
+        in_cols: usize,
+        ws: &'w mut Workspace,
+    ) -> Result<(&'w [f32], usize), DlrmError> {
+        self.forward_ws(backend, input, batch, in_cols, ws)
+    }
 }
 
 /// The paper-facing name for a stack of dense layers; `MlpStack` and

@@ -58,6 +58,60 @@ impl ModelWorkspace {
     }
 }
 
+/// Reusable scratch for the **batch-major** zero-allocation forward path
+/// ([`DlrmModel::forward_batch_into`]): the same buffers as
+/// [`ModelWorkspace`], but sized `batch ×` so the whole batch flows through
+/// one GEMM per MLP layer.
+///
+/// Hold one per serving thread; after the first (warm-up) call at a given
+/// batch size every buffer has reached its high-water mark and steady-state
+/// batched inference allocates nothing (`Naive`/`Blocked` backends).
+#[derive(Debug, Clone, Default)]
+pub struct BatchWorkspace {
+    /// MLP scratch (ping/pong layer buffers + GEMM packing panel), sized to
+    /// `batch × widest layer`.
+    mlp: Workspace,
+    /// Batch-major interaction input: `[batch, num_features * dim]`.
+    features: Vec<f32>,
+    /// Batch-major interaction output: `[batch, interact_width]`.
+    interact: Vec<f32>,
+}
+
+impl BatchWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        BatchWorkspace::default()
+    }
+
+    /// Total bytes currently held across all scratch buffers.
+    pub fn capacity_bytes(&self) -> usize {
+        self.mlp.capacity_bytes()
+            + (self.features.capacity() + self.interact.capacity()) * std::mem::size_of::<f32>()
+    }
+}
+
+/// Validates that a batched request's dense rows and per-sample sparse index
+/// lists agree — the one shared batch check used by
+/// [`DlrmModel::forward_batch_with`] and the accelerator runtime's
+/// `infer_batch` (previously copy-pasted in both).
+///
+/// # Errors
+///
+/// Returns [`DlrmError::BatchMismatch`] when the two batch sizes differ.
+pub fn check_batch_inputs(
+    dense: &Matrix,
+    batch_indices: &[Vec<Vec<u32>>],
+) -> Result<(), DlrmError> {
+    if dense.rows() != batch_indices.len() {
+        return Err(DlrmError::BatchMismatch {
+            what: "dense rows vs sparse samples",
+            left: dense.rows(),
+            right: batch_indices.len(),
+        });
+    }
+    Ok(())
+}
+
 /// Intermediate results of a single-sample forward pass, exposed so that
 /// accelerator models can be validated stage by stage.
 #[derive(Debug, Clone, PartialEq)]
@@ -247,13 +301,16 @@ impl DlrmModel {
     /// Runs a batched forward pass: one dense-feature row and one per-table
     /// index list per sample. Returns one probability per sample.
     ///
-    /// Internally reuses one [`ModelWorkspace`] across the whole batch, so
-    /// per-sample work is allocation-free after the first sample.
+    /// This is the **batch-major** path: the whole batch flows through one
+    /// GEMM per MLP layer (`m = batch`), the embedding reductions land
+    /// directly in a batch-major feature matrix, the interaction runs as one
+    /// batched kernel and the final sigmoid vectorizes over the batch. No
+    /// per-sample `m = 1` GEMMs execute anywhere on this path.
     ///
     /// # Errors
     ///
     /// Returns [`DlrmError::BatchMismatch`] when the dense batch and sparse
-    /// batch disagree, plus any per-sample stage error.
+    /// batch disagree, plus any stage error.
     pub fn forward_batch(
         &self,
         dense: &Matrix,
@@ -264,6 +321,11 @@ impl DlrmModel {
 
     /// [`DlrmModel::forward_batch`] on an explicit [`KernelBackend`].
     ///
+    /// Allocates a fresh [`BatchWorkspace`] plus the output vector; callers
+    /// on the steady-state serving path should hold their own workspace and
+    /// use [`DlrmModel::forward_batch_into`], which allocates nothing after
+    /// warm-up.
+    ///
     /// # Errors
     ///
     /// Same as [`DlrmModel::forward_batch`].
@@ -273,19 +335,136 @@ impl DlrmModel {
         dense: &Matrix,
         batch_indices: &[Vec<Vec<u32>>],
     ) -> Result<Vec<f32>, DlrmError> {
-        if dense.rows() != batch_indices.len() {
+        let mut ws = BatchWorkspace::new();
+        let mut out = vec![0.0; batch_indices.len()];
+        self.forward_batch_into(backend, dense, batch_indices, &mut out, &mut ws)?;
+        Ok(out)
+    }
+
+    /// The zero-allocation batch-major hot path: one batch end to end with
+    /// every intermediate written into `ws` and one probability per sample
+    /// written into `out`.
+    ///
+    /// Stage by stage (compare [`DlrmModel::forward_sample_ws`], which runs
+    /// the same math one sample at a time):
+    ///
+    /// 1. embedding gathers/reductions for **all** samples, straight into
+    ///    the batch-major `[batch, num_features * dim]` feature matrix;
+    /// 2. bottom MLP over the whole dense batch — one GEMM per layer with
+    ///    `m = batch`, its output scattered into feature row 0 of every
+    ///    sample;
+    /// 3. one batched feature-interaction pass producing the
+    ///    `[batch, interact_width]` top-MLP input;
+    /// 4. top MLP with `m = batch`, then one vectorized sigmoid sweep over
+    ///    the batch of logits.
+    ///
+    /// Numerically identical (bitwise, per backend) to looping
+    /// [`DlrmModel::forward_sample_ws`] over the batch: the blocked GEMM
+    /// accumulates each output row in the same order regardless of `m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlrmError::BatchMismatch`] when the dense rows, sparse
+    /// samples and `out` length disagree, plus shape and index errors from
+    /// the individual stages.
+    pub fn forward_batch_into(
+        &self,
+        backend: KernelBackend,
+        dense: &Matrix,
+        batch_indices: &[Vec<Vec<u32>>],
+        out: &mut [f32],
+        ws: &mut BatchWorkspace,
+    ) -> Result<(), DlrmError> {
+        check_batch_inputs(dense, batch_indices)?;
+        let batch = batch_indices.len();
+        if out.len() != batch {
             return Err(DlrmError::BatchMismatch {
-                what: "dense rows vs sparse samples",
-                left: dense.rows(),
-                right: batch_indices.len(),
+                what: "output slots vs samples",
+                left: out.len(),
+                right: batch,
             });
         }
-        let mut ws = ModelWorkspace::new();
-        let mut out = Vec::with_capacity(batch_indices.len());
-        for (i, indices) in batch_indices.iter().enumerate() {
-            out.push(self.forward_sample_ws(backend, dense.row(i), indices, &mut ws)?);
+        let dense_width = self.config.dense_features;
+        if dense.cols() != dense_width {
+            return Err(DlrmError::ShapeMismatch {
+                op: "dense features",
+                lhs: (batch, dense_width),
+                rhs: dense.shape(),
+            });
         }
-        Ok(out)
+        let dim = self.config.embedding_dim;
+        let num_features = self.interaction.num_features();
+        let interact_width = self.interaction.output_dim();
+        let stride = num_features * dim;
+        grow(&mut ws.features, batch * stride);
+        grow(&mut ws.interact, batch * interact_width);
+
+        // 1. Embedding gathers + reductions for every sample, straight into
+        //    interaction feature rows 1..=num_tables of each sample's block.
+        self.embeddings.reduce_batch_into(
+            batch_indices,
+            &mut ws.features[..batch * stride],
+            stride,
+            dim,
+        )?;
+
+        // 2. Bottom MLP over the whole batch: one GEMM per layer with
+        //    m = batch, scattered into feature row 0 of every sample.
+        {
+            let BatchWorkspace { mlp, features, .. } = ws;
+            let (bottom, cols) = self.bottom_mlp.forward_batch_ws(
+                backend,
+                dense.as_slice(),
+                batch,
+                dense_width,
+                mlp,
+            )?;
+            if cols != dim {
+                return Err(DlrmError::ShapeMismatch {
+                    op: "bottom MLP output",
+                    lhs: (batch, dim),
+                    rhs: (batch, cols),
+                });
+            }
+            for (src, dst) in bottom
+                .chunks_exact(dim)
+                .zip(features.chunks_exact_mut(stride))
+            {
+                dst[..dim].copy_from_slice(src);
+            }
+        }
+
+        // 3. Batched dot-product feature interaction.
+        {
+            let BatchWorkspace {
+                features, interact, ..
+            } = ws;
+            self.interaction.interact_batch_into(
+                &features[..batch * stride],
+                batch,
+                &mut interact[..batch * interact_width],
+            );
+        }
+
+        // 4. Top MLP with m = batch, then one vectorized sigmoid sweep.
+        let BatchWorkspace { mlp, interact, .. } = ws;
+        let (top, top_cols) = self.top_mlp.forward_batch_ws(
+            backend,
+            &interact[..batch * interact_width],
+            batch,
+            interact_width,
+            mlp,
+        )?;
+        if top_cols == 1 {
+            crate::tensor::sigmoid_into(&top[..batch], out);
+        } else {
+            // A top MLP wider than one unit: take logit 0 per sample, the
+            // same element the per-sample path reads.
+            for (o, row) in out.iter_mut().zip(top.chunks_exact(top_cols)) {
+                *o = crate::tensor::sigmoid_scalar(row[0]);
+            }
+        }
+        Ok(())
     }
 
     /// The zero-allocation hot path: one sample end to end (bottom MLP,

@@ -452,6 +452,21 @@ pub fn sigmoid_scalar(x: f32) -> f32 {
     }
 }
 
+/// Vectorized logistic sigmoid over a whole slice: `out[i] =
+/// sigmoid(src[i])`. One pass, no allocation — the batch-major forward
+/// paths use this to convert a batch of top-MLP logits into probabilities
+/// in a single sweep instead of one scalar call per sample.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn sigmoid_into(src: &[f32], out: &mut [f32]) {
+    assert_eq!(src.len(), out.len(), "sigmoid width mismatch");
+    for (o, &x) in out.iter_mut().zip(src) {
+        *o = sigmoid_scalar(x);
+    }
+}
+
 /// Counts the floating-point operations of a GEMM of the given shape
 /// (`2 * m * n * k`, the usual multiply-accumulate convention).
 pub fn gemm_flops(m: usize, n: usize, k: usize) -> u64 {

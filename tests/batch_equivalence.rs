@@ -1,0 +1,171 @@
+//! Property tests for the batch-major forward path: for random model
+//! shapes, batch sizes and index patterns, `DlrmModel::forward_batch`
+//! (one GEMM per MLP layer with `m = batch`) must be numerically equal to
+//! looping the per-sample `forward_sample_ws` path, under **every** kernel
+//! backend — and the same equivalence must hold end to end through the
+//! accelerator's `CentaurRuntime::infer_batch`.
+
+use centaur::CentaurRuntime;
+use centaur_dlrm::kernel::KernelBackend;
+use centaur_dlrm::{BatchWorkspace, DlrmModel, Matrix, ModelConfig, ModelWorkspace};
+use proptest::prelude::*;
+
+/// Builds a small but shape-diverse model configuration from raw draws.
+fn config_from(
+    num_tables: usize,
+    dim: usize,
+    dense_features: usize,
+    bottom_hidden: usize,
+    top_hidden: usize,
+) -> ModelConfig {
+    ModelConfig::builder()
+        .name("batch-equivalence")
+        .num_tables(num_tables)
+        .rows_per_table(96)
+        .embedding_dim(dim)
+        .lookups_per_table(3)
+        .dense_features(dense_features)
+        .bottom_mlp(&[bottom_hidden, dim])
+        .top_mlp(&[top_hidden])
+        .build()
+        .expect("drawn configuration is valid")
+}
+
+/// Deterministic per-(sample, table) index lists with varying lengths,
+/// including empty bags.
+fn indices_for(config: &ModelConfig, batch: usize, seed: u64) -> Vec<Vec<Vec<u32>>> {
+    (0..batch)
+        .map(|s| {
+            (0..config.num_tables)
+                .map(|t| {
+                    let len = (s + t + seed as usize) % 5; // 0..=4 lookups
+                    (0..len as u32)
+                        .map(|i| {
+                            (seed as u32)
+                                .wrapping_mul(2654435761)
+                                .wrapping_add((s * 31 + t * 17 + i as usize * 7) as u32)
+                                % 96
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Batch-major `forward_batch` equals the per-sample workspace path for
+    /// every backend, on random shapes and batches.
+    #[test]
+    fn forward_batch_matches_per_sample_path(
+        num_tables in 1usize..5,
+        dim in 1usize..17,
+        dense_features in 1usize..9,
+        bottom_hidden in 1usize..24,
+        top_hidden in 1usize..24,
+        batch in 0usize..11,
+        seed in 0u64..500,
+    ) {
+        let config = config_from(num_tables, dim, dense_features, bottom_hidden, top_hidden);
+        let model = DlrmModel::random(&config, seed).expect("valid model");
+        let dense = Matrix::from_fn(batch, dense_features, |r, c| {
+            ((r * 13 + c * 7 + seed as usize) % 19) as f32 * 0.1 - 0.9
+        });
+        let batch_indices = indices_for(&config, batch, seed);
+
+        for backend in KernelBackend::all() {
+            let batched = model
+                .forward_batch_with(backend, &dense, &batch_indices)
+                .expect("batched forward succeeds");
+            prop_assert_eq!(batched.len(), batch);
+
+            let mut ws = ModelWorkspace::new();
+            for (i, indices) in batch_indices.iter().enumerate() {
+                let single = model
+                    .forward_sample_ws(backend, dense.row(i), indices, &mut ws)
+                    .expect("per-sample forward succeeds");
+                // The blocked GEMM accumulates each output row in the same
+                // order regardless of m, so the two paths agree bitwise.
+                prop_assert_eq!(
+                    batched[i],
+                    single,
+                    "{:?} sample {} diverged",
+                    backend,
+                    i
+                );
+            }
+        }
+    }
+
+    /// The same equivalence holds through the accelerator datapath:
+    /// `CentaurRuntime::infer_batch` (batch-major EB-Streamer gather +
+    /// batched dense complex) equals both the per-sample runtime path and
+    /// the reference model.
+    #[test]
+    fn runtime_infer_batch_matches_per_sample_and_reference(
+        num_tables in 1usize..4,
+        dim in 1usize..13,
+        dense_features in 1usize..7,
+        batch in 1usize..9,
+        seed in 0u64..200,
+    ) {
+        let config = config_from(num_tables, dim, dense_features, 16, 8);
+        let model = DlrmModel::random(&config, seed).expect("valid model");
+        let dense = Matrix::from_fn(batch, dense_features, |r, c| {
+            ((r * 11 + c * 5 + seed as usize) % 17) as f32 * 0.125 - 1.0
+        });
+        let batch_indices = indices_for(&config, batch, seed.wrapping_add(7));
+
+        let mut runtime = CentaurRuntime::harpv2(model.clone()).expect("model fits on chip");
+        for backend in KernelBackend::all() {
+            runtime.set_backend(backend);
+            let accelerated = runtime
+                .infer_batch(&dense, &batch_indices)
+                .expect("batched accelerator inference succeeds");
+
+            // Per-sample accelerator path.
+            for (i, indices) in batch_indices.iter().enumerate() {
+                let single = runtime
+                    .infer_sample(dense.row(i), indices)
+                    .expect("per-sample accelerator inference succeeds");
+                prop_assert_eq!(accelerated[i], single, "{:?} sample {}", backend, i);
+            }
+
+            // Reference model, batch-major.
+            let reference = model
+                .forward_batch_with(backend, &dense, &batch_indices)
+                .expect("reference forward succeeds");
+            for (a, r) in accelerated.iter().zip(&reference) {
+                prop_assert!((a - r).abs() < 1e-5, "{:?}: {} vs {}", backend, a, r);
+            }
+        }
+    }
+
+    /// `forward_batch_into` reuses one warm `BatchWorkspace` across varying
+    /// batch sizes without corrupting results (high-water-mark buffers must
+    /// never leak stale tail data between differently-sized requests).
+    #[test]
+    fn warm_workspace_is_reusable_across_batch_sizes(
+        seed in 0u64..100,
+        first in 1usize..9,
+        second in 1usize..9,
+    ) {
+        let config = config_from(3, 8, 5, 16, 8);
+        let model = DlrmModel::random(&config, seed).expect("valid model");
+        let mut ws = BatchWorkspace::new();
+        for &batch in &[first, second, first.max(second), 1] {
+            let dense = Matrix::from_fn(batch, 5, |r, c| (r as f32 - c as f32) * 0.2);
+            let batch_indices = indices_for(&config, batch, seed);
+            let mut out = vec![0.0f32; batch];
+            model
+                .forward_batch_into(KernelBackend::Blocked, &dense, &batch_indices, &mut out, &mut ws)
+                .expect("batched forward succeeds");
+            let fresh = model
+                .forward_batch_with(KernelBackend::Blocked, &dense, &batch_indices)
+                .expect("fresh-workspace forward succeeds");
+            prop_assert_eq!(out, fresh);
+        }
+    }
+}

@@ -8,7 +8,9 @@
 
 use centaur_dlrm::kernel::{KernelBackend, Workspace};
 use centaur_dlrm::{Activation, Matrix, Mlp, ModelConfig};
-use centaur_dlrm::{DlrmModel, EmbeddingTable, FeatureInteraction, ModelWorkspace, ReductionOp};
+use centaur_dlrm::{
+    BatchWorkspace, DlrmModel, EmbeddingTable, FeatureInteraction, ModelWorkspace, ReductionOp,
+};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -36,11 +38,25 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
 
-/// Runs `f` and returns how many heap allocations it performed.
+/// Runs `f` up to three times and returns the *minimum* allocation count
+/// observed across attempts.
+///
+/// The minimum, not a single sample: the libtest harness's main thread
+/// allocates asynchronously every so often (timeout bookkeeping), and those
+/// background allocations land in the process-global counter. A path that
+/// really allocates does so on every one of its iterations, so it can never
+/// measure zero — while transient harness noise vanishes on retry.
 fn allocations_during<F: FnMut()>(mut f: F) -> u64 {
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
-    f();
-    ALLOCATIONS.load(Ordering::SeqCst) - before
+    let mut fewest = u64::MAX;
+    for _ in 0..3 {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        f();
+        fewest = fewest.min(ALLOCATIONS.load(Ordering::SeqCst) - before);
+        if fewest == 0 {
+            break;
+        }
+    }
+    fewest
 }
 
 #[test]
@@ -122,4 +138,76 @@ fn steady_state_inference_paths_do_not_allocate() {
     });
     assert_eq!(allocs, 0, "forward_sample_ws allocated in steady state");
     assert!(probs.iter().all(|&p| (p - warm).abs() < 1e-7));
+
+    // --- Batch-major inference through a BatchWorkspace --------------------
+    // The whole batch flows through one GEMM per layer; after the workspace
+    // has warmed up to the high-water batch size, repeated batched requests
+    // must not touch the heap either.
+    let batch = 16;
+    let batch_dense = Matrix::from_fn(batch, 13, |r, c| (r as f32 * 0.07 - c as f32 * 0.03) % 1.0);
+    let batch_sparse: Vec<Vec<Vec<u32>>> = (0..batch)
+        .map(|s| {
+            (0..4)
+                .map(|t| {
+                    (0..8u32)
+                        .map(|i| ((s * 61 + t * 31) as u32 + i * 7) % 256)
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    let mut batch_ws = BatchWorkspace::new();
+    let mut batch_out = vec![0.0f32; batch];
+    model
+        .forward_batch_into(
+            backend,
+            &batch_dense,
+            &batch_sparse,
+            &mut batch_out,
+            &mut batch_ws,
+        )
+        .unwrap();
+    let warm_batch = batch_out.clone();
+    let allocs = allocations_during(|| {
+        for _ in 0..10 {
+            model
+                .forward_batch_into(
+                    backend,
+                    &batch_dense,
+                    &batch_sparse,
+                    &mut batch_out,
+                    &mut batch_ws,
+                )
+                .unwrap();
+        }
+    });
+    assert_eq!(allocs, 0, "forward_batch_into allocated in steady state");
+    assert_eq!(batch_out, warm_batch);
+
+    // The batched result must equal the per-sample path exactly.
+    for (i, sparse) in batch_sparse.iter().enumerate() {
+        let single = model
+            .forward_sample_ws(backend, batch_dense.row(i), sparse, &mut model_ws)
+            .unwrap();
+        assert_eq!(batch_out[i], single, "sample {i} diverged");
+    }
+
+    // --- Batched inference through the accelerator runtime -----------------
+    // The runtime's staging buffers (EB-Streamer batch gather, dense-complex
+    // feature/interaction SRAM models, index SRAM) follow the same
+    // high-water-mark discipline.
+    let mut runtime = centaur::CentaurRuntime::harpv2(model.clone()).unwrap();
+    runtime.set_backend(backend);
+    runtime
+        .infer_batch_into(&batch_dense, &batch_sparse, &mut batch_out)
+        .unwrap();
+    let allocs = allocations_during(|| {
+        for _ in 0..10 {
+            runtime
+                .infer_batch_into(&batch_dense, &batch_sparse, &mut batch_out)
+                .unwrap();
+        }
+    });
+    assert_eq!(allocs, 0, "infer_batch_into allocated in steady state");
+    assert_eq!(batch_out, warm_batch, "runtime diverged from the model");
 }
