@@ -1,0 +1,81 @@
+//! Measures the sparse engine in isolation: `EmbeddingBag` gather-reduce
+//! throughput (the model's sparse frontend, whose scalar arm is exactly
+//! the PR 2 baseline loop) across sparse backends, batch sizes and index
+//! distributions (uniform worst-case vs production-like Zipfian skew),
+//! prints the table with the hot-row cache model's hit rates and writes
+//! the machine-readable `BENCH_sparse.json` tracked for the performance
+//! trajectory.
+//!
+//! The workload is the paper's gather-heavy DLRM(1) (5 tables × 20
+//! lookups/sample) with 64 K-row tables — large enough that uniform gathers
+//! spill every private cache, while the Zipfian head exercises the hot-row
+//! reuse the EB-Streamer's cache model is built for. The scalar backend is
+//! the PR 2 baseline the speedup column is measured against.
+//!
+//! `CRITERION_QUICK=1` collapses the measurement to a smoke run (used by
+//! CI, where the numbers only need to exist, not to be stable).
+
+use centaur_bench::{ExperimentRunner, TextTable};
+use centaur_dlrm::{PaperModel, SparseBackend};
+use centaur_workload::IndexDistribution;
+
+fn main() {
+    let runner = ExperimentRunner::new();
+    let model = PaperModel::Dlrm1;
+    let config = model.config().with_rows_per_table(65_536);
+    let batches = [16usize, 64, 128];
+    let distributions = [
+        IndexDistribution::Uniform,
+        IndexDistribution::production_skew(),
+    ];
+    let quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| v == "1");
+    let points = runner.sparse_gather_throughput_with(
+        &config,
+        &batches,
+        &SparseBackend::all(),
+        &distributions,
+        quick,
+    );
+
+    let mut table = TextTable::new(
+        &format!("Sparse gather-reduce throughput, {model} @ 64K rows/table (measured)"),
+        &[
+            "Distribution",
+            "Batch",
+            "Backend",
+            "Samples/s",
+            "Cache hit rate",
+            "Speedup vs scalar",
+        ],
+    );
+    for p in &points {
+        let scalar = points
+            .iter()
+            .find(|q| {
+                q.batch == p.batch
+                    && q.distribution == p.distribution
+                    && q.backend == SparseBackend::Scalar
+            })
+            .map_or(0.0, |q| q.samples_per_sec);
+        table.add_row(vec![
+            p.distribution.clone(),
+            p.batch.to_string(),
+            p.backend.label().to_string(),
+            format!("{:.0}", p.samples_per_sec),
+            format!("{:.1}%", p.cache_hit_rate * 100.0),
+            if scalar > 0.0 {
+                format!("{:.2}", p.samples_per_sec / scalar)
+            } else {
+                "-".to_string()
+            },
+        ]);
+    }
+    table.print();
+
+    let json = ExperimentRunner::bench_sparse_json(model.label(), &points);
+    let path = "BENCH_sparse.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

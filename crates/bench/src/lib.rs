@@ -19,4 +19,7 @@ pub mod report;
 pub mod runner;
 
 pub use report::TextTable;
-pub use runner::{BatchSweepPoint, BatchThroughputPoint, ExperimentRunner, SystemComparison};
+pub use runner::{
+    BatchSweepPoint, BatchThroughputPoint, ExperimentRunner, SparseThroughputPoint,
+    SystemComparison,
+};

@@ -288,10 +288,46 @@ impl DenseAccelerator {
         reduced_batch: &[f32],
         out: &mut [f32],
     ) -> Result<(), CentaurError> {
+        self.forward_batch_rows_into(
+            model,
+            dense.as_slice(),
+            dense.rows(),
+            dense.cols(),
+            reduced_batch,
+            out,
+        )
+    }
+
+    /// [`DenseAccelerator::forward_batch_into`] over a raw row-major slice
+    /// of dense-feature rows — the entry point of the runtime's **waved**
+    /// batch pipeline, which carves a large batch into bounded sample
+    /// waves and runs gather → dense per wave so each wave's staging stays
+    /// cache-resident end to end.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DenseAccelerator::forward_batch_into`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward_batch_rows_into(
+        &mut self,
+        model: &DlrmModel,
+        dense_rows: &[f32],
+        batch: usize,
+        dense_cols: usize,
+        reduced_batch: &[f32],
+        out: &mut [f32],
+    ) -> Result<(), CentaurError> {
         if !self.weights_loaded {
             return Err(CentaurError::NotInitialised("MLP weight SRAM"));
         }
-        let batch = dense.rows();
+        if dense_rows.len() != batch * dense_cols {
+            return Err(centaur_dlrm::DlrmError::BatchMismatch {
+                what: "dense elements vs batch rows",
+                left: dense_rows.len(),
+                right: batch * dense_cols,
+            }
+            .into());
+        }
         let dim = model.config().embedding_dim;
         let num_tables = model.config().num_tables;
         if out.len() != batch {
@@ -319,7 +355,7 @@ impl DenseAccelerator {
         // Per-request buffers stream the batch in as-large-as-fit waves.
         Self::stage_batch(
             &mut self.dense_feature_sram,
-            (dense.cols() * std::mem::size_of::<f32>()) as u64,
+            (dense_cols * std::mem::size_of::<f32>()) as u64,
             batch,
         )?;
 
@@ -329,9 +365,9 @@ impl DenseAccelerator {
             let DenseAccelerator { ws, features, .. } = self;
             let (bottom, cols) = model.bottom_mlp().forward_batch_ws(
                 self.backend,
-                dense.as_slice(),
+                dense_rows,
                 batch,
-                dense.cols(),
+                dense_cols,
                 ws,
             )?;
             if cols != dim {

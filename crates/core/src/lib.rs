@@ -63,4 +63,4 @@ pub use dense::{DenseAccelerator, DenseStageTiming, MlpUnit, ProcessingEngine};
 pub use error::CentaurError;
 pub use fpga::{FpgaResources, ResourceReport, ResourceUtilization};
 pub use runtime::CentaurRuntime;
-pub use sparse::{EbStreamer, SparseStageTiming};
+pub use sparse::{EbStreamer, HotRowCache, SparseStageTiming};

@@ -103,6 +103,15 @@ impl EmbeddingReductionUnit {
         centaur_dlrm::kernel::add_assign(acc, row);
     }
 
+    /// Records `vectors` reductions executed outside the per-row
+    /// [`EmbeddingReductionUnit::accumulate`] entry point — the vectorized
+    /// streamer path runs whole index chunks through the register-tiled
+    /// kernels and bulk-updates the EB-RU's occupancy counter afterwards,
+    /// keeping `vectors_reduced` equal across backends.
+    pub fn record_reductions(&mut self, vectors: u64) {
+        self.vectors_reduced += vectors;
+    }
+
     /// Peak reduction throughput in elements per nanosecond.
     pub fn elements_per_ns(&self) -> f64 {
         self.num_alus as f64 * self.clock_mhz / 1000.0

@@ -5,11 +5,13 @@
 use crate::chiplet::ChipletLinkConfig;
 use crate::error::CentaurError;
 use crate::sparse::gather_unit::EmbeddingGatherUnit;
+use crate::sparse::hot_row_cache::{HotRowCache, RowCacheTags};
 use crate::sparse::index_sram::SparseIndexSram;
 use crate::sparse::reduction_unit::EmbeddingReductionUnit;
+use centaur_dlrm::kernel::{global_sparse_backend, SparseBackend};
 use centaur_dlrm::tensor::Matrix;
 use centaur_dlrm::trace::InferenceTrace;
-use centaur_dlrm::{EmbeddingBag, ReductionOp};
+use centaur_dlrm::{EmbeddingBag, EmbeddingTable, ReductionOp};
 use centaur_memsim::Throughput;
 use serde::{Deserialize, Serialize};
 
@@ -28,6 +30,10 @@ pub struct SparseStageTiming {
     pub gather_requests: u64,
     /// Number of index-SRAM refills needed (chunked streaming).
     pub index_chunks: usize,
+    /// Gathers served from the hot-row cache (no link transfer needed).
+    pub cache_hits: u64,
+    /// Gathers that had to stream a row over the link.
+    pub cache_misses: u64,
 }
 
 impl SparseStageTiming {
@@ -36,8 +42,22 @@ impl SparseStageTiming {
         self.index_fetch_ns + self.gather_reduce_ns
     }
 
+    /// Hot-row cache hit fraction for the request (0 when the cache is
+    /// disabled, i.e. on the scalar oracle backend).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
     /// The paper's effective memory throughput for embedding gathers:
-    /// useful bytes over the gather/reduce latency.
+    /// useful bytes over the gather/reduce latency. Cache hits deliver
+    /// useful bytes without link transfers, so effective throughput can
+    /// exceed the raw link bandwidth on skewed traffic — exactly the
+    /// on-chip-reuse win the paper's block-RAM budget buys.
     pub fn effective_throughput(&self) -> Throughput {
         Throughput::new(self.gathered_bytes, self.gather_reduce_ns)
     }
@@ -50,17 +70,39 @@ pub struct EbStreamer {
     index_sram: SparseIndexSram,
     gather_unit: EmbeddingGatherUnit,
     reduction_unit: EmbeddingReductionUnit,
+    /// Which gather-reduce engine executes the functional path. `Scalar`
+    /// is the PR 2 oracle (per-row accumulate, no cache); the vectorized
+    /// backends run the register-tiled prefetching kernels through the
+    /// hot-row cache. (The streamer models a single hardware pipeline, so
+    /// `VectorizedParallel` executes like `Vectorized` here — the
+    /// host-side `EmbeddingBag` engine is where sample-band threading
+    /// applies.)
+    backend: SparseBackend,
+    /// The hot-row cache (engaged on the vectorized backends).
+    hot_cache: HotRowCache,
+    /// Persistent tag state for the timing path's trace replay — like the
+    /// functional cache, residency carries across requests, so a stream of
+    /// small skewed requests is predicted with warm-cache hit rates
+    /// instead of restarting from compulsory misses every call.
+    timing_tags: Option<RowCacheTags>,
+    /// Row width the timing tags were built for.
+    timing_row_bytes: u64,
 }
 
 impl EbStreamer {
     /// Creates a streamer over the given link with the paper's SRAM/ALU
-    /// sizing.
+    /// sizing and the process-default sparse backend
+    /// (`CENTAUR_SPARSE_BACKEND`).
     pub fn new(link: ChipletLinkConfig) -> Self {
         EbStreamer {
             link,
             index_sram: SparseIndexSram::harpv2_sized(),
             gather_unit: EmbeddingGatherUnit::new(),
             reduction_unit: EmbeddingReductionUnit::harpv2_sized(),
+            backend: global_sparse_backend(),
+            hot_cache: HotRowCache::harpv2_sized(),
+            timing_tags: None,
+            timing_row_bytes: 0,
         }
     }
 
@@ -75,6 +117,10 @@ impl EbStreamer {
             index_sram,
             gather_unit: EmbeddingGatherUnit::new(),
             reduction_unit,
+            backend: global_sparse_backend(),
+            hot_cache: HotRowCache::harpv2_sized(),
+            timing_tags: None,
+            timing_row_bytes: 0,
         }
     }
 
@@ -96,6 +142,26 @@ impl EbStreamer {
     /// The index SRAM (exposes chunking behaviour).
     pub fn index_sram(&self) -> &SparseIndexSram {
         &self.index_sram
+    }
+
+    /// The hot-row cache (exposes hit/miss counters).
+    pub fn hot_row_cache(&self) -> &HotRowCache {
+        &self.hot_cache
+    }
+
+    /// The sparse backend executing the functional gather-reduce path.
+    pub fn sparse_backend(&self) -> SparseBackend {
+        self.backend
+    }
+
+    /// Selects the sparse backend for subsequent requests.
+    pub fn set_sparse_backend(&mut self, backend: SparseBackend) {
+        self.backend = backend;
+    }
+
+    /// Swaps in a differently-budgeted hot-row cache (for ablations).
+    pub fn set_hot_row_cache(&mut self, cache: HotRowCache) {
+        self.hot_cache = cache;
     }
 
     // ------------------------------------------------------------------
@@ -191,9 +257,94 @@ impl EbStreamer {
             }
             .into());
         }
-        for (sample, indices_per_table) in batch_indices.iter().enumerate() {
-            let base = sample * row_stride + row_offset;
-            self.stream_sample(bag, indices_per_table, &mut out[base..base + width])?;
+        if self.backend == SparseBackend::Scalar {
+            for (sample, indices_per_table) in batch_indices.iter().enumerate() {
+                let base = sample * row_stride + row_offset;
+                self.stream_sample(bag, indices_per_table, &mut out[base..base + width])?;
+            }
+            return Ok(());
+        }
+        // Vectorized engine, table-major: validate the whole batch up
+        // front (same error-discovery order as the scalar loop), then run
+        // all samples' gathers for one table back to back — the table's
+        // hot rows stay cache- and L2-resident across the batch instead of
+        // every sample cycling the whole bag through the cache.
+        for indices_per_table in batch_indices {
+            Self::validate_sample(bag, indices_per_table)?;
+        }
+        if row_stride == 0 {
+            return Ok(());
+        }
+        let dim = bag.dim();
+        let EbStreamer {
+            index_sram,
+            reduction_unit,
+            hot_cache,
+            ..
+        } = self;
+        for (t, table) in bag.iter().enumerate() {
+            for (s, (indices_per_table, row)) in batch_indices
+                .iter()
+                .zip(out.chunks_mut(row_stride))
+                .enumerate()
+            {
+                // Pipeline the next sample's cold misses behind this
+                // sample's reduction (the in-kernel prefetcher cannot see
+                // past the current index list).
+                if let Some(next) = batch_indices.get(s + 1) {
+                    centaur_dlrm::kernel::prefetch_gather_list(table.as_slice(), dim, &next[t]);
+                }
+                let base = row_offset + t * dim;
+                Self::stream_table_gathers(
+                    index_sram,
+                    reduction_unit,
+                    hot_cache,
+                    t,
+                    table,
+                    &indices_per_table[t],
+                    &mut row[base..base + dim],
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates one sample's request exactly as the scalar streaming loop
+    /// would discover problems (table count first, then each table's
+    /// indices in order) — delegated to the bag's own pre-pass so the two
+    /// engines can never drift on error selection.
+    fn validate_sample(
+        bag: &EmbeddingBag,
+        indices_per_table: &[Vec<u32>],
+    ) -> Result<(), CentaurError> {
+        bag.validate_request(indices_per_table)
+            .map_err(CentaurError::from)
+    }
+
+    /// Streams one (sample, table) gather-reduce through the index SRAM,
+    /// the EB-RU and the hot-row cache model: indices chunk through the
+    /// SRAM as the hardware double-buffer would, each chunk accumulates
+    /// through the register-tiled prefetching gather kernel, the cache
+    /// model observes the index stream for hit/miss accounting, and the
+    /// EB-RU occupancy counter advances by the chunk's row count. Indices
+    /// must be pre-validated.
+    fn stream_table_gathers(
+        index_sram: &mut SparseIndexSram,
+        reduction_unit: &mut EmbeddingReductionUnit,
+        hot_cache: &mut HotRowCache,
+        t: usize,
+        table: &EmbeddingTable,
+        indices: &[u32],
+        row_out: &mut [f32],
+    ) -> Result<(), CentaurError> {
+        row_out.fill(0.0);
+        let dim = table.dim();
+        for chunk in indices.chunks(index_sram.capacity_indices().max(1)) {
+            index_sram.load(chunk)?;
+            let loaded = index_sram.contents();
+            centaur_dlrm::kernel::gather_rows_sum(table.as_slice(), dim, loaded, row_out);
+            hot_cache.observe_rows(t as u32, dim, loaded);
+            reduction_unit.record_reductions(loaded.len() as u64);
         }
         Ok(())
     }
@@ -215,12 +366,40 @@ impl EbStreamer {
     /// Streams one sample's gathers: chunks each table's indices through the
     /// index SRAM and reduces rows on the fly into the sample's
     /// `[num_tables * dim]` output block.
+    ///
+    /// On the scalar oracle backend every row accumulates one at a time
+    /// through [`EmbeddingReductionUnit::accumulate`]; the vectorized
+    /// backends validate up front and run whole SRAM chunks through the
+    /// hot-row cache's register-tiled accumulate — bitwise identical
+    /// results either way.
     fn stream_sample(
         &mut self,
         bag: &EmbeddingBag,
         indices_per_table: &[Vec<u32>],
         out: &mut [f32],
     ) -> Result<(), CentaurError> {
+        if self.backend != SparseBackend::Scalar {
+            Self::validate_sample(bag, indices_per_table)?;
+            let EbStreamer {
+                index_sram,
+                reduction_unit,
+                hot_cache,
+                ..
+            } = self;
+            let dim = bag.dim();
+            for (t, indices) in indices_per_table.iter().enumerate() {
+                Self::stream_table_gathers(
+                    index_sram,
+                    reduction_unit,
+                    hot_cache,
+                    t,
+                    bag.table(t),
+                    indices,
+                    &mut out[t * dim..(t + 1) * dim],
+                )?;
+            }
+            return Ok(());
+        }
         if indices_per_table.len() != bag.num_tables() {
             return Err(centaur_dlrm::DlrmError::TableCountMismatch {
                 provided: indices_per_table.len(),
@@ -252,11 +431,18 @@ impl EbStreamer {
     // ------------------------------------------------------------------
 
     /// Predicts the sparse-stage timing for one batched request.
+    ///
+    /// On the vectorized backends the hot-row cache is replayed over the
+    /// trace's row stream (same geometry and replacement policy as the
+    /// functional cache): hits never cross the link, so only cold rows pay
+    /// CPU-memory transfers — on skewed traffic the effective gather
+    /// throughput rises above the raw link bandwidth.
     pub fn execute_timing(&mut self, trace: &InferenceTrace) -> SparseStageTiming {
         let layout = trace.layout();
         let total_lookups = trace.gather.total_lookups() as u64;
         let gathered_bytes = trace.gathered_bytes();
         let index_bytes = trace.index_bytes();
+        let row_bytes = trace.config.row_bytes() as u64;
 
         // Generate the request stream (exercises the gather unit counters).
         for sample in &trace.gather.samples {
@@ -264,6 +450,34 @@ impl EbStreamer {
                 .gather_unit
                 .generate_all(&layout, &sample.rows_per_table);
         }
+
+        // Replay the hot-row cache over the trace (tags only — the timing
+        // path never touches row data). The tag state persists across
+        // requests, matching the functional cache's residency behaviour;
+        // serving a model with a different row width rebuilds it. The
+        // scalar oracle models the uncached PR 2 pipeline.
+        let (cache_hits, cache_misses) = if self.backend == SparseBackend::Scalar {
+            (0, total_lookups)
+        } else {
+            if self.timing_tags.is_none() || self.timing_row_bytes != row_bytes {
+                let slots = self
+                    .hot_cache
+                    .slots_for_row_bytes(row_bytes.max(1) as usize);
+                self.timing_tags = Some(RowCacheTags::with_slots(slots));
+                self.timing_row_bytes = row_bytes;
+            }
+            let tags = self.timing_tags.as_mut().expect("built above");
+            let (hits_before, misses_before) = (tags.hits(), tags.misses());
+            for sample in &trace.gather.samples {
+                for (t, rows) in sample.rows_per_table.iter().enumerate() {
+                    for &row in rows {
+                        tags.access(RowCacheTags::key(t as u32, row));
+                    }
+                }
+            }
+            (tags.hits() - hits_before, tags.misses() - misses_before)
+        };
+        self.gather_unit.record_suppressed(cache_hits);
 
         // 1. Fetch the sparse index array into the index SRAM (possibly in
         //    chunks; chunk fills overlap with gathers after the first, so
@@ -274,9 +488,13 @@ impl EbStreamer {
         let index_fetch_ns = self.link.bulk_transfer_ns(chunk_bytes)
             + (index_chunks.saturating_sub(1)) as f64 * self.link.request_latency_ns;
 
-        // 2. Stream the embedding rows over the link, reducing on the fly.
-        //    The link is the bottleneck; verify the EB-RU keeps up.
-        let link_ns = self.link.gather_stream_ns(gathered_bytes, total_lookups);
+        // 2. Stream the cold embedding rows over the link, reducing on the
+        //    fly (cache hits reduce straight out of block RAM). The link is
+        //    the bottleneck for misses; the EB-RU must still keep up with
+        //    the full reduction stream.
+        let link_ns = self
+            .link
+            .gather_stream_ns(cache_misses * row_bytes, cache_misses);
         let reduce_ns = self
             .reduction_unit
             .reduction_time_ns(total_lookups, trace.config.embedding_dim);
@@ -288,6 +506,8 @@ impl EbStreamer {
             gathered_bytes,
             gather_requests: total_lookups,
             index_chunks,
+            cache_hits,
+            cache_misses,
         }
     }
 }
@@ -440,6 +660,114 @@ mod tests {
             .effective_throughput()
             .gigabytes_per_second();
         assert!(large > small);
+    }
+
+    #[test]
+    fn every_sparse_backend_is_bitwise_identical_through_the_streamer() {
+        let bag = EmbeddingBag::random(3, 256, 32, 13);
+        let batch_indices: Vec<Vec<Vec<u32>>> = (0..6)
+            .map(|s| {
+                (0..3)
+                    .map(|t| {
+                        (0..20u32)
+                            .map(|i| (s as u32 * 37 + t * 11 + i * 3) % 64) // skewed head
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let stride = 3 * 32;
+        let mut oracle = vec![0.0f32; 6 * stride];
+        let mut streamer = EbStreamer::default();
+        streamer.set_sparse_backend(SparseBackend::Scalar);
+        streamer
+            .gather_reduce_batch_into(&bag, &batch_indices, &mut oracle, stride, 0)
+            .unwrap();
+        for backend in [SparseBackend::Vectorized, SparseBackend::VectorizedParallel] {
+            let mut streamer = EbStreamer::default();
+            streamer.set_sparse_backend(backend);
+            let mut out = vec![0.0f32; 6 * stride];
+            streamer
+                .gather_reduce_batch_into(&bag, &batch_indices, &mut out, stride, 0)
+                .unwrap();
+            assert_eq!(oracle, out, "{backend:?} diverged from scalar streamer");
+            // The cache model observed the (heavily repeated) stream.
+            let cache = streamer.hot_row_cache();
+            assert!(cache.hits() + cache.misses() > 0);
+            // Per-backend counters still advance identically.
+            assert_eq!(streamer.reduction_unit().vectors_reduced(), 6 * 3 * 20);
+        }
+    }
+
+    #[test]
+    fn scalar_oracle_backend_never_touches_the_cache_model() {
+        let bag = EmbeddingBag::random(2, 64, 8, 3);
+        let mut streamer = EbStreamer::default();
+        streamer.set_sparse_backend(SparseBackend::Scalar);
+        streamer
+            .gather_reduce(&bag, &[vec![1, 1, 1], vec![2, 2, 2]])
+            .unwrap();
+        assert_eq!(streamer.hot_row_cache().hits(), 0);
+        assert_eq!(streamer.hot_row_cache().misses(), 0);
+    }
+
+    #[test]
+    fn timing_counts_cache_hits_on_skewed_traces_and_speeds_up_gathers() {
+        let config = PaperModel::Dlrm1.config();
+        // Skewed trace: hot rows recur, so the replayed cache must hit and
+        // the modelled gather time must shrink versus the scalar pipeline.
+        let mut generator = RequestGenerator::new(
+            &config,
+            IndexDistribution::HotSet {
+                hot_rows: 64,
+                hot_fraction: 0.9,
+            },
+            21,
+        );
+        let trace = generator.inference_trace(32);
+
+        let mut scalar = EbStreamer::default();
+        scalar.set_sparse_backend(SparseBackend::Scalar);
+        let uncached = scalar.execute_timing(&trace);
+        assert_eq!(uncached.cache_hits, 0);
+        assert_eq!(uncached.cache_hit_rate(), 0.0);
+        assert_eq!(scalar.gather_unit().requests_suppressed(), 0);
+
+        let mut vectorized = EbStreamer::default();
+        vectorized.set_sparse_backend(SparseBackend::Vectorized);
+        let cached = vectorized.execute_timing(&trace);
+        assert!(cached.cache_hits > 0, "hot-set trace must hit the cache");
+        assert!(cached.cache_hit_rate() > 0.5);
+        assert_eq!(
+            cached.cache_hits + cached.cache_misses,
+            cached.gather_requests
+        );
+        assert_eq!(
+            vectorized.gather_unit().requests_suppressed(),
+            cached.cache_hits
+        );
+        assert!(
+            cached.gather_reduce_ns < uncached.gather_reduce_ns,
+            "on-chip hits must shorten the modelled gather stream"
+        );
+        // Effective throughput may exceed the raw link bandwidth — that is
+        // the point of on-chip reuse.
+        assert!(
+            cached.effective_throughput().gigabytes_per_second()
+                > uncached.effective_throughput().gigabytes_per_second()
+        );
+    }
+
+    #[test]
+    fn uniform_traces_on_paper_tables_barely_hit() {
+        // 200 K-row tables under uniform draws: the cache model must report
+        // (near) no reuse, keeping the paper's worst-case behaviour intact.
+        let t = timing(PaperModel::Dlrm1, 16);
+        assert!(
+            t.cache_hit_rate() < 0.1,
+            "uniform hit rate {}",
+            t.cache_hit_rate()
+        );
     }
 
     #[test]

@@ -6,7 +6,10 @@
 //! Caffe2's `SparseLengthsSum` in Figure 2 of the paper).
 
 use crate::error::DlrmError;
-use crate::kernel::{add_assign, max_assign, scale};
+use crate::kernel::{
+    add_assign, gather_rows_max, gather_rows_sum, global_sparse_backend, max_assign, scale,
+    SparseBackend,
+};
 use crate::tensor::Matrix;
 use crate::EMBEDDING_ELEM_BYTES;
 use rand::rngs::StdRng;
@@ -110,6 +113,32 @@ impl EmbeddingTable {
         Ok(&self.data[idx * self.dim..(idx + 1) * self.dim])
     }
 
+    /// Borrows the whole table as a flat row-major `[rows, dim]` slice —
+    /// the raw storage the vectorized gather kernels and the EB-Streamer's
+    /// hot-row cache stream rows out of.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Checks every index against the table bounds, returning the same
+    /// error [`EmbeddingTable::row`] would for the first invalid one — the
+    /// validation pre-pass of the vectorized gather paths, which separate
+    /// error discovery from the branch-free inner loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlrmError::IndexOutOfBounds`] for the first invalid index.
+    pub fn validate_indices(&self, indices: &[u32]) -> Result<(), DlrmError> {
+        match indices.iter().find(|&&idx| idx as usize >= self.rows) {
+            Some(&idx) => Err(DlrmError::IndexOutOfBounds {
+                index: idx as u64,
+                rows: self.rows as u64,
+                table: 0,
+            }),
+            None => Ok(()),
+        }
+    }
+
     /// Gathers the requested rows into a `[indices.len(), dim]` matrix
     /// without reducing them (step 1 in Figure 3 of the paper).
     ///
@@ -154,12 +183,38 @@ impl EmbeddingTable {
         op: ReductionOp,
         out: &mut [f32],
     ) -> Result<(), DlrmError> {
+        self.gather_reduce_into_with(indices, op, out, global_sparse_backend())
+    }
+
+    /// [`EmbeddingTable::gather_reduce_into`] on an explicit
+    /// [`SparseBackend`]. The optimized backends validate the whole index
+    /// list up front, then run the register-tiled, prefetching,
+    /// AVX2-dispatched kernels from [`crate::kernel`] — bitwise identical
+    /// to the scalar oracle. (A single reduction has no sample dimension
+    /// to split, so `VectorizedParallel` executes the vectorized kernel.)
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EmbeddingTable::gather_reduce_into`], with identical
+    /// error selection (the first invalid index in list order).
+    pub fn gather_reduce_into_with(
+        &self,
+        indices: &[u32],
+        op: ReductionOp,
+        out: &mut [f32],
+        backend: SparseBackend,
+    ) -> Result<(), DlrmError> {
         if out.len() != self.dim {
             return Err(DlrmError::ShapeMismatch {
                 op: "gather_reduce_into",
                 lhs: (1, self.dim),
                 rhs: (1, out.len()),
             });
+        }
+        if backend != SparseBackend::Scalar {
+            self.validate_indices(indices)?;
+            self.gather_reduce_unchecked(indices, op, out);
+            return Ok(());
         }
         out.fill(0.0);
         if indices.is_empty() {
@@ -182,6 +237,31 @@ impl EmbeddingTable {
             }
         }
         Ok(())
+    }
+
+    /// The vectorized gather-reduce inner dispatch over pre-validated
+    /// indices (see [`EmbeddingTable::validate_indices`]).
+    fn gather_reduce_unchecked(&self, indices: &[u32], op: ReductionOp, out: &mut [f32]) {
+        match op {
+            ReductionOp::Sum => {
+                out.fill(0.0);
+                gather_rows_sum(&self.data, self.dim, indices, out);
+            }
+            ReductionOp::Mean => {
+                out.fill(0.0);
+                gather_rows_sum(&self.data, self.dim, indices, out);
+                if !indices.is_empty() {
+                    scale(out, 1.0 / indices.len() as f32);
+                }
+            }
+            ReductionOp::Max => {
+                if indices.is_empty() {
+                    out.fill(0.0);
+                } else {
+                    gather_rows_max(&self.data, self.dim, indices, out);
+                }
+            }
+        }
     }
 }
 
@@ -307,6 +387,20 @@ impl EmbeddingBag {
         indices_per_table: &[Vec<u32>],
         out: &mut [f32],
     ) -> Result<(), DlrmError> {
+        self.reduce_into_slice_with(indices_per_table, out, global_sparse_backend())
+    }
+
+    /// [`EmbeddingBag::reduce_into_slice`] on an explicit [`SparseBackend`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EmbeddingBag::reduce_into_slice`].
+    pub fn reduce_into_slice_with(
+        &self,
+        indices_per_table: &[Vec<u32>],
+        out: &mut [f32],
+        backend: SparseBackend,
+    ) -> Result<(), DlrmError> {
         if indices_per_table.len() != self.tables.len() {
             return Err(DlrmError::TableCountMismatch {
                 provided: indices_per_table.len(),
@@ -325,7 +419,12 @@ impl EmbeddingBag {
             // Explicit slicing (not chunks_exact_mut) so dim == 0 tables
             // still route through gather_reduce_into and validate indices.
             table
-                .gather_reduce_into(indices, self.op, &mut out[t * dim..(t + 1) * dim])
+                .gather_reduce_into_with(
+                    indices,
+                    self.op,
+                    &mut out[t * dim..(t + 1) * dim],
+                    backend,
+                )
                 .map_err(|e| annotate_table(e, t))?;
         }
         Ok(())
@@ -355,6 +454,38 @@ impl EmbeddingBag {
         row_stride: usize,
         row_offset: usize,
     ) -> Result<(), DlrmError> {
+        self.reduce_batch_into_with(
+            batch_indices,
+            out,
+            row_stride,
+            row_offset,
+            global_sparse_backend(),
+        )
+    }
+
+    /// [`EmbeddingBag::reduce_batch_into`] on an explicit [`SparseBackend`].
+    ///
+    /// The optimized backends validate the whole batch up front (identical
+    /// error selection to the scalar loop), then execute **table-major**:
+    /// all samples' gathers for table `t` run back to back before moving to
+    /// table `t + 1`, so one table's rows stay cache-resident across the
+    /// batch instead of every sample cycling the whole bag through L2.
+    /// `VectorizedParallel` additionally splits the samples into per-thread
+    /// bands (disjoint output blocks, so results stay bitwise identical)
+    /// once the request gathers enough bytes to amortize thread spawns;
+    /// single-sample and small-batch requests never pay spawn cost.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EmbeddingBag::reduce_batch_into`].
+    pub fn reduce_batch_into_with(
+        &self,
+        batch_indices: &[Vec<Vec<u32>>],
+        out: &mut [f32],
+        row_stride: usize,
+        row_offset: usize,
+        backend: SparseBackend,
+    ) -> Result<(), DlrmError> {
         let width = self.num_tables() * self.dim();
         if row_offset + width > row_stride {
             return Err(DlrmError::ShapeMismatch {
@@ -370,11 +501,114 @@ impl EmbeddingBag {
                 rhs: (out.len(), 1),
             });
         }
-        for (sample, per_table) in batch_indices.iter().enumerate() {
-            let base = sample * row_stride + row_offset;
-            self.reduce_into_slice(per_table, &mut out[base..base + width])?;
+        if backend == SparseBackend::Scalar {
+            for (sample, per_table) in batch_indices.iter().enumerate() {
+                let base = sample * row_stride + row_offset;
+                self.reduce_into_slice_with(per_table, &mut out[base..base + width], backend)?;
+            }
+            return Ok(());
+        }
+        // Optimized path: one validation pre-pass in the scalar loop's
+        // discovery order, then branch-free table-major kernels.
+        for per_table in batch_indices {
+            self.validate_request(per_table)?;
+        }
+        #[cfg(feature = "parallel")]
+        if backend == SparseBackend::VectorizedParallel {
+            let gathered = self.gathered_bytes_batch(batch_indices);
+            if gathered >= crate::kernel::sparse_parallel_bytes_threshold() {
+                let bands = crate::kernel::hardware_threads().min(batch_indices.len().max(1));
+                if bands > 1 {
+                    let band_samples = batch_indices.len().div_ceil(bands);
+                    std::thread::scope(|scope| {
+                        for (band_indices, band_out) in batch_indices
+                            .chunks(band_samples)
+                            .zip(out.chunks_mut(band_samples * row_stride))
+                        {
+                            scope.spawn(move || {
+                                self.reduce_batch_table_major(
+                                    band_indices,
+                                    band_out,
+                                    row_stride,
+                                    row_offset,
+                                );
+                            });
+                        }
+                    });
+                    return Ok(());
+                }
+            }
+        }
+        self.reduce_batch_table_major(batch_indices, out, row_stride, row_offset);
+        Ok(())
+    }
+
+    /// Validates one sample's request exactly as the scalar loop would
+    /// discover problems: table count first, then each table's indices in
+    /// order, with out-of-bounds errors annotated with their table. The
+    /// optimized batch paths (and the EB-Streamer) run this pre-pass so
+    /// their branch-free kernels never see an invalid index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlrmError::TableCountMismatch`] or the first
+    /// [`DlrmError::IndexOutOfBounds`] in scalar discovery order.
+    pub fn validate_request(&self, indices_per_table: &[Vec<u32>]) -> Result<(), DlrmError> {
+        if indices_per_table.len() != self.tables.len() {
+            return Err(DlrmError::TableCountMismatch {
+                provided: indices_per_table.len(),
+                expected: self.tables.len(),
+            });
+        }
+        for (t, (table, indices)) in self.tables.iter().zip(indices_per_table).enumerate() {
+            table
+                .validate_indices(indices)
+                .map_err(|e| annotate_table(e, t))?;
         }
         Ok(())
+    }
+
+    /// The table-major vectorized batch loop over pre-validated indices.
+    fn reduce_batch_table_major(
+        &self,
+        batch_indices: &[Vec<Vec<u32>>],
+        out: &mut [f32],
+        row_stride: usize,
+        row_offset: usize,
+    ) {
+        if row_stride == 0 {
+            // Zero-width layout (dim 0): nothing to write, indices already
+            // validated, and `chunks_mut(0)` would panic.
+            return;
+        }
+        let dim = self.dim();
+        for (t, table) in self.tables.iter().enumerate() {
+            for (s, (per_table, row)) in batch_indices
+                .iter()
+                .zip(out.chunks_mut(row_stride))
+                .enumerate()
+            {
+                // Pipeline the next sample's cold misses behind this
+                // sample's reduction (the in-kernel prefetcher cannot see
+                // past the current index list).
+                if let Some(next) = batch_indices.get(s + 1) {
+                    crate::kernel::prefetch_gather_list(table.as_slice(), dim, &next[t]);
+                }
+                let base = row_offset + t * dim;
+                table.gather_reduce_unchecked(&per_table[t], self.op, &mut row[base..base + dim]);
+            }
+        }
+    }
+
+    /// Total bytes gathered by a whole batch (the parallel partitioner's
+    /// work estimate).
+    #[cfg(feature = "parallel")]
+    fn gathered_bytes_batch(&self, batch_indices: &[Vec<Vec<u32>>]) -> usize {
+        let lookups: usize = batch_indices
+            .iter()
+            .map(|per_table| Self::lookups_in_request(per_table))
+            .sum();
+        lookups * self.dim() * EMBEDDING_ELEM_BYTES
     }
 
     /// Batched version of [`EmbeddingBag::sparse_lengths_reduce`]: one index

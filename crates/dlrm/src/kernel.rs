@@ -57,6 +57,32 @@ const NC: usize = 512;
 const PARALLEL_FLOP_THRESHOLD: usize = 1 << 22;
 /// Chunk width for the unrolled reduction helpers.
 const LANES: usize = 8;
+/// Accumulator tile width (floats) of the vectorized gather-reduce kernels'
+/// fast path: for the paper-default 32-wide embedding rows, four 8-lane
+/// vector registers hold the whole accumulator across the entire index
+/// list, so each gathered row is loaded exactly once and the accumulator
+/// never round-trips through memory. Other row widths take a single
+/// prefetched pass with chunked vector adds into the L1-resident
+/// accumulator (never a second pass over the rows).
+const GATHER_TILE: usize = 32;
+/// How many rows ahead the gather-reduce kernels prefetch. Embedding
+/// gathers are latency-bound on large tables (every index is a likely
+/// L2/L3 miss); with the index list known up front, prefetching ~8 rows
+/// ahead keeps several misses in flight. Measured on DLRM(1)-shaped
+/// gathers: distances 4–24 are within noise of each other and all well
+/// ahead of no-prefetch, so the distance only needs to be "a few rows".
+const GATHER_PREFETCH_DISTANCE: usize = 8;
+/// Minimum total gathered bytes (`lookups × row_bytes`) before the
+/// parallel sparse backend spawns threads over a batched gather-reduce.
+///
+/// Mirrors [`PARALLEL_FLOP_THRESHOLD`] for the sparse side, with bytes as
+/// the work unit (gathers do no FLOPs worth counting): a spawned band must
+/// amortize its ~30–60 µs `std::thread` spawn/join cost against the
+/// vectorized kernel's measured ~25–30 GB/s single-core gather rate, i.e.
+/// ≥ ~1 MB of gathered rows per band. At `1 << 21` (2 MB for two bands)
+/// per-sample requests (a few KB each) and small batches never spawn; only
+/// multi-hundred-sample batched gathers split.
+const SPARSE_PARALLEL_BYTES_THRESHOLD: usize = 1 << 21;
 
 /// Which GEMM implementation executes the dense math.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -148,6 +174,105 @@ pub fn global_backend() -> KernelBackend {
 /// concurrently running tests.
 pub fn set_global_backend(backend: KernelBackend) {
     GLOBAL_BACKEND.store(encode(backend), Ordering::Relaxed);
+}
+
+/// Which implementation executes the sparse embedding gather-reduce.
+///
+/// The optimized backends are **bitwise identical** to the scalar oracle:
+/// every output element accumulates its rows in index order, the vector
+/// units only widen how many elements advance per step (and the AVX2
+/// dispatch excludes FMA, exactly like the GEMM microkernels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SparseBackend {
+    /// Row-at-a-time accumulate loop — the correctness oracle (the PR 2
+    /// sparse path, unchanged).
+    Scalar,
+    /// Register-tiled accumulator with software prefetch of upcoming rows
+    /// and runtime-dispatched AVX2 (no FMA).
+    #[default]
+    Vectorized,
+    /// The vectorized kernel with batched gather-reduce split across
+    /// per-thread sample bands (above
+    /// [`SPARSE_PARALLEL_BYTES_THRESHOLD`]; single-sample requests never
+    /// spawn).
+    VectorizedParallel,
+}
+
+impl SparseBackend {
+    /// Every available backend, for equivalence sweeps in tests/benches.
+    pub fn all() -> [SparseBackend; 3] {
+        [
+            SparseBackend::Scalar,
+            SparseBackend::Vectorized,
+            SparseBackend::VectorizedParallel,
+        ]
+    }
+
+    /// Short label for bench/report output.
+    pub fn label(self) -> &'static str {
+        match self {
+            SparseBackend::Scalar => "scalar",
+            SparseBackend::Vectorized => "vectorized",
+            SparseBackend::VectorizedParallel => "vectorized-parallel",
+        }
+    }
+}
+
+fn encode_sparse(backend: SparseBackend) -> u8 {
+    match backend {
+        SparseBackend::Scalar => 0,
+        SparseBackend::Vectorized => 1,
+        SparseBackend::VectorizedParallel => 2,
+    }
+}
+
+fn decode_sparse(value: u8) -> SparseBackend {
+    match value {
+        0 => SparseBackend::Scalar,
+        1 => SparseBackend::Vectorized,
+        _ => SparseBackend::VectorizedParallel,
+    }
+}
+
+static GLOBAL_SPARSE_BACKEND: AtomicU8 = AtomicU8::new(u8::MAX);
+static ENV_SPARSE_BACKEND: OnceLock<SparseBackend> = OnceLock::new();
+
+fn builtin_sparse_default() -> SparseBackend {
+    if cfg!(feature = "parallel") {
+        SparseBackend::VectorizedParallel
+    } else {
+        SparseBackend::Vectorized
+    }
+}
+
+/// The process-wide default sparse backend used by the embedding
+/// gather-reduce paths.
+///
+/// Resolution order: the last [`set_global_sparse_backend`] call, else the
+/// `CENTAUR_SPARSE_BACKEND` environment variable (`scalar` | `vectorized` |
+/// `parallel`), else `VectorizedParallel` when the `parallel` feature is on
+/// and `Vectorized` otherwise.
+pub fn global_sparse_backend() -> SparseBackend {
+    let value = GLOBAL_SPARSE_BACKEND.load(Ordering::Relaxed);
+    if value != u8::MAX {
+        return decode_sparse(value);
+    }
+    *ENV_SPARSE_BACKEND.get_or_init(
+        || match std::env::var("CENTAUR_SPARSE_BACKEND").as_deref() {
+            Ok("scalar") => SparseBackend::Scalar,
+            Ok("vectorized") => SparseBackend::Vectorized,
+            Ok("parallel") | Ok("vectorized-parallel") => SparseBackend::VectorizedParallel,
+            _ => builtin_sparse_default(),
+        },
+    )
+}
+
+/// Overrides the process-wide default sparse backend.
+///
+/// Prefer the explicit `*_with` APIs in tests — a global override leaks into
+/// concurrently running tests.
+pub fn set_global_sparse_backend(backend: SparseBackend) {
+    GLOBAL_SPARSE_BACKEND.store(encode_sparse(backend), Ordering::Relaxed);
 }
 
 /// Activation fused into the GEMM epilogue.
@@ -612,7 +737,7 @@ fn microkernel_1(
 /// cgroup/affinity state from the kernel on every call (~10 µs in a
 /// container), which used to dominate small GEMMs on the parallel backend.
 #[cfg(feature = "parallel")]
-fn hardware_threads() -> usize {
+pub(crate) fn hardware_threads() -> usize {
     static THREADS: OnceLock<usize> = OnceLock::new();
     *THREADS.get_or_init(|| std::thread::available_parallelism().map_or(1, |t| t.get()))
 }
@@ -679,13 +804,210 @@ fn gemm_parallel(
 // Chunked reductions (gather/reduce building blocks)
 // ---------------------------------------------------------------------------
 
+// ---------------------------------------------------------------------------
+// Vectorized gather-reduce kernels (the sparse engine's inner loops)
+// ---------------------------------------------------------------------------
+
+/// Total gathered bytes above which the parallel sparse backend splits a
+/// batched gather-reduce across threads (exposed for the embedding layer's
+/// partitioner).
+pub(crate) fn sparse_parallel_bytes_threshold() -> usize {
+    SPARSE_PARALLEL_BYTES_THRESHOLD
+}
+
+/// Issues software prefetches for one embedding row starting at `base`
+/// (one prefetch per 64-byte line). No-op off x86-64 and past the end of
+/// the table.
+#[inline(always)]
+fn prefetch_row(data: &[f32], base: usize, dim: usize) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        let mut off = 0;
+        while off < dim {
+            if base + off < data.len() {
+                _mm_prefetch::<_MM_HINT_T0>(data.as_ptr().add(base + off) as *const i8);
+            }
+            off += 16;
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (data, base, dim);
+    }
+}
+
+/// Upper bound on rows prefetched per upcoming index list (8 KB of 32-wide
+/// rows — enough to cover a whole production-length list without flooding
+/// the load ports on pathological thousand-lookup bags).
+const GATHER_LIST_PREFETCH_CAP: usize = 64;
+
+/// Prefetches an upcoming index list's rows (up to
+/// [`GATHER_LIST_PREFETCH_CAP`]). The in-kernel prefetcher can only see one
+/// list, so the last [`GATHER_PREFETCH_DISTANCE`] rows of every list go
+/// unprefetched — on short production lists (10–30 lookups) that is a
+/// third or more of all gathers, and on skewed traffic the cold tail
+/// misses are exactly the latency that dominates. Table-major batch loops
+/// call this for sample `s + 1`'s list right before reducing sample `s`,
+/// pipelining the whole next list's misses behind the current sample's
+/// arithmetic.
+#[inline]
+pub fn prefetch_gather_list(data: &[f32], dim: usize, indices: &[u32]) {
+    for &idx in indices.iter().take(GATHER_LIST_PREFETCH_CAP) {
+        prefetch_row(data, idx as usize * dim, dim);
+    }
+}
+
+/// `out += Σ rows[indices]` over a flat row-major `[rows, dim]` table:
+/// the vectorized gather-**sum** inner loop (accumulate-into semantics, so
+/// chunked streams — the EB-Streamer's SRAM-sized index chunks — can fold
+/// into one running accumulator).
+///
+/// The accumulator lives in [`GATHER_TILE`]-float register tiles that stay
+/// resident across the whole index list, while upcoming rows are software-
+/// prefetched [`GATHER_PREFETCH_DISTANCE`] indices ahead — embedding
+/// gathers on realistic tables miss L2 on almost every row, and the known
+/// index stream lets several misses overlap instead of serialising on the
+/// accumulate chain. On x86-64 with AVX2 the same body is re-compiled with
+/// 256-bit vectors and dispatched at runtime (no FMA — there is no fused
+/// op here at all, each element does the same IEEE add in index order, so
+/// results are **bitwise identical** to the scalar oracle).
+///
+/// An empty index list leaves `out` untouched (callers zero-fill first,
+/// matching the `SparseLengthsSum` empty-segment convention).
+///
+/// # Panics
+///
+/// Panics if `out.len() != dim` or any index addresses past the end of
+/// `data` — callers validate indices first to report real errors.
+pub fn gather_rows_sum(data: &[f32], dim: usize, indices: &[u32], out: &mut [f32]) {
+    assert_eq!(out.len(), dim, "gather output width mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: guarded by the runtime AVX2 check above.
+        return unsafe { gather_rows_sum_avx2(data, dim, indices, out) };
+    }
+    gather_rows_sum_impl(data, dim, indices, out);
+}
+
+/// [`gather_rows_sum_impl`] compiled with AVX2 codegen.
+///
+/// # Safety
+///
+/// The caller must ensure the running CPU supports AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gather_rows_sum_avx2(data: &[f32], dim: usize, indices: &[u32], out: &mut [f32]) {
+    gather_rows_sum_impl(data, dim, indices, out);
+}
+
+/// Shared body of the gather-sum kernel; `inline(always)` so the
+/// `target_feature` wrapper re-compiles it under AVX2 codegen.
+///
+/// One pass over the index list, always: the fast path keeps the whole
+/// accumulator in registers when the row is exactly [`GATHER_TILE`] wide
+/// (the paper's 32-float rows); any other width accumulates each row with
+/// the chunked vector add — the accumulator is a single L1-resident
+/// stretch of `out`, and every row is fetched exactly once with the
+/// prefetcher running ahead.
+#[inline(always)]
+fn gather_rows_sum_impl(data: &[f32], dim: usize, indices: &[u32], out: &mut [f32]) {
+    if dim == GATHER_TILE {
+        let mut acc = [0.0f32; GATHER_TILE];
+        acc.copy_from_slice(out);
+        for (i, &idx) in indices.iter().enumerate() {
+            if let Some(&pf) = indices.get(i + GATHER_PREFETCH_DISTANCE) {
+                prefetch_row(data, pf as usize * dim, dim);
+            }
+            let base = idx as usize * dim;
+            let row = &data[base..base + GATHER_TILE];
+            for (a, &r) in acc.iter_mut().zip(row) {
+                *a += r;
+            }
+        }
+        out.copy_from_slice(&acc);
+        return;
+    }
+    for (i, &idx) in indices.iter().enumerate() {
+        if let Some(&pf) = indices.get(i + GATHER_PREFETCH_DISTANCE) {
+            prefetch_row(data, pf as usize * dim, dim);
+        }
+        let base = idx as usize * dim;
+        add_assign(out, &data[base..base + dim]);
+    }
+}
+
+/// `out = element-wise max over rows[indices]` — the vectorized gather-
+/// **max** inner loop, structured exactly like [`gather_rows_sum`]
+/// (register-tiled, prefetched, AVX2-dispatched, bitwise identical to the
+/// scalar `max_assign` chain).
+///
+/// # Panics
+///
+/// Panics if `indices` is empty (max of an empty stream is the caller's
+/// zero-fill case), `out.len() != dim`, or an index is out of bounds.
+pub fn gather_rows_max(data: &[f32], dim: usize, indices: &[u32], out: &mut [f32]) {
+    assert!(!indices.is_empty(), "gather_rows_max of an empty stream");
+    assert_eq!(out.len(), dim, "gather output width mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: guarded by the runtime AVX2 check above.
+        return unsafe { gather_rows_max_avx2(data, dim, indices, out) };
+    }
+    gather_rows_max_impl(data, dim, indices, out);
+}
+
+/// [`gather_rows_max_impl`] compiled with AVX2 codegen.
+///
+/// # Safety
+///
+/// The caller must ensure the running CPU supports AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gather_rows_max_avx2(data: &[f32], dim: usize, indices: &[u32], out: &mut [f32]) {
+    gather_rows_max_impl(data, dim, indices, out);
+}
+
+/// Shared body of the gather-max kernel (same single-pass structure as
+/// [`gather_rows_sum_impl`]).
+#[inline(always)]
+fn gather_rows_max_impl(data: &[f32], dim: usize, indices: &[u32], out: &mut [f32]) {
+    let first = indices[0] as usize * dim;
+    if dim == GATHER_TILE {
+        let mut acc = [0.0f32; GATHER_TILE];
+        acc.copy_from_slice(&data[first..first + GATHER_TILE]);
+        for (i, &idx) in indices[1..].iter().enumerate() {
+            if let Some(&pf) = indices[1..].get(i + GATHER_PREFETCH_DISTANCE) {
+                prefetch_row(data, pf as usize * dim, dim);
+            }
+            let base = idx as usize * dim;
+            let row = &data[base..base + GATHER_TILE];
+            for (a, &r) in acc.iter_mut().zip(row) {
+                if r > *a {
+                    *a = r;
+                }
+            }
+        }
+        out.copy_from_slice(&acc);
+        return;
+    }
+    out.copy_from_slice(&data[first..first + dim]);
+    for (i, &idx) in indices[1..].iter().enumerate() {
+        if let Some(&pf) = indices[1..].get(i + GATHER_PREFETCH_DISTANCE) {
+            prefetch_row(data, pf as usize * dim, dim);
+        }
+        let base = idx as usize * dim;
+        max_assign(out, &data[base..base + dim]);
+    }
+}
+
 /// `acc[i] += row[i]`, unrolled in chunks of [`LANES`] so the compiler emits
 /// straight-line vector adds.
 ///
 /// # Panics
 ///
 /// Panics if the slices differ in length.
-#[inline]
+#[inline(always)]
 pub fn add_assign(acc: &mut [f32], row: &[f32]) {
     assert_eq!(acc.len(), row.len(), "reduction width mismatch");
     let mut acc_chunks = acc.chunks_exact_mut(LANES);

@@ -57,7 +57,10 @@ pub use config::{ModelConfig, ModelConfigBuilder, PaperModel};
 pub use embedding::{EmbeddingBag, EmbeddingTable, ReductionOp};
 pub use error::DlrmError;
 pub use interaction::FeatureInteraction;
-pub use kernel::{global_backend, set_global_backend, FusedAct, KernelBackend, Workspace};
+pub use kernel::{
+    global_backend, global_sparse_backend, set_global_backend, set_global_sparse_backend, FusedAct,
+    KernelBackend, SparseBackend, Workspace,
+};
 pub use mlp::{Activation, DenseLayer, Mlp, MlpStack};
 pub use model::{check_batch_inputs, BatchWorkspace, DlrmModel, ForwardBreakdown, ModelWorkspace};
 pub use tensor::Matrix;

@@ -400,7 +400,9 @@ impl DlrmModel {
         grow(&mut ws.interact, batch * interact_width);
 
         // 1. Embedding gathers + reductions for every sample, straight into
-        //    interaction feature rows 1..=num_tables of each sample's block.
+        //    interaction feature rows 1..=num_tables of each sample's block,
+        //    on the process-default sparse engine (table-major vectorized
+        //    kernels; `CENTAUR_SPARSE_BACKEND` selects the oracle instead).
         self.embeddings.reduce_batch_into(
             batch_indices,
             &mut ws.features[..batch * stride],
@@ -497,7 +499,8 @@ impl DlrmModel {
         grow(&mut ws.interact, interact_width);
 
         // 1. Embedding gathers + reductions, straight into interaction
-        //    feature rows 1..=num_tables.
+        //    feature rows 1..=num_tables, on the process-default sparse
+        //    engine.
         self.embeddings
             .reduce_into_slice(indices_per_table, &mut ws.features[dim..num_features * dim])?;
 

@@ -1,0 +1,218 @@
+//! Property tests pinning the vectorized sparse gather-reduce backends to
+//! the `Scalar` correctness oracle — **bitwise**, not within tolerance:
+//! the optimized kernels accumulate every output element in index order
+//! with plain IEEE adds (AVX2 dispatch excludes FMA), so any difference at
+//! all is a bug.
+
+use centaur_dlrm::kernel::SparseBackend;
+use centaur_dlrm::{DlrmError, EmbeddingBag, EmbeddingTable, ReductionOp};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random table values for a given seed.
+fn table_for(rows: usize, dim: usize, seed: u64) -> EmbeddingTable {
+    EmbeddingTable::from_fn(rows, dim, |r, c| {
+        let x = ((r * 131 + c * 17) as u64)
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(seed);
+        ((x >> 33) % 255) as f32 * 0.03125 - 4.0
+    })
+}
+
+/// Deterministic index list with controllable skew: even seeds draw from
+/// the whole table, odd seeds hammer a small hot set (repeated rows are
+/// exactly what the streamer's cache model sees in production).
+fn indices_for(rows: usize, len: usize, seed: u64) -> Vec<u32> {
+    (0..len)
+        .map(|i| {
+            let x = (i as u64)
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(seed);
+            let span = if seed % 2 == 1 {
+                rows.div_ceil(8)
+            } else {
+                rows
+            };
+            ((x >> 32) % span.max(1) as u64) as u32
+        })
+        .collect()
+}
+
+const OPS: [ReductionOp; 3] = [ReductionOp::Sum, ReductionOp::Mean, ReductionOp::Max];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Table-level gather-reduce: every optimized backend is bitwise equal
+    /// to the scalar oracle for every reduction operator, across dims that
+    /// exercise the 32-wide tile, the 8-wide tile and the scalar tail.
+    #[test]
+    fn table_gather_reduce_matches_oracle_bitwise(
+        rows in 1usize..300,
+        dim in 0usize..70,
+        len in 0usize..120,
+        seed in 0u64..10_000,
+    ) {
+        let table = table_for(rows, dim, seed);
+        let indices = indices_for(rows, len, seed);
+        for op in OPS {
+            let mut oracle = vec![f32::NAN; dim];
+            table
+                .gather_reduce_into_with(&indices, op, &mut oracle, SparseBackend::Scalar)
+                .unwrap();
+            for backend in [SparseBackend::Vectorized, SparseBackend::VectorizedParallel] {
+                let mut out = vec![f32::NAN; dim];
+                table
+                    .gather_reduce_into_with(&indices, op, &mut out, backend)
+                    .unwrap();
+                prop_assert_eq!(
+                    &oracle,
+                    &out,
+                    "{:?} diverges from scalar oracle ({:?}, rows {}, dim {}, len {})",
+                    backend, op, rows, dim, len
+                );
+            }
+        }
+    }
+
+    /// Batched bag-level gather-reduce with the feature-matrix layout
+    /// (row stride + offset): the table-major vectorized sweep and the
+    /// sample-band parallel partitioner land bitwise-identical blocks and
+    /// never touch bytes outside them.
+    #[test]
+    fn bag_batched_reduce_matches_oracle_bitwise(
+        num_tables in 1usize..5,
+        dim in 1usize..40,
+        batch in 0usize..12,
+        seed in 0u64..10_000,
+    ) {
+        let rows = 64;
+        let tables: Vec<EmbeddingTable> = (0..num_tables)
+            .map(|t| table_for(rows, dim, seed.wrapping_add(t as u64)))
+            .collect();
+        for op in OPS {
+            let bag = EmbeddingBag::new(tables.clone(), op);
+            let batch_indices: Vec<Vec<Vec<u32>>> = (0..batch)
+                .map(|s| {
+                    (0..num_tables)
+                        .map(|t| {
+                            let len = (s + t + seed as usize) % 7; // incl. empty bags
+                            indices_for(rows, len, seed ^ ((s * 31 + t) as u64))
+                        })
+                        .collect()
+                })
+                .collect();
+            let width = num_tables * dim;
+            let offset = dim / 2;
+            let stride = width + offset + 3;
+            let mut oracle = vec![f32::NAN; batch * stride];
+            bag.reduce_batch_into_with(
+                &batch_indices, &mut oracle, stride, offset, SparseBackend::Scalar,
+            )
+            .unwrap();
+            for backend in [SparseBackend::Vectorized, SparseBackend::VectorizedParallel] {
+                let mut out = vec![f32::NAN; batch * stride];
+                bag.reduce_batch_into_with(&batch_indices, &mut out, stride, offset, backend)
+                    .unwrap();
+                for (i, (a, b)) in oracle.iter().zip(&out).enumerate() {
+                    let col = i % stride;
+                    if (offset..offset + width).contains(&col) {
+                        prop_assert_eq!(a, b, "{:?} {:?} diverges at element {}", backend, op, i);
+                    } else {
+                        // Outside the reduced block both paths must leave
+                        // the buffer untouched.
+                        prop_assert!(b.is_nan(), "{:?} wrote outside its block at {}", backend, i);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Error equivalence: the optimized backends report the same
+    /// out-of-bounds index, table annotation and table-count mismatch the
+    /// scalar loop discovers first.
+    #[test]
+    fn error_selection_matches_oracle(
+        bad_sample in 0usize..4,
+        bad_table in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let bag = EmbeddingBag::new(
+            (0..3).map(|t| table_for(32, 8, seed + t)).collect(),
+            ReductionOp::Sum,
+        );
+        let mut batch_indices: Vec<Vec<Vec<u32>>> = (0..4)
+            .map(|s| (0..3).map(|t| indices_for(32, 4, seed ^ (s * 7 + t) as u64)).collect())
+            .collect();
+        batch_indices[bad_sample][bad_table].push(32 + bad_table as u32); // out of bounds
+        let stride = 3 * 8;
+        let mut out = vec![0.0f32; 4 * stride];
+        let oracle_err = bag
+            .reduce_batch_into_with(&batch_indices, &mut out, stride, 0, SparseBackend::Scalar)
+            .unwrap_err();
+        for backend in [SparseBackend::Vectorized, SparseBackend::VectorizedParallel] {
+            let err = bag
+                .reduce_batch_into_with(&batch_indices, &mut out, stride, 0, backend)
+                .unwrap_err();
+            match (&oracle_err, &err) {
+                (
+                    DlrmError::IndexOutOfBounds { index: i1, rows: r1, table: t1 },
+                    DlrmError::IndexOutOfBounds { index: i2, rows: r2, table: t2 },
+                ) => {
+                    prop_assert_eq!(i1, i2);
+                    prop_assert_eq!(r1, r2);
+                    prop_assert_eq!(t1, t2);
+                }
+                _ => prop_assert!(false, "error kinds diverged: {:?} vs {:?}", oracle_err, err),
+            }
+        }
+    }
+}
+
+/// A batch large enough to clear the parallel partitioner's byte threshold
+/// (2 MB gathered) must still be bitwise identical — sample bands have
+/// disjoint outputs and identical per-block accumulation order.
+#[test]
+fn parallel_partitioner_is_bitwise_identical_above_threshold() {
+    let rows = 1024;
+    let dim = 32;
+    let table = table_for(rows, dim, 77);
+    let bag = EmbeddingBag::new(vec![table], ReductionOp::Sum);
+    // 1024 samples × 32 lookups × 128 B = 4 MB gathered — double the spawn
+    // threshold, so multi-core hosts genuinely fork sample bands here.
+    let batch_indices: Vec<Vec<Vec<u32>>> = (0..1024)
+        .map(|s| vec![indices_for(rows, 32, s as u64)])
+        .collect();
+    let mut scalar = vec![0.0f32; 1024 * dim];
+    bag.reduce_batch_into_with(&batch_indices, &mut scalar, dim, 0, SparseBackend::Scalar)
+        .unwrap();
+    let mut parallel = vec![0.0f32; 1024 * dim];
+    bag.reduce_batch_into_with(
+        &batch_indices,
+        &mut parallel,
+        dim,
+        0,
+        SparseBackend::VectorizedParallel,
+    )
+    .unwrap();
+    assert_eq!(scalar, parallel);
+}
+
+/// The streamer-facing single-request path: every backend agrees bitwise
+/// through `reduce_into_slice_with` as well.
+#[test]
+fn single_request_slice_path_matches_across_backends() {
+    let bag = EmbeddingBag::new(
+        (0..4).map(|t| table_for(128, 32, 1000 + t)).collect(),
+        ReductionOp::Sum,
+    );
+    let request: Vec<Vec<u32>> = (0..4).map(|t| indices_for(128, 20, t as u64)).collect();
+    let mut oracle = vec![0.0f32; 4 * 32];
+    bag.reduce_into_slice_with(&request, &mut oracle, SparseBackend::Scalar)
+        .unwrap();
+    for backend in [SparseBackend::Vectorized, SparseBackend::VectorizedParallel] {
+        let mut out = vec![0.0f32; 4 * 32];
+        bag.reduce_into_slice_with(&request, &mut out, backend)
+            .unwrap();
+        assert_eq!(oracle, out, "{backend:?} diverged");
+    }
+}

@@ -36,6 +36,25 @@ pub enum IndexDistribution {
 }
 
 impl IndexDistribution {
+    /// The Zipf exponent that approximates production recommendation
+    /// popularity curves (RecNMP measures s ≈ 0.9–1.0 on deployed traffic).
+    pub const PRODUCTION_SKEW_EXPONENT: f64 = 0.99;
+
+    /// A Zipfian distribution with explicit exponent — the skewed index
+    /// generator benches use to exercise realistic hot-row reuse instead of
+    /// the paper's worst-case uniform draw.
+    pub fn zipfian(exponent: f64) -> Self {
+        IndexDistribution::Zipfian { exponent }
+    }
+
+    /// The default production-like skew:
+    /// [`zipfian`]([`Self::PRODUCTION_SKEW_EXPONENT`]).
+    ///
+    /// [`zipfian`]: Self::zipfian
+    pub fn production_skew() -> Self {
+        Self::zipfian(Self::PRODUCTION_SKEW_EXPONENT)
+    }
+
     /// Short label for reports and CSV headers.
     pub fn label(&self) -> String {
         match self {
@@ -173,6 +192,23 @@ mod tests {
     #[should_panic(expected = "empty table")]
     fn sampling_empty_table_panics() {
         IndexDistribution::Uniform.sample(0, &mut rng(0));
+    }
+
+    #[test]
+    fn production_skew_is_zipfian_with_documented_exponent() {
+        assert_eq!(
+            IndexDistribution::production_skew(),
+            IndexDistribution::Zipfian { exponent: 0.99 }
+        );
+        assert_eq!(
+            IndexDistribution::zipfian(1.3),
+            IndexDistribution::Zipfian { exponent: 1.3 }
+        );
+        // The skew must actually concentrate mass in the head.
+        let mut r = rng(11);
+        let samples = IndexDistribution::production_skew().sample_many(100_000, 10_000, &mut r);
+        let head = samples.iter().filter(|&&x| x < 1000).count();
+        assert!(head as f64 / samples.len() as f64 > 0.3);
     }
 
     #[test]

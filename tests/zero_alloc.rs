@@ -210,4 +210,43 @@ fn steady_state_inference_paths_do_not_allocate() {
     });
     assert_eq!(allocs, 0, "infer_batch_into allocated in steady state");
     assert_eq!(batch_out, warm_batch, "runtime diverged from the model");
+
+    // --- Vectorized sparse engine through the EB-Streamer ------------------
+    // The cached sparse path: register-tiled gather kernels, the index-SRAM
+    // chunking and the hot-row cache model's sampled tag observation must
+    // all run without heap traffic once the streamer has served one
+    // request. (`VectorizedParallel` is excluded like `BlockedParallel`:
+    // thread spawns allocate by nature.)
+    use centaur_dlrm::SparseBackend;
+    let mut streamer = centaur::EbStreamer::default();
+    streamer.set_sparse_backend(SparseBackend::Vectorized);
+    let bag = model.embeddings();
+    let stride = bag.num_tables() * bag.dim();
+    let mut reduced_batch = vec![0.0f32; batch * stride];
+    streamer
+        .gather_reduce_batch_into(bag, &batch_sparse, &mut reduced_batch, stride, 0)
+        .unwrap();
+    let allocs = allocations_during(|| {
+        for _ in 0..10 {
+            streamer
+                .gather_reduce_batch_into(bag, &batch_sparse, &mut reduced_batch, stride, 0)
+                .unwrap();
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "vectorized EB-Streamer gather allocated in steady state"
+    );
+    assert!(
+        streamer.hot_row_cache().hits() + streamer.hot_row_cache().misses() > 0,
+        "cache model must have observed the gather stream"
+    );
+    // The streamed result must equal the scalar bag oracle bitwise.
+    let mut oracle = vec![0.0f32; batch * stride];
+    bag.reduce_batch_into_with(&batch_sparse, &mut oracle, stride, 0, SparseBackend::Scalar)
+        .unwrap();
+    assert_eq!(
+        reduced_batch, oracle,
+        "streamer diverged from scalar oracle"
+    );
 }
