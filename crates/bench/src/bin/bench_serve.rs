@@ -1,0 +1,82 @@
+//! Measures the serving layer under load: an open-loop Poisson query stream
+//! replayed against a pool of `CentaurRuntime` replica shards behind the
+//! dynamic batcher, across offered QPS × batching policy × replica count —
+//! the RecNMP/MicroRec-style at-load evaluation (p50/p95/p99 versus offered
+//! load) for this repo's functional datapath. Writes the machine-readable
+//! `BENCH_serve.json` tracked for the performance trajectory.
+//!
+//! The offered loads are anchored on a measured batch-1 FIFO saturation
+//! capacity (single replica): one point comfortably below the knee
+//! (~0.5×) and one past it (~1.5×), where the un-batched baseline's queue
+//! grows without bound while dynamic batching rides the batch-major
+//! throughput curve and keeps the tail flat.
+//!
+//! `CRITERION_QUICK=1` shrinks the offered windows to a smoke run (used by
+//! CI, where the numbers only need to exist, not to be stable).
+
+use centaur_bench::{ExperimentRunner, TextTable};
+use centaur_dlrm::PaperModel;
+use centaur_serve::BatchPolicy;
+
+fn main() {
+    let runner = ExperimentRunner::new();
+    let model = PaperModel::Dlrm1;
+    let config = model.config().with_rows_per_table(65_536);
+    let quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| v == "1");
+
+    let capacity = runner.serve_fifo_capacity_qps(&config);
+    let offered = [
+        (capacity * 0.5).max(500.0).round(),
+        (capacity * 1.5).max(1_500.0).round(),
+    ];
+    let policies = [BatchPolicy::Fifo, BatchPolicy::dynamic_wave()];
+    let replicas = [1usize, 2];
+    let (duration_s, max_queries) = if quick { (0.05, 4_000) } else { (0.5, 40_000) };
+
+    println!(
+        "measured batch-1 FIFO capacity: {capacity:.0} qps; offering {:.0} and {:.0} qps",
+        offered[0], offered[1]
+    );
+    let reports = runner.serve_latency_sweep(
+        &config,
+        &offered,
+        &policies,
+        &replicas,
+        duration_s,
+        max_queries,
+    );
+
+    let mut table = TextTable::new(
+        &format!("Serving under load, {model} @ 64K rows/table (measured, open-loop)"),
+        &[
+            "Offered qps",
+            "Policy",
+            "Replicas",
+            "Achieved qps",
+            "Mean batch",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+        ],
+    );
+    for r in &reports {
+        table.add_row(vec![
+            format!("{:.0}", r.offered_qps),
+            r.policy.clone(),
+            r.replicas.to_string(),
+            format!("{:.0}", r.achieved_qps),
+            format!("{:.2}", r.mean_batch),
+            format!("{:.3}", r.latency.p50_s * 1e3),
+            format!("{:.3}", r.latency.p95_s * 1e3),
+            format!("{:.3}", r.latency.p99_s * 1e3),
+        ]);
+    }
+    table.print();
+
+    let json = ExperimentRunner::bench_serve_json(model.label(), capacity, &reports);
+    let path = "BENCH_serve.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -44,6 +44,8 @@ fn main() {
             "Batch",
             "Backend",
             "Samples/s",
+            "Streamer samples/s",
+            "Streamer ns/lookup",
             "Cache hit rate",
             "Speedup vs scalar",
         ],
@@ -62,6 +64,11 @@ fn main() {
             p.batch.to_string(),
             p.backend.label().to_string(),
             format!("{:.0}", p.samples_per_sec),
+            format!("{:.0}", p.streamer_samples_per_sec),
+            format!(
+                "{:.2}",
+                p.streamer_overhead_ns_per_lookup(config.lookups_per_sample())
+            ),
             format!("{:.1}%", p.cache_hit_rate * 100.0),
             if scalar > 0.0 {
                 format!("{:.2}", p.samples_per_sec / scalar)

@@ -112,9 +112,34 @@ pub struct SparseThroughputPoint {
     /// Sustained samples per second through
     /// `EmbeddingBag::reduce_batch_into_with`.
     pub samples_per_sec: f64,
+    /// Sustained samples per second through the full EB-Streamer
+    /// (`EbStreamer::gather_reduce_batch_into`): the same kernels plus the
+    /// index-SRAM chunking, cache observation and EB-RU bookkeeping. The
+    /// gap to [`SparseThroughputPoint::samples_per_sec`] is the streamer's
+    /// modelling overhead per lookup.
+    pub streamer_samples_per_sec: f64,
     /// Hot-row cache hit-rate estimate over the measured stream (0 on the
     /// scalar oracle, which models the uncached PR 2 pipeline).
     pub cache_hit_rate: f64,
+}
+
+impl SparseThroughputPoint {
+    /// The EB-Streamer's bookkeeping overhead versus the raw bag engine,
+    /// in nanoseconds per lookup. Only meaningful on the **vectorized**
+    /// backends, where both paths run the same gather kernels and the gap
+    /// is pure streamer bookkeeping (small negatives there are measurement
+    /// noise). On `Scalar` the two columns are different engines — the
+    /// bag's per-row oracle loop vs the streamer's scalar pipeline — so
+    /// the large negative values it produces are an engine difference,
+    /// not noise.
+    pub fn streamer_overhead_ns_per_lookup(&self, lookups_per_sample: usize) -> f64 {
+        if self.samples_per_sec <= 0.0 || self.streamer_samples_per_sec <= 0.0 {
+            return 0.0;
+        }
+        let bag_ns = 1e9 / self.samples_per_sec;
+        let streamer_ns = 1e9 / self.streamer_samples_per_sec;
+        (streamer_ns - bag_ns) / lookups_per_sample.max(1) as f64
+    }
 }
 
 /// Drives the three system simulators over the paper's workloads with
@@ -361,6 +386,7 @@ impl ExperimentRunner {
                 }
                 let hit_rate = cache.hit_rate();
                 let mut reduced = vec![0.0f32; batch * stride];
+                let mut streamer = centaur::EbStreamer::default();
                 for &backend in backends {
                     let mut cursor = 0usize;
                     let samples_per_sec = time_samples_per_sec(batch, quick, || {
@@ -375,11 +401,21 @@ impl ExperimentRunner {
                         )
                         .expect("sparse gather succeeds");
                     });
+                    streamer.set_sparse_backend(backend);
+                    let mut cursor = 0usize;
+                    let streamer_samples_per_sec = time_samples_per_sec(batch, quick, || {
+                        let request = &requests[cursor % requests.len()];
+                        cursor += 1;
+                        streamer
+                            .gather_reduce_batch_into(bag, &request.sparse, &mut reduced, stride, 0)
+                            .expect("streamer gather succeeds");
+                    });
                     points.push(SparseThroughputPoint {
                         batch,
                         backend,
                         distribution: distribution.label(),
                         samples_per_sec,
+                        streamer_samples_per_sec,
                         cache_hit_rate: if backend == SparseBackend::Scalar {
                             0.0
                         } else {
@@ -417,12 +453,14 @@ impl ExperimentRunner {
                 .map_or(0.0, |s| p.samples_per_sec / s);
             json.push_str(&format!(
                 "    {{\"distribution\": \"{}\", \"batch\": {}, \"backend\": \"{}\", \
-                 \"samples_per_sec\": {:.1}, \"cache_hit_rate\": {:.4}, \
+                 \"samples_per_sec\": {:.1}, \"streamer_samples_per_sec\": {:.1}, \
+                 \"cache_hit_rate\": {:.4}, \
                  \"speedup_vs_scalar\": {:.2}}}{}\n",
                 p.distribution,
                 p.batch,
                 p.backend.label(),
                 p.samples_per_sec,
+                p.streamer_samples_per_sec,
                 p.cache_hit_rate,
                 speedup,
                 if i + 1 < points.len() { "," } else { "" }
@@ -457,6 +495,111 @@ impl ExperimentRunner {
             json.push_str(&format!(
                 "    ]}}{}\n",
                 if mi + 1 < sections.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        json
+    }
+
+    /// Runs the at-load serving sweep: for every `offered QPS × policy ×
+    /// replicas` cell, replays a seeded Poisson arrival stream open-loop
+    /// against a pool of replica shards (see [`centaur_serve::serve_replay`])
+    /// and digests per-request end-to-end latency. `duration_s` sets the
+    /// offered window per cell (the query count scales with the offered
+    /// load, clamped to `[64, max_queries]`).
+    ///
+    /// Cells run **sequentially** — each cell saturates the host with its
+    /// own generator + worker threads, so overlapping cells would corrupt
+    /// the tail-latency measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the model does not fit the accelerator or a serving run
+    /// fails — fixed, known-good configurations.
+    pub fn serve_latency_sweep(
+        &self,
+        config: &ModelConfig,
+        offered_qps: &[f64],
+        policies: &[centaur_serve::BatchPolicy],
+        replicas: &[usize],
+        duration_s: f64,
+        max_queries: usize,
+    ) -> Vec<centaur_serve::ServeReport> {
+        let model = DlrmModel::random(config, self.seed).expect("valid benchmark model");
+        let mut reports = Vec::with_capacity(offered_qps.len() * policies.len() * replicas.len());
+        for &qps in offered_qps {
+            let queries = ((qps * duration_s).ceil() as usize).clamp(64, max_queries.max(64));
+            for &policy in policies {
+                for &shards in replicas {
+                    reports.push(
+                        centaur_serve::run_serve_cell(
+                            &model,
+                            centaur::CentaurConfig::harpv2(),
+                            self.distribution,
+                            centaur_serve::ServeCell {
+                                offered_qps: qps,
+                                queries,
+                                policy,
+                                replicas: shards,
+                                seed: self.seed,
+                            },
+                        )
+                        .expect("serving cell succeeds"),
+                    );
+                }
+            }
+        }
+        reports
+    }
+
+    /// Measures the batch-1 FIFO saturation capacity of `config` on one
+    /// replica — the anchor [`ExperimentRunner::serve_latency_sweep`]
+    /// callers place offered loads around.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the model does not fit the accelerator.
+    pub fn serve_fifo_capacity_qps(&self, config: &ModelConfig) -> f64 {
+        let model = DlrmModel::random(config, self.seed).expect("valid benchmark model");
+        centaur_serve::calibrate_fifo_capacity_qps(
+            &model,
+            centaur::CentaurConfig::harpv2(),
+            self.distribution,
+            self.seed,
+        )
+        .expect("calibration succeeds")
+    }
+
+    /// Renders serving measurements as the machine-readable
+    /// `BENCH_serve.json` document tracked for the performance trajectory:
+    /// one point per `offered QPS × policy × replicas` cell with achieved
+    /// throughput, mean coalesced batch and the p50/p95/p99 tail.
+    pub fn bench_serve_json(
+        model_name: &str,
+        fifo_capacity_qps: f64,
+        reports: &[centaur_serve::ServeReport],
+    ) -> String {
+        let mut json = format!(
+            "{{\n  \"unit\": \"seconds\",\n  \"scenario\": \"open_loop_poisson_replay\",\n  \
+             \"model\": \"{model_name}\",\n  \"fifo_capacity_qps\": {fifo_capacity_qps:.0},\n  \
+             \"points\": [\n"
+        );
+        for (i, r) in reports.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"offered_qps\": {:.0}, \"policy\": \"{}\", \"replicas\": {}, \
+                 \"completed\": {}, \"achieved_qps\": {:.1}, \"mean_batch\": {:.2}, \
+                 \"p50_s\": {:.6}, \"p95_s\": {:.6}, \"p99_s\": {:.6}, \"max_s\": {:.6}}}{}\n",
+                r.offered_qps,
+                r.policy,
+                r.replicas,
+                r.completed,
+                r.achieved_qps,
+                r.mean_batch,
+                r.latency.p50_s,
+                r.latency.p95_s,
+                r.latency.p99_s,
+                r.latency.max_s,
+                if i + 1 < reports.len() { "," } else { "" }
             ));
         }
         json.push_str("  ]\n}\n");
@@ -646,6 +789,7 @@ mod tests {
         );
         assert_eq!(points.len(), 6);
         assert!(points.iter().all(|p| p.samples_per_sec > 0.0));
+        assert!(points.iter().all(|p| p.streamer_samples_per_sec > 0.0));
         // The scalar oracle models the uncached pipeline.
         assert!(points
             .iter()
@@ -658,10 +802,42 @@ mod tests {
 
         let json = ExperimentRunner::bench_sparse_json("DLRM(1)", &points);
         assert!(json.contains("\"model\": \"DLRM(1)\""));
+        assert!(json.contains("\"streamer_samples_per_sec\""));
         assert!(json.contains("\"backend\": \"vectorized\""));
         assert!(json.contains("\"distribution\": \"zipf(s=0.99)\""));
         assert!(json.contains("\"speedup_vs_scalar\""));
         assert_eq!(json.matches("\"batch\":").count(), 6);
+    }
+
+    #[test]
+    fn serve_sweep_produces_reports_and_json() {
+        let runner = ExperimentRunner::new();
+        let config = PaperModel::Dlrm1.config().with_rows_per_table(512);
+        let policies = [
+            centaur_serve::BatchPolicy::Fifo,
+            centaur_serve::BatchPolicy::Dynamic {
+                max_batch: 8,
+                max_wait: std::time::Duration::from_micros(200),
+            },
+        ];
+        let reports = runner.serve_latency_sweep(&config, &[2_000.0], &policies, &[1, 2], 0.04, 96);
+        assert_eq!(reports.len(), 4);
+        assert!(reports.iter().all(|r| r.completed > 0
+            && r.achieved_qps > 0.0
+            && r.latency.p99_s >= r.latency.p50_s));
+        // FIFO never coalesces; dynamic may.
+        assert!(reports
+            .iter()
+            .filter(|r| r.policy == "fifo")
+            .all(|r| (r.mean_batch - 1.0).abs() < f64::EPSILON));
+
+        let capacity = runner.serve_fifo_capacity_qps(&config);
+        assert!(capacity > 0.0);
+        let json = ExperimentRunner::bench_serve_json("DLRM(1)", capacity, &reports);
+        assert!(json.contains("\"policy\": \"fifo\""));
+        assert!(json.contains("\"policy\": \"dynamic8\""));
+        assert!(json.contains("\"fifo_capacity_qps\""));
+        assert_eq!(json.matches("\"p99_s\":").count(), 4);
     }
 
     #[test]

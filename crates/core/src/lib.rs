@@ -62,5 +62,5 @@ pub use chiplet::{ChipletLinkConfig, LinkPath, LinkTraffic};
 pub use dense::{DenseAccelerator, DenseStageTiming, MlpUnit, ProcessingEngine};
 pub use error::CentaurError;
 pub use fpga::{FpgaResources, ResourceReport, ResourceUtilization};
-pub use runtime::CentaurRuntime;
+pub use runtime::{CentaurRuntime, BATCH_WAVE_SAMPLES};
 pub use sparse::{EbStreamer, HotRowCache, SparseStageTiming};

@@ -26,7 +26,15 @@ use centaur_dlrm::trace::{InferenceTrace, TableLayout};
 /// fully amortized (DLRM(6) throughput at m = 64 measures within 1% of
 /// m = 128) while halving the staging footprint; smaller waves start
 /// costing the MLP-heavy models real GEMM efficiency.
-const BATCH_WAVE_SAMPLES: usize = 64;
+pub const BATCH_WAVE_SAMPLES: usize = 64;
+
+// A replica shard must be movable onto a serving worker thread; the runtime
+// owns every piece of its state (no shared-interior-mutability handles), so
+// this holds by construction — enforced at compile time right here.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<CentaurRuntime>();
+};
 
 /// A model registered with a Centaur device, ready to serve inferences.
 ///
@@ -125,6 +133,34 @@ impl CentaurRuntime {
         CentaurRuntime::new(model, CentaurConfig::harpv2())
     }
 
+    /// Builds a pool of `replicas` independent runtime shards serving the
+    /// same model: the boot-time registration (MMIO base-pointer writes,
+    /// capacity checks, weight-SRAM upload) runs **once**, then each
+    /// replica clones the registered state. Every shard is `Send` (enforced
+    /// at compile time), so a serving layer can move one onto each worker
+    /// thread and run them concurrently — replicas share nothing mutable.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CentaurRuntime::new`], plus
+    /// [`CentaurError::NotInitialised`] for an empty pool request.
+    pub fn replica_pool(
+        model: DlrmModel,
+        config: CentaurConfig,
+        replicas: usize,
+    ) -> Result<Vec<CentaurRuntime>, CentaurError> {
+        if replicas == 0 {
+            return Err(CentaurError::NotInitialised("replica pool of size zero"));
+        }
+        let first = CentaurRuntime::new(model, config)?;
+        let mut pool = Vec::with_capacity(replicas);
+        for _ in 1..replicas {
+            pool.push(first.clone());
+        }
+        pool.push(first);
+        Ok(pool)
+    }
+
     /// The registered model.
     pub fn model(&self) -> &DlrmModel {
         &self.model
@@ -218,7 +254,35 @@ impl CentaurRuntime {
         out: &mut [f32],
     ) -> Result<(), CentaurError> {
         check_batch_inputs(dense, batch_indices)?;
+        self.infer_batch_rows_into(dense.as_slice(), dense.cols(), batch_indices, out)
+    }
+
+    /// [`CentaurRuntime::infer_batch_into`] over raw row-major dense
+    /// features (`[batch * cols]`) instead of a [`Matrix`] — the entry
+    /// point for serving layers that stage coalesced requests in their own
+    /// reusable buffers and cannot afford to build a `Matrix` per batch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CentaurRuntime::infer_batch_into`]; the batch size is
+    /// `batch_indices.len()` and `dense_rows` must hold exactly
+    /// `batch * cols` values.
+    pub fn infer_batch_rows_into(
+        &mut self,
+        dense_rows: &[f32],
+        cols: usize,
+        batch_indices: &[Vec<Vec<u32>>],
+        out: &mut [f32],
+    ) -> Result<(), CentaurError> {
         let batch = batch_indices.len();
+        if dense_rows.len() != batch * cols {
+            return Err(centaur_dlrm::DlrmError::BatchMismatch {
+                what: "dense elements vs batch rows",
+                left: dense_rows.len(),
+                right: batch * cols,
+            }
+            .into());
+        }
         if out.len() != batch {
             return Err(centaur_dlrm::DlrmError::BatchMismatch {
                 what: "dense rows vs output slots",
@@ -228,7 +292,6 @@ impl CentaurRuntime {
             .into());
         }
         let stride = self.model.config().num_tables * self.model.config().embedding_dim;
-        let cols = dense.cols();
         let wave = BATCH_WAVE_SAMPLES.min(batch.max(1));
         grow(&mut self.reduced_batch, wave * stride);
         let CentaurRuntime {
@@ -256,7 +319,7 @@ impl CentaurRuntime {
             )?;
             dense_complex.forward_batch_rows_into(
                 model,
-                &dense.as_slice()[start * cols..end * cols],
+                &dense_rows[start * cols..end * cols],
                 n,
                 cols,
                 &reduced_batch[..n * stride],
@@ -322,6 +385,69 @@ mod tests {
                 .unwrap();
             assert_eq!(ours[i], single, "sample {i} diverged from per-sample path");
         }
+    }
+
+    #[test]
+    fn replica_pool_registers_once_and_shards_agree() {
+        let model = small_model();
+        let config = model.config().clone();
+        let mut generator = RequestGenerator::new(&config, IndexDistribution::Uniform, 31);
+        let batch = generator.functional_batch(4);
+
+        let mut pool = CentaurRuntime::replica_pool(model, CentaurConfig::harpv2(), 3).unwrap();
+        assert_eq!(pool.len(), 3);
+        // Every shard is fully booted and serves identical results.
+        let reference = pool[0].infer_batch(&batch.dense, &batch.sparse).unwrap();
+        for shard in &mut pool {
+            assert!(shard.bpregs().is_fully_initialised());
+            let served = shard.infer_batch(&batch.dense, &batch.sparse).unwrap();
+            assert_eq!(served, reference);
+        }
+        // Shards really are independent: they can serve from worker threads.
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = pool
+                .iter_mut()
+                .map(|shard| {
+                    let dense = &batch.dense;
+                    let sparse = &batch.sparse;
+                    scope.spawn(move || shard.infer_batch(dense, sparse).unwrap())
+                })
+                .collect();
+            for handle in handles {
+                assert_eq!(handle.join().unwrap(), reference);
+            }
+        });
+        assert!(CentaurRuntime::replica_pool(small_model(), CentaurConfig::harpv2(), 0).is_err());
+    }
+
+    #[test]
+    fn infer_batch_rows_matches_matrix_path() {
+        let model = small_model();
+        let config = model.config().clone();
+        let mut runtime = CentaurRuntime::harpv2(model).unwrap();
+        let mut generator = RequestGenerator::new(&config, IndexDistribution::Uniform, 37);
+        let batch = generator.functional_batch(5);
+
+        let via_matrix = runtime.infer_batch(&batch.dense, &batch.sparse).unwrap();
+        let mut via_rows = vec![0.0f32; 5];
+        runtime
+            .infer_batch_rows_into(
+                batch.dense.as_slice(),
+                batch.dense.cols(),
+                &batch.sparse,
+                &mut via_rows,
+            )
+            .unwrap();
+        assert_eq!(via_matrix, via_rows);
+        // Mis-sized dense slab is rejected.
+        assert!(runtime
+            .infer_batch_rows_into(
+                &batch.dense.as_slice()[1..],
+                batch.dense.cols(),
+                &batch.sparse,
+                &mut via_rows,
+            )
+            .is_err());
     }
 
     #[test]

@@ -95,6 +95,41 @@ impl SparseIndexSram {
         Ok(())
     }
 
+    /// Starts a packed fill: clears the buffer so several index lists can
+    /// be appended back to back with [`SparseIndexSram::append`] and then
+    /// streamed as **one** CPU→FPGA fill. This is what lets the batch path
+    /// amortize the per-fill cost across every sample of a table instead of
+    /// paying one fill per (table, sample).
+    pub fn begin_load(&mut self) {
+        self.contents.clear();
+    }
+
+    /// Appends a chunk of indices to the current packed fill, returning the
+    /// offset at which the chunk landed (so callers can address each
+    /// sample's segment inside the shared fill).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CentaurError::CapacityExceeded`] when the chunk does not
+    /// fit in the remaining capacity; the buffered contents are unchanged.
+    pub fn append(&mut self, indices: &[u32]) -> Result<usize, CentaurError> {
+        if self.contents.len() + indices.len() > self.capacity_indices {
+            return Err(CentaurError::CapacityExceeded {
+                resource: "sparse index SRAM",
+                required: (self.contents.len() + indices.len()) as u64,
+                available: self.capacity_indices as u64,
+            });
+        }
+        let start = self.contents.len();
+        self.contents.extend_from_slice(indices);
+        Ok(start)
+    }
+
+    /// Completes a packed fill, counting it as one CPU→FPGA load.
+    pub fn finish_load(&mut self) {
+        self.loads += 1;
+    }
+
     /// Borrows the buffered indices.
     pub fn contents(&self) -> &[u32] {
         &self.contents
@@ -130,6 +165,24 @@ mod tests {
         let mut sram = SparseIndexSram::new(2);
         let err = sram.load(&[1, 2, 3]).unwrap_err();
         assert!(matches!(err, CentaurError::CapacityExceeded { .. }));
+        assert!(sram.is_empty());
+    }
+
+    #[test]
+    fn packed_fill_appends_and_counts_one_load() {
+        let mut sram = SparseIndexSram::new(8);
+        sram.begin_load();
+        assert_eq!(sram.append(&[1, 2, 3]).unwrap(), 0);
+        assert_eq!(sram.append(&[4, 5]).unwrap(), 3);
+        sram.finish_load();
+        assert_eq!(sram.contents(), &[1, 2, 3, 4, 5]);
+        assert_eq!(sram.loads(), 1);
+        // Overfilling the remaining capacity is rejected, contents intact.
+        let err = sram.append(&[6, 7, 8, 9]).unwrap_err();
+        assert!(matches!(err, CentaurError::CapacityExceeded { .. }));
+        assert_eq!(sram.len(), 5);
+        // The next packed fill replaces the previous one.
+        sram.begin_load();
         assert!(sram.is_empty());
     }
 

@@ -116,6 +116,35 @@ impl KernelBackend {
     }
 }
 
+/// Parses a `CENTAUR_KERNEL_BACKEND` value. Returns `None` for anything
+/// outside the accepted set (see [`KERNEL_BACKEND_VALUES`]) so callers can
+/// distinguish "unset" from "misspelled" instead of silently falling back.
+pub fn parse_kernel_backend(value: &str) -> Option<KernelBackend> {
+    match value {
+        "naive" => Some(KernelBackend::Naive),
+        "blocked" => Some(KernelBackend::Blocked),
+        "parallel" | "blocked-parallel" => Some(KernelBackend::BlockedParallel),
+        _ => None,
+    }
+}
+
+/// Accepted `CENTAUR_KERNEL_BACKEND` values, for error messages.
+pub const KERNEL_BACKEND_VALUES: &str = "naive | blocked | parallel | blocked-parallel";
+
+/// Parses a `CENTAUR_SPARSE_BACKEND` value. Returns `None` for anything
+/// outside the accepted set (see [`SPARSE_BACKEND_VALUES`]).
+pub fn parse_sparse_backend(value: &str) -> Option<SparseBackend> {
+    match value {
+        "scalar" => Some(SparseBackend::Scalar),
+        "vectorized" => Some(SparseBackend::Vectorized),
+        "parallel" | "vectorized-parallel" => Some(SparseBackend::VectorizedParallel),
+        _ => None,
+    }
+}
+
+/// Accepted `CENTAUR_SPARSE_BACKEND` values, for error messages.
+pub const SPARSE_BACKEND_VALUES: &str = "scalar | vectorized | parallel | vectorized-parallel";
+
 /// Process-wide default backend, encoded for the atomic.
 fn encode(backend: KernelBackend) -> u8 {
     match backend {
@@ -158,14 +187,19 @@ pub fn global_backend() -> KernelBackend {
     if value != u8::MAX {
         return decode(value);
     }
-    *ENV_BACKEND.get_or_init(
-        || match std::env::var("CENTAUR_KERNEL_BACKEND").as_deref() {
-            Ok("naive") => KernelBackend::Naive,
-            Ok("blocked") => KernelBackend::Blocked,
-            Ok("parallel") | Ok("blocked-parallel") => KernelBackend::BlockedParallel,
-            _ => builtin_default(),
-        },
-    )
+    *ENV_BACKEND.get_or_init(|| match std::env::var("CENTAUR_KERNEL_BACKEND") {
+        Ok(value) => parse_kernel_backend(&value).unwrap_or_else(|| {
+            // One-time by construction: the OnceLock runs this closure once.
+            eprintln!(
+                "warning: unknown CENTAUR_KERNEL_BACKEND value {value:?}, \
+                 expected one of: {KERNEL_BACKEND_VALUES}; \
+                 using the built-in default ({})",
+                builtin_default().label()
+            );
+            builtin_default()
+        }),
+        Err(_) => builtin_default(),
+    })
 }
 
 /// Overrides the process-wide default backend.
@@ -257,14 +291,19 @@ pub fn global_sparse_backend() -> SparseBackend {
     if value != u8::MAX {
         return decode_sparse(value);
     }
-    *ENV_SPARSE_BACKEND.get_or_init(
-        || match std::env::var("CENTAUR_SPARSE_BACKEND").as_deref() {
-            Ok("scalar") => SparseBackend::Scalar,
-            Ok("vectorized") => SparseBackend::Vectorized,
-            Ok("parallel") | Ok("vectorized-parallel") => SparseBackend::VectorizedParallel,
-            _ => builtin_sparse_default(),
-        },
-    )
+    *ENV_SPARSE_BACKEND.get_or_init(|| match std::env::var("CENTAUR_SPARSE_BACKEND") {
+        Ok(value) => parse_sparse_backend(&value).unwrap_or_else(|| {
+            // One-time by construction: the OnceLock runs this closure once.
+            eprintln!(
+                "warning: unknown CENTAUR_SPARSE_BACKEND value {value:?}, \
+                 expected one of: {SPARSE_BACKEND_VALUES}; \
+                 using the built-in default ({})",
+                builtin_sparse_default().label()
+            );
+            builtin_sparse_default()
+        }),
+        Err(_) => builtin_sparse_default(),
+    })
 }
 
 /// Overrides the process-wide default sparse backend.
@@ -1225,5 +1264,69 @@ mod tests {
         assert_eq!(KernelBackend::all().len(), 3);
         // The global default must be one of the optimized backends.
         assert_ne!(global_backend(), KernelBackend::Naive);
+    }
+
+    #[test]
+    fn kernel_backend_env_values_parse() {
+        assert_eq!(parse_kernel_backend("naive"), Some(KernelBackend::Naive));
+        assert_eq!(
+            parse_kernel_backend("blocked"),
+            Some(KernelBackend::Blocked)
+        );
+        assert_eq!(
+            parse_kernel_backend("parallel"),
+            Some(KernelBackend::BlockedParallel)
+        );
+        assert_eq!(
+            parse_kernel_backend("blocked-parallel"),
+            Some(KernelBackend::BlockedParallel)
+        );
+        // Every label round-trips, so docs/benches and the env var agree.
+        for backend in KernelBackend::all() {
+            assert_eq!(parse_kernel_backend(backend.label()), Some(backend));
+        }
+    }
+
+    #[test]
+    fn misspelled_kernel_backend_is_rejected_not_defaulted() {
+        // The historic failure mode: `vectorised`, stray whitespace and
+        // case changes silently fell back to the built-in default.
+        for bad in ["vectorised", "Blocked", " blocked", "blocked ", "", "fast"] {
+            assert_eq!(parse_kernel_backend(bad), None, "{bad:?} must not parse");
+        }
+        // The accepted set named in the warning mentions every real value.
+        for backend in KernelBackend::all() {
+            assert!(KERNEL_BACKEND_VALUES.contains(backend.label()));
+        }
+    }
+
+    #[test]
+    fn sparse_backend_env_values_parse() {
+        assert_eq!(parse_sparse_backend("scalar"), Some(SparseBackend::Scalar));
+        assert_eq!(
+            parse_sparse_backend("vectorized"),
+            Some(SparseBackend::Vectorized)
+        );
+        assert_eq!(
+            parse_sparse_backend("parallel"),
+            Some(SparseBackend::VectorizedParallel)
+        );
+        assert_eq!(
+            parse_sparse_backend("vectorized-parallel"),
+            Some(SparseBackend::VectorizedParallel)
+        );
+        for backend in SparseBackend::all() {
+            assert_eq!(parse_sparse_backend(backend.label()), Some(backend));
+        }
+    }
+
+    #[test]
+    fn misspelled_sparse_backend_is_rejected_not_defaulted() {
+        for bad in ["vectorised", "Scalar", "simd", " vectorized", ""] {
+            assert_eq!(parse_sparse_backend(bad), None, "{bad:?} must not parse");
+        }
+        for backend in SparseBackend::all() {
+            assert!(SPARSE_BACKEND_VALUES.contains(backend.label()));
+        }
     }
 }

@@ -50,6 +50,7 @@ pub mod interaction;
 pub mod kernel;
 pub mod mlp;
 pub mod model;
+pub mod request;
 pub mod tensor;
 pub mod trace;
 
@@ -58,11 +59,13 @@ pub use embedding::{EmbeddingBag, EmbeddingTable, ReductionOp};
 pub use error::DlrmError;
 pub use interaction::FeatureInteraction;
 pub use kernel::{
-    global_backend, global_sparse_backend, set_global_backend, set_global_sparse_backend, FusedAct,
-    KernelBackend, SparseBackend, Workspace,
+    global_backend, global_sparse_backend, parse_kernel_backend, parse_sparse_backend,
+    set_global_backend, set_global_sparse_backend, FusedAct, KernelBackend, SparseBackend,
+    Workspace,
 };
 pub use mlp::{Activation, DenseLayer, Mlp, MlpStack};
 pub use model::{check_batch_inputs, BatchWorkspace, DlrmModel, ForwardBreakdown, ModelWorkspace};
+pub use request::{InferenceRequest, InferenceResponse};
 pub use tensor::Matrix;
 pub use trace::{EmbeddingAccess, GatherTrace, InferenceTrace};
 

@@ -1,0 +1,107 @@
+//! Request/response types for serving a DLRM model: one user query in, one
+//! click-probability out.
+//!
+//! These are the wire-level unit the serving layer queues, batches and
+//! dispatches — deliberately plain owned data (`Vec`s, no `Matrix`) so a
+//! request can be built by a load generator, moved across a channel into a
+//! worker thread, and staged into a batch without touching the model crate's
+//! tensor machinery.
+
+use crate::config::ModelConfig;
+use crate::error::DlrmError;
+
+/// One inference query: a single sample's dense features plus its per-table
+/// sparse index lists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceRequest {
+    /// Caller-assigned request id, echoed in the response.
+    pub id: u64,
+    /// Dense features (`[dense_features]`).
+    pub dense: Vec<f32>,
+    /// Sparse indices, one list per embedding table.
+    pub sparse: Vec<Vec<u32>>,
+}
+
+impl InferenceRequest {
+    /// Validates the request's shape against a model configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlrmError::BatchMismatch`] when the dense feature width is
+    /// wrong and [`DlrmError::TableCountMismatch`] when the number of index
+    /// lists does not match the model's table count.
+    pub fn check_shape(&self, config: &ModelConfig) -> Result<(), DlrmError> {
+        if self.dense.len() != config.dense_features {
+            return Err(DlrmError::BatchMismatch {
+                what: "request dense features vs model dense features",
+                left: self.dense.len(),
+                right: config.dense_features,
+            });
+        }
+        if self.sparse.len() != config.num_tables {
+            return Err(DlrmError::TableCountMismatch {
+                provided: self.sparse.len(),
+                expected: config.num_tables,
+            });
+        }
+        Ok(())
+    }
+
+    /// Total embedding lookups the request will perform.
+    pub fn lookups(&self) -> usize {
+        self.sparse.iter().map(Vec::len).sum()
+    }
+}
+
+/// The served answer to one [`InferenceRequest`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InferenceResponse {
+    /// The request id this answers.
+    pub id: u64,
+    /// Predicted click probability.
+    pub probability: f32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PaperModel;
+
+    fn request_for(config: &ModelConfig) -> InferenceRequest {
+        InferenceRequest {
+            id: 7,
+            dense: vec![0.0; config.dense_features],
+            sparse: (0..config.num_tables).map(|t| vec![t as u32, 1]).collect(),
+        }
+    }
+
+    #[test]
+    fn well_shaped_request_passes() {
+        let config = PaperModel::Dlrm1.config();
+        let request = request_for(&config);
+        assert!(request.check_shape(&config).is_ok());
+        assert_eq!(request.lookups(), 2 * config.num_tables);
+    }
+
+    #[test]
+    fn wrong_dense_width_is_rejected() {
+        let config = PaperModel::Dlrm1.config();
+        let mut request = request_for(&config);
+        request.dense.push(0.0);
+        assert!(matches!(
+            request.check_shape(&config),
+            Err(DlrmError::BatchMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_table_count_is_rejected() {
+        let config = PaperModel::Dlrm1.config();
+        let mut request = request_for(&config);
+        request.sparse.pop();
+        assert!(matches!(
+            request.check_shape(&config),
+            Err(DlrmError::TableCountMismatch { .. })
+        ));
+    }
+}

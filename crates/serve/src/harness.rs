@@ -1,0 +1,451 @@
+//! The serving harness: an open-loop load generator replays a seeded
+//! [`QueryStream`] against a pool of replica workers behind the shared
+//! [`ArrivalQueue`], and the recorded per-request completions are digested
+//! into tail-latency reports.
+
+use crate::policy::BatchPolicy;
+use crate::queue::{ArrivalQueue, QueuedRequest};
+use crate::stage::ReplicaStage;
+use centaur::{CentaurConfig, CentaurError, CentaurRuntime};
+use centaur_dlrm::config::ModelConfig;
+use centaur_dlrm::{DlrmModel, InferenceRequest, InferenceResponse};
+use centaur_workload::{
+    ArrivalProcess, IndexDistribution, LatencySummary, QueryStream, RequestGenerator,
+};
+use std::time::{Duration, Instant};
+
+/// One served request's record: scheduled arrival, completion time and the
+/// served probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Completion {
+    /// The request id (the pre-generated request's index).
+    pub id: u64,
+    /// Scheduled arrival offset, seconds from experiment start.
+    pub arrival_s: f64,
+    /// Completion offset, seconds from experiment start.
+    pub completed_s: f64,
+    /// Served click probability.
+    pub probability: f32,
+}
+
+impl Completion {
+    /// End-to-end latency (queueing + batching + inference), in seconds.
+    pub fn latency_s(&self) -> f64 {
+        self.completed_s - self.arrival_s
+    }
+
+    /// The wire-level answer to the request — what a deployment would send
+    /// back to the caller (the timing fields stay server-side).
+    pub fn response(&self) -> InferenceResponse {
+        InferenceResponse {
+            id: self.id,
+            probability: self.probability,
+        }
+    }
+}
+
+/// Everything recorded by one serving run.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// Per-request completion records (unordered across workers).
+    pub completions: Vec<Completion>,
+    /// Number of accelerator batches dispatched.
+    pub batches: usize,
+}
+
+impl ServeOutcome {
+    /// Tail-latency digest of the recorded completions.
+    pub fn latency_summary(&self) -> Option<LatencySummary> {
+        let latencies: Vec<f64> = self.completions.iter().map(Completion::latency_s).collect();
+        LatencySummary::from_latencies(&latencies)
+    }
+
+    /// Wall-clock span from experiment start to the last completion.
+    pub fn span_s(&self) -> f64 {
+        self.completions
+            .iter()
+            .map(|c| c.completed_s)
+            .fold(0.0, f64::max)
+    }
+
+    /// Sustained completions per second over the whole run.
+    pub fn achieved_qps(&self) -> f64 {
+        let span = self.span_s();
+        if span <= 0.0 {
+            0.0
+        } else {
+            self.completions.len() as f64 / span
+        }
+    }
+
+    /// Mean coalesced batch size actually dispatched.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.completions.len() as f64 / self.batches as f64
+        }
+    }
+}
+
+/// Pre-generates `count` single-sample inference requests for `config`,
+/// deterministically seeded — the request set a serving run replays.
+pub fn generate_requests(
+    config: &ModelConfig,
+    distribution: IndexDistribution,
+    seed: u64,
+    count: usize,
+) -> Vec<InferenceRequest> {
+    let mut generator = RequestGenerator::new(config, distribution, seed);
+    (0..count)
+        .map(|id| {
+            let sparse = generator.sample_trace().as_u32_indices();
+            let dense = generator.dense_features(1).into_vec();
+            InferenceRequest {
+                id: id as u64,
+                dense,
+                sparse,
+            }
+        })
+        .collect()
+}
+
+/// Replays `stream` open-loop against a pool of replica shards: the calling
+/// thread becomes the load generator (sleeping until each scheduled arrival
+/// and enqueueing the matching request), while one worker thread per replica
+/// coalesces queued requests into batches per `policy` and serves them
+/// through the accelerator's batched path.
+///
+/// Latencies are measured against the *scheduled* arrival times, so a
+/// generator running late inflates latency instead of thinning the offered
+/// load — open-loop semantics, the methodology RecNMP/MicroRec-style
+/// at-load studies require.
+///
+/// # Errors
+///
+/// Returns an error when `requests` and `stream` disagree in length, the
+/// replica pool is empty, a request's shape does not match the replicas'
+/// model, or the accelerator datapath fails mid-run.
+pub fn serve_replay(
+    mut replicas: Vec<CentaurRuntime>,
+    requests: &[InferenceRequest],
+    stream: &QueryStream,
+    policy: BatchPolicy,
+) -> Result<ServeOutcome, CentaurError> {
+    if replicas.is_empty() {
+        return Err(CentaurError::NotInitialised("serving replica pool"));
+    }
+    if requests.len() != stream.len() {
+        return Err(centaur_dlrm::DlrmError::BatchMismatch {
+            what: "pre-generated requests vs arrival stream",
+            left: requests.len(),
+            right: stream.len(),
+        }
+        .into());
+    }
+    let model_config = replicas[0].model().config().clone();
+    for request in requests {
+        request.check_shape(&model_config)?;
+    }
+
+    let queue = ArrivalQueue::new();
+    let mut outcome = ServeOutcome {
+        completions: Vec::with_capacity(requests.len()),
+        batches: 0,
+    };
+    let mut worker_results: Vec<Result<(Vec<Completion>, usize), CentaurError>> = Vec::new();
+    std::thread::scope(|scope| {
+        let start = Instant::now();
+        let queue = &queue;
+        let handles: Vec<_> = replicas
+            .iter_mut()
+            .map(|runtime| {
+                let stage = ReplicaStage::new(&model_config, policy.max_batch());
+                scope.spawn(move || worker_loop(queue, requests, runtime, stage, policy, start))
+            })
+            .collect();
+
+        // Open-loop replay on this thread: release each query at its
+        // scheduled offset (bursts of overdue queries release back to back).
+        for (index, arrival_s) in stream.replay() {
+            let target = start + Duration::from_secs_f64(arrival_s);
+            loop {
+                let now = Instant::now();
+                if now >= target {
+                    break;
+                }
+                std::thread::sleep(target - now);
+            }
+            queue.push(QueuedRequest { index, arrival_s });
+        }
+        queue.close();
+
+        worker_results = handles
+            .into_iter()
+            .map(|h| h.join().expect("serving worker panicked"))
+            .collect();
+    });
+    for result in worker_results {
+        let (completions, batches) = result?;
+        outcome.completions.extend(completions);
+        outcome.batches += batches;
+    }
+    Ok(outcome)
+}
+
+/// One replica's serving loop: pop a coalesced batch, stage it, run the
+/// batched accelerator path, record completions. Runs until the queue is
+/// closed and drained.
+fn worker_loop(
+    queue: &ArrivalQueue,
+    requests: &[InferenceRequest],
+    runtime: &mut CentaurRuntime,
+    mut stage: ReplicaStage,
+    policy: BatchPolicy,
+    start: Instant,
+) -> Result<(Vec<Completion>, usize), CentaurError> {
+    let mut completions = Vec::new();
+    let mut batches = 0usize;
+    // Reused across iterations: the queue's pop buffer and the staged
+    // request refs — the steady-state loop allocates nothing once these
+    // reach their high-water marks.
+    let mut batch: Vec<QueuedRequest> = Vec::with_capacity(policy.max_batch());
+    let mut staged: Vec<&InferenceRequest> = Vec::with_capacity(policy.max_batch());
+    while queue.pop_batch(policy, &mut batch) {
+        staged.clear();
+        staged.extend(batch.iter().map(|q| &requests[q.index]));
+        let probabilities = stage.run_batch(runtime, &staged)?;
+        let completed_s = start.elapsed().as_secs_f64();
+        batches += 1;
+        for (queued, &probability) in batch.iter().zip(probabilities) {
+            completions.push(Completion {
+                id: requests[queued.index].id,
+                arrival_s: queued.arrival_s,
+                completed_s,
+                probability,
+            });
+        }
+    }
+    Ok((completions, batches))
+}
+
+/// One cell of a serving sweep, digested for reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Offered load in queries per second.
+    pub offered_qps: f64,
+    /// Batching policy label (`fifo`, `dynamic64`, …).
+    pub policy: String,
+    /// Replica shards serving the queue.
+    pub replicas: usize,
+    /// Requests completed.
+    pub completed: usize,
+    /// Accelerator batches dispatched.
+    pub batches: usize,
+    /// Mean coalesced batch size.
+    pub mean_batch: f64,
+    /// Sustained completions per second.
+    pub achieved_qps: f64,
+    /// End-to-end latency digest.
+    pub latency: LatencySummary,
+}
+
+/// One cell's specification for [`run_serve_cell`]: the offered load, how
+/// many queries to replay and how to serve them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeCell {
+    /// Offered load in queries per second (Poisson arrivals).
+    pub offered_qps: f64,
+    /// Number of queries replayed.
+    pub queries: usize,
+    /// Batching policy serving the queue.
+    pub policy: BatchPolicy,
+    /// Replica shards serving the queue.
+    pub replicas: usize,
+    /// Seed for the request set and the arrival schedule.
+    pub seed: u64,
+}
+
+/// Runs one serving cell end to end: pre-generates the request set and the
+/// Poisson arrival schedule, boots the cell's replica shards of `model`
+/// (one registration, cloned), replays the stream and digests the result.
+///
+/// # Errors
+///
+/// Propagates registration and serving errors; fails when zero queries are
+/// requested.
+pub fn run_serve_cell(
+    model: &DlrmModel,
+    accel_config: CentaurConfig,
+    distribution: IndexDistribution,
+    cell: ServeCell,
+) -> Result<ServeReport, CentaurError> {
+    let config = model.config().clone();
+    let requests = generate_requests(&config, distribution, cell.seed, cell.queries);
+    let stream = QueryStream::generate(
+        ArrivalProcess::Poisson {
+            rate_qps: cell.offered_qps,
+        },
+        cell.queries,
+        cell.seed ^ 0xA11,
+    );
+    let pool = CentaurRuntime::replica_pool(model.clone(), accel_config, cell.replicas)?;
+    let outcome = serve_replay(pool, &requests, &stream, cell.policy)?;
+    let latency = outcome
+        .latency_summary()
+        .ok_or(CentaurError::NotInitialised("no completions recorded"))?;
+    Ok(ServeReport {
+        offered_qps: cell.offered_qps,
+        policy: cell.policy.label(),
+        replicas: cell.replicas,
+        completed: outcome.completions.len(),
+        batches: outcome.batches,
+        mean_batch: outcome.mean_batch(),
+        achieved_qps: outcome.achieved_qps(),
+        latency,
+    })
+}
+
+/// Measures the single-sample service time of `model` on one runtime shard
+/// and returns the implied batch-1 FIFO saturation capacity in queries per
+/// second — the anchor serving sweeps use to place offered loads below and
+/// above the un-batched knee.
+///
+/// # Errors
+///
+/// Propagates registration/datapath errors.
+pub fn calibrate_fifo_capacity_qps(
+    model: &DlrmModel,
+    accel_config: CentaurConfig,
+    distribution: IndexDistribution,
+    seed: u64,
+) -> Result<f64, CentaurError> {
+    let config = model.config().clone();
+    // Enough distinct requests that rows are not warm in cache every probe.
+    let requests = generate_requests(&config, distribution, seed, 256);
+    let mut runtime = CentaurRuntime::new(model.clone(), accel_config)?;
+    let mut stage = ReplicaStage::new(&config, 1);
+    // Warm-up: grow every staging buffer.
+    stage.run_batch(&mut runtime, &[&requests[0]])?;
+    let started = Instant::now();
+    let mut served = 0usize;
+    while started.elapsed() < Duration::from_millis(50) {
+        for request in &requests {
+            stage.run_batch(&mut runtime, &[request])?;
+        }
+        served += requests.len();
+    }
+    let service_s = started.elapsed().as_secs_f64() / served.max(1) as f64;
+    Ok(1.0 / service_s.max(1e-9))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use centaur_dlrm::PaperModel;
+
+    fn small_model() -> DlrmModel {
+        let config = PaperModel::Dlrm1.config().with_rows_per_table(512);
+        DlrmModel::random(&config, 5).unwrap()
+    }
+
+    #[test]
+    fn serve_replay_completes_every_query_and_matches_reference() {
+        let model = small_model();
+        let config = model.config().clone();
+        let requests = generate_requests(&config, IndexDistribution::Uniform, 11, 64);
+        let stream = QueryStream::generate(ArrivalProcess::Poisson { rate_qps: 20_000.0 }, 64, 3);
+        let pool = CentaurRuntime::replica_pool(model.clone(), CentaurConfig::harpv2(), 2).unwrap();
+        let outcome = serve_replay(
+            pool,
+            &requests,
+            &stream,
+            BatchPolicy::Dynamic {
+                max_batch: 8,
+                max_wait: Duration::from_micros(200),
+            },
+        )
+        .unwrap();
+
+        assert_eq!(outcome.completions.len(), 64, "every query is served");
+        assert!(outcome.batches >= 8, "64 queries cap at batch 8");
+        assert!(outcome.mean_batch() >= 1.0);
+        // Every id served exactly once.
+        let mut ids: Vec<u64> = outcome.completions.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..64).collect::<Vec<u64>>());
+        // Latency is never negative and the summary digests it.
+        assert!(outcome.completions.iter().all(|c| c.latency_s() >= 0.0));
+        let summary = outcome.latency_summary().unwrap();
+        assert!(summary.p99_s >= summary.p50_s);
+
+        // Served probabilities match a fresh runtime run per request, and
+        // the wire-level response echoes the request id.
+        let mut reference = CentaurRuntime::harpv2(model).unwrap();
+        let mut out = [0.0f32];
+        for completion in &outcome.completions {
+            let response = completion.response();
+            assert_eq!(response.id, completion.id);
+            assert_eq!(response.probability, completion.probability);
+            let request = &requests[completion.id as usize];
+            reference
+                .infer_batch_rows_into(
+                    &request.dense,
+                    request.dense.len(),
+                    std::slice::from_ref(&request.sparse),
+                    &mut out,
+                )
+                .unwrap();
+            assert_eq!(completion.probability, out[0], "id {}", completion.id);
+        }
+    }
+
+    #[test]
+    fn serve_replay_rejects_mismatched_inputs() {
+        let model = small_model();
+        let config = model.config().clone();
+        let requests = generate_requests(&config, IndexDistribution::Uniform, 1, 4);
+        let stream = QueryStream::generate(ArrivalProcess::Uniform { rate_qps: 100.0 }, 5, 1);
+        let pool = CentaurRuntime::replica_pool(model, CentaurConfig::harpv2(), 1).unwrap();
+        assert!(serve_replay(pool, &requests, &stream, BatchPolicy::Fifo).is_err());
+        assert!(serve_replay(Vec::new(), &requests, &stream, BatchPolicy::Fifo).is_err());
+    }
+
+    #[test]
+    fn run_serve_cell_produces_a_digest() {
+        let model = small_model();
+        let report = run_serve_cell(
+            &model,
+            CentaurConfig::harpv2(),
+            IndexDistribution::Uniform,
+            ServeCell {
+                offered_qps: 5_000.0,
+                queries: 32,
+                policy: BatchPolicy::Fifo,
+                replicas: 1,
+                seed: 9,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.completed, 32);
+        assert_eq!(report.policy, "fifo");
+        assert_eq!(report.replicas, 1);
+        assert!(report.achieved_qps > 0.0);
+        assert!(report.latency.p50_s > 0.0);
+        assert!((report.mean_batch - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn calibration_reports_a_plausible_capacity() {
+        let model = small_model();
+        let qps = calibrate_fifo_capacity_qps(
+            &model,
+            CentaurConfig::harpv2(),
+            IndexDistribution::Uniform,
+            2,
+        )
+        .unwrap();
+        // A small DLRM(1) on any host serves between 1k and 10M qps.
+        assert!(qps > 1_000.0 && qps < 10_000_000.0, "capacity {qps}");
+    }
+}

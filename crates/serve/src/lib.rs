@@ -1,0 +1,60 @@
+//! # centaur-serve
+//!
+//! The serving layer of the Centaur reproduction: what turns the
+//! closed-loop batch kernels of the lower crates into an **at-load serving
+//! system** — the scenario the paper motivates (user-facing recommendation
+//! queries under firm tail-latency targets) and that RecNMP/MicroRec-style
+//! evaluations report as p95/p99 versus offered QPS.
+//!
+//! The moving parts:
+//!
+//! * [`BatchPolicy`] — batch-1 FIFO (the un-batched baseline) or dynamic
+//!   batching (coalesce until `max_batch` fills or `max_wait` expires);
+//! * [`ArrivalQueue`] — the shared arrival queue between the open-loop load
+//!   generator and the replica workers;
+//! * [`ReplicaStage`] — per-replica staging buffers that copy a coalesced
+//!   batch into batch-major form and run the accelerator's batched path,
+//!   zero heap allocations in steady state;
+//! * [`serve_replay`] — replays a seeded
+//!   [`QueryStream`](centaur_workload::QueryStream) against a pool of
+//!   [`CentaurRuntime`](centaur::CentaurRuntime) replica shards (one worker
+//!   thread each), recording per-request end-to-end latency against
+//!   *scheduled* arrivals (open-loop);
+//! * [`run_serve_cell`] / [`calibrate_fifo_capacity_qps`] — one sweep cell
+//!   (offered QPS × policy × replicas → [`ServeReport`]) and the
+//!   saturation-anchor measurement the sweeps place their loads around.
+//!
+//! ```no_run
+//! use centaur::{CentaurConfig, CentaurRuntime};
+//! use centaur_dlrm::{DlrmModel, PaperModel};
+//! use centaur_serve::{generate_requests, serve_replay, BatchPolicy};
+//! use centaur_workload::{ArrivalProcess, IndexDistribution, QueryStream};
+//!
+//! let config = PaperModel::Dlrm1.config().with_rows_per_table(4096);
+//! let model = DlrmModel::random(&config, 1).unwrap();
+//! let requests = generate_requests(&config, IndexDistribution::Uniform, 1, 1000);
+//! let stream = QueryStream::generate(ArrivalProcess::Poisson { rate_qps: 50_000.0 }, 1000, 2);
+//! let pool = CentaurRuntime::replica_pool(model, CentaurConfig::harpv2(), 2).unwrap();
+//! let outcome = serve_replay(pool, &requests, &stream, BatchPolicy::dynamic_wave()).unwrap();
+//! println!(
+//!     "p99 {:.2} ms at {:.0} qps",
+//!     outcome.latency_summary().unwrap().p99_s * 1e3,
+//!     outcome.achieved_qps()
+//! );
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod harness;
+pub mod policy;
+pub mod queue;
+pub mod stage;
+
+pub use harness::{
+    calibrate_fifo_capacity_qps, generate_requests, run_serve_cell, serve_replay, Completion,
+    ServeCell, ServeOutcome, ServeReport,
+};
+pub use policy::BatchPolicy;
+pub use queue::{ArrivalQueue, QueuedRequest};
+pub use stage::ReplicaStage;

@@ -1,0 +1,85 @@
+//! Batching policies for the serving layer.
+
+use std::time::Duration;
+
+/// How queued requests are coalesced into accelerator batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchPolicy {
+    /// Batch-1 FIFO: every request runs alone, strictly in arrival order —
+    /// the baseline an un-batched deployment would serve.
+    Fifo,
+    /// Dynamic batching: a worker coalesces queued requests into one batch,
+    /// dispatching as soon as `max_batch` requests are buffered or
+    /// `max_wait` has elapsed since the batch was opened — whichever comes
+    /// first. Under saturating load the wait never triggers (the queue
+    /// always holds a full batch); under light load it bounds the latency
+    /// cost of waiting for co-riders.
+    Dynamic {
+        /// Largest coalesced batch handed to the accelerator.
+        max_batch: usize,
+        /// Longest a batch is held open waiting to fill.
+        max_wait: Duration,
+    },
+}
+
+impl BatchPolicy {
+    /// A production-shaped dynamic policy: one full accelerator wave per
+    /// batch, held open at most 1 ms.
+    pub fn dynamic_wave() -> BatchPolicy {
+        BatchPolicy::Dynamic {
+            max_batch: centaur::BATCH_WAVE_SAMPLES,
+            max_wait: Duration::from_millis(1),
+        }
+    }
+
+    /// Largest batch this policy dispatches.
+    pub fn max_batch(&self) -> usize {
+        match *self {
+            BatchPolicy::Fifo => 1,
+            BatchPolicy::Dynamic { max_batch, .. } => max_batch.max(1),
+        }
+    }
+
+    /// Longest a batch is held open waiting to fill.
+    pub fn max_wait(&self) -> Duration {
+        match *self {
+            BatchPolicy::Fifo => Duration::ZERO,
+            BatchPolicy::Dynamic { max_wait, .. } => max_wait,
+        }
+    }
+
+    /// Short label for bench/report output (`fifo`, `dynamic64`, …).
+    pub fn label(&self) -> String {
+        match *self {
+            BatchPolicy::Fifo => "fifo".to_string(),
+            BatchPolicy::Dynamic { max_batch, .. } => format!("dynamic{max_batch}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_is_batch_one_no_wait() {
+        assert_eq!(BatchPolicy::Fifo.max_batch(), 1);
+        assert_eq!(BatchPolicy::Fifo.max_wait(), Duration::ZERO);
+        assert_eq!(BatchPolicy::Fifo.label(), "fifo");
+    }
+
+    #[test]
+    fn dynamic_clamps_and_labels() {
+        let p = BatchPolicy::Dynamic {
+            max_batch: 0,
+            max_wait: Duration::from_micros(200),
+        };
+        assert_eq!(p.max_batch(), 1);
+        let wave = BatchPolicy::dynamic_wave();
+        assert_eq!(wave.max_batch(), centaur::BATCH_WAVE_SAMPLES);
+        assert_eq!(
+            wave.label(),
+            format!("dynamic{}", centaur::BATCH_WAVE_SAMPLES)
+        );
+    }
+}

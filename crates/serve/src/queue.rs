@@ -1,0 +1,195 @@
+//! The shared arrival queue between the load generator and the replica
+//! workers: requests land as they arrive and workers coalesce them into
+//! batches according to the [`BatchPolicy`].
+
+use crate::policy::BatchPolicy;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// One queued query: which pre-generated request arrived, and when it was
+/// scheduled to arrive (seconds from experiment start — the open-loop
+/// latency clock starts here, not at enqueue time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueuedRequest {
+    /// Index into the experiment's pre-generated request set.
+    pub index: usize,
+    /// Scheduled arrival offset in seconds from experiment start.
+    pub arrival_s: f64,
+}
+
+#[derive(Debug)]
+struct QueueState {
+    queue: VecDeque<QueuedRequest>,
+    closed: bool,
+}
+
+/// MPMC arrival queue (mutex + condvar; no external dependencies). The
+/// generator pushes, every replica worker pops batches; closing wakes all
+/// waiters so workers drain the tail and exit.
+#[derive(Debug)]
+pub struct ArrivalQueue {
+    state: Mutex<QueueState>,
+    nonempty: Condvar,
+}
+
+impl ArrivalQueue {
+    /// Creates an open, empty queue.
+    pub fn new() -> Self {
+        ArrivalQueue {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            nonempty: Condvar::new(),
+        }
+    }
+
+    /// Enqueues one arrived request and wakes a waiting worker.
+    pub fn push(&self, request: QueuedRequest) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        state.queue.push_back(request);
+        drop(state);
+        self.nonempty.notify_one();
+    }
+
+    /// Marks the arrival stream finished; workers drain what is left and
+    /// then observe the close.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.nonempty.notify_all();
+    }
+
+    /// Queued-but-unserved requests right now.
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("queue poisoned").queue.len()
+    }
+
+    /// Pops the next batch into `out` (cleared first): blocks for the first
+    /// request, then — for a dynamic policy — keeps the batch open until it
+    /// fills to `max_batch` or `max_wait` elapses. Returns `false` when the
+    /// queue is closed and fully drained (no batch was produced).
+    pub fn pop_batch(&self, policy: BatchPolicy, out: &mut Vec<QueuedRequest>) -> bool {
+        out.clear();
+        let max_batch = policy.max_batch();
+        let mut state = self.state.lock().expect("queue poisoned");
+        // Block until the batch can open.
+        loop {
+            if let Some(request) = state.queue.pop_front() {
+                out.push(request);
+                break;
+            }
+            if state.closed {
+                return false;
+            }
+            state = self.nonempty.wait(state).expect("queue poisoned");
+        }
+        // Fill the open batch: drain whatever is queued, then wait out the
+        // remainder of the hold-open window for co-riders.
+        let deadline = Instant::now() + policy.max_wait();
+        loop {
+            while out.len() < max_batch {
+                match state.queue.pop_front() {
+                    Some(request) => out.push(request),
+                    None => break,
+                }
+            }
+            if out.len() >= max_batch || state.closed {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (next, timeout) = self
+                .nonempty
+                .wait_timeout(state, deadline - now)
+                .expect("queue poisoned");
+            state = next;
+            if timeout.timed_out() && state.queue.is_empty() {
+                break;
+            }
+        }
+        true
+    }
+}
+
+impl Default for ArrivalQueue {
+    fn default() -> Self {
+        ArrivalQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn request(index: usize) -> QueuedRequest {
+        QueuedRequest {
+            index,
+            arrival_s: index as f64 * 0.001,
+        }
+    }
+
+    #[test]
+    fn fifo_pops_one_at_a_time_in_order() {
+        let queue = ArrivalQueue::new();
+        for i in 0..3 {
+            queue.push(request(i));
+        }
+        let mut batch = Vec::new();
+        for expected in 0..3 {
+            assert!(queue.pop_batch(BatchPolicy::Fifo, &mut batch));
+            assert_eq!(batch.len(), 1);
+            assert_eq!(batch[0].index, expected);
+        }
+        assert_eq!(queue.depth(), 0);
+    }
+
+    #[test]
+    fn dynamic_coalesces_everything_queued() {
+        let queue = ArrivalQueue::new();
+        for i in 0..5 {
+            queue.push(request(i));
+        }
+        let policy = BatchPolicy::Dynamic {
+            max_batch: 4,
+            max_wait: Duration::from_millis(50),
+        };
+        let mut batch = Vec::new();
+        assert!(queue.pop_batch(policy, &mut batch));
+        assert_eq!(batch.len(), 4, "caps at max_batch");
+        assert!(queue.pop_batch(policy, &mut batch));
+        assert_eq!(batch.len(), 1, "tail flushes after max_wait");
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let queue = ArrivalQueue::new();
+        queue.push(request(0));
+        queue.close();
+        let mut batch = Vec::new();
+        assert!(queue.pop_batch(BatchPolicy::Fifo, &mut batch));
+        assert_eq!(batch.len(), 1);
+        assert!(!queue.pop_batch(BatchPolicy::Fifo, &mut batch));
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn workers_block_until_arrivals_land() {
+        let queue = ArrivalQueue::new();
+        std::thread::scope(|scope| {
+            let worker = scope.spawn(|| {
+                let mut batch = Vec::new();
+                let served = queue.pop_batch(BatchPolicy::Fifo, &mut batch);
+                (served, batch)
+            });
+            std::thread::sleep(Duration::from_millis(10));
+            queue.push(request(9));
+            let (served, batch) = worker.join().unwrap();
+            assert!(served);
+            assert_eq!(batch[0].index, 9);
+        });
+    }
+}

@@ -103,16 +103,88 @@ impl QueryStream {
 
     /// Returns the `p`-th percentile (0.0–1.0) of a latency vector.
     ///
+    /// Nearest-rank on the sorted values: the index is
+    /// `round((len - 1) · p)`, so `p = 0` is exactly the minimum, `p = 1`
+    /// exactly the maximum, and a single-element input returns that element
+    /// for every `p` — behaviour pinned by unit tests because the serving
+    /// tail-latency results are computed through here.
+    ///
     /// # Panics
     ///
-    /// Panics if `latencies` is empty or `p` is outside `[0, 1]`.
+    /// Panics if `latencies` is empty, `p` is outside `[0, 1]`, or any
+    /// latency is NaN.
     pub fn percentile(latencies: &[f64], p: f64) -> f64 {
-        assert!(!latencies.is_empty(), "percentile of empty latency set");
-        assert!((0.0..=1.0).contains(&p), "percentile must be in [0,1]");
         let mut sorted = latencies.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        Self::percentile_sorted(&sorted, p)
+    }
+
+    /// [`QueryStream::percentile`] over an already **ascending-sorted**
+    /// slice — no copy, no re-sort; what [`LatencySummary`] uses to extract
+    /// several percentiles from one sort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sorted` is empty or `p` is outside `[0, 1]`.
+    pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+        assert!(!sorted.is_empty(), "percentile of empty latency set");
+        assert!((0.0..=1.0).contains(&p), "percentile must be in [0,1]");
+        // `(len - 1) · p` is at most `len - 1` for p ≤ 1, so the rounded
+        // index can never run past the end — p = 1.0 lands exactly on the
+        // maximum and p = 0.0 exactly on the minimum.
         let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
         sorted[idx]
+    }
+
+    /// Pairs every query with its arrival offset (seconds from stream
+    /// start), in arrival order — the open-loop **replay iterator** a load
+    /// generator walks, sleeping until each offset and then releasing the
+    /// query. Latency accounting stays tied to the *scheduled* arrival, so
+    /// a generator running late inflates measured latency instead of
+    /// silently thinning the offered load (open-loop semantics).
+    pub fn replay(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.arrivals_s.iter().copied().enumerate()
+    }
+}
+
+/// Tail-latency digest of a set of recorded per-request latencies, in
+/// seconds: the helper serving experiments use to turn raw recorded
+/// latencies into the p50/p95/p99 numbers the paper-adjacent serving
+/// studies (RecNMP, MicroRec) report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of latencies summarized.
+    pub count: usize,
+    /// Arithmetic mean, in seconds.
+    pub mean_s: f64,
+    /// Median, in seconds.
+    pub p50_s: f64,
+    /// 95th percentile, in seconds.
+    pub p95_s: f64,
+    /// 99th percentile, in seconds.
+    pub p99_s: f64,
+    /// Maximum, in seconds.
+    pub max_s: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes recorded latencies (one sort, every percentile from it).
+    /// Returns `None` for an empty set.
+    pub fn from_latencies(latencies: &[f64]) -> Option<LatencySummary> {
+        if latencies.is_empty() {
+            return None;
+        }
+        let mut sorted = latencies.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let mean_s = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Some(LatencySummary {
+            count: sorted.len(),
+            mean_s,
+            p50_s: QueryStream::percentile_sorted(&sorted, 0.50),
+            p95_s: QueryStream::percentile_sorted(&sorted, 0.95),
+            p99_s: QueryStream::percentile_sorted(&sorted, 0.99),
+            max_s: *sorted.last().expect("non-empty"),
+        })
     }
 }
 
@@ -166,6 +238,86 @@ mod tests {
         let lat = vec![1.0, 2.0, 3.0, 4.0];
         assert_eq!(QueryStream::percentile(&lat, 0.0), 1.0);
         assert_eq!(QueryStream::percentile(&lat, 1.0), 4.0);
+    }
+
+    #[test]
+    fn percentile_p0_and_p1_are_exact_extremes_regardless_of_order() {
+        // Unsorted input with duplicates: p=0 must be the true minimum and
+        // p=1 the true maximum — never an off-by-one neighbour.
+        let lat = vec![5.0, 1.0, 9.0, 1.0, 7.0, 9.0, 3.0];
+        assert_eq!(QueryStream::percentile(&lat, 0.0), 1.0);
+        assert_eq!(QueryStream::percentile(&lat, 1.0), 9.0);
+    }
+
+    #[test]
+    fn percentile_of_single_element_is_that_element_for_every_p() {
+        let lat = vec![0.125];
+        for p in [0.0, 0.01, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(QueryStream::percentile(&lat, p), 0.125);
+        }
+    }
+
+    #[test]
+    fn percentile_index_math_is_pinned() {
+        // Nearest-rank on (len-1)·p: document the exact rank selected so
+        // serving results can never drift silently. Two elements at p=0.5
+        // rounds up (0.5 → index 1); four elements at p=0.5 picks index 2.
+        assert_eq!(QueryStream::percentile(&[1.0, 2.0], 0.5), 2.0);
+        assert_eq!(QueryStream::percentile(&[1.0, 2.0, 3.0, 4.0], 0.5), 3.0);
+        // p95/p99 on 100 samples 0..100: ranks 94 and 98.
+        let lat: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert_eq!(QueryStream::percentile(&lat, 0.95), 94.0);
+        assert_eq!(QueryStream::percentile(&lat, 0.99), 98.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile of empty latency set")]
+    fn percentile_of_empty_set_panics() {
+        QueryStream::percentile(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in [0,1]")]
+    fn percentile_out_of_range_panics() {
+        // Percentages (e.g. 99 for p99) are a caller bug, not a scale.
+        QueryStream::percentile(&[1.0], 99.0);
+    }
+
+    #[test]
+    fn percentile_sorted_skips_the_copy_but_matches() {
+        let lat = vec![4.0, 1.0, 3.0, 2.0];
+        let mut sorted = lat.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for p in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(
+                QueryStream::percentile(&lat, p),
+                QueryStream::percentile_sorted(&sorted, p)
+            );
+        }
+    }
+
+    #[test]
+    fn latency_summary_digests_percentiles_and_mean() {
+        let lat: Vec<f64> = (1..=100).map(|i| i as f64 * 0.001).collect();
+        let s = LatencySummary::from_latencies(&lat).unwrap();
+        assert_eq!(s.count, 100);
+        assert!((s.mean_s - 0.0505).abs() < 1e-9);
+        assert_eq!(s.p50_s, QueryStream::percentile(&lat, 0.50));
+        assert_eq!(s.p95_s, QueryStream::percentile(&lat, 0.95));
+        assert_eq!(s.p99_s, QueryStream::percentile(&lat, 0.99));
+        assert_eq!(s.max_s, 0.1);
+        assert!(LatencySummary::from_latencies(&[]).is_none());
+    }
+
+    #[test]
+    fn replay_yields_every_arrival_in_order() {
+        let stream = QueryStream::generate(ArrivalProcess::Poisson { rate_qps: 100.0 }, 50, 11);
+        let replayed: Vec<(usize, f64)> = stream.replay().collect();
+        assert_eq!(replayed.len(), 50);
+        assert!(replayed.iter().enumerate().all(|(i, &(id, _))| id == i));
+        let offsets: Vec<f64> = replayed.iter().map(|&(_, t)| t).collect();
+        assert_eq!(offsets, stream.arrivals_seconds());
+        assert!(offsets.windows(2).all(|w| w[1] >= w[0]));
     }
 
     #[test]

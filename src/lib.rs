@@ -4,7 +4,7 @@
 //! single dependency. See the individual crates for the real APIs:
 //! [`centaur`], [`centaur_dlrm`], [`centaur_cpusim`], [`centaur_gpusim`],
 //! [`centaur_memsim`], [`centaur_workload`], [`centaur_power`],
-//! [`centaur_bench`].
+//! [`centaur_serve`], [`centaur_bench`].
 
 pub use centaur;
 pub use centaur_bench;
@@ -13,4 +13,5 @@ pub use centaur_dlrm;
 pub use centaur_gpusim;
 pub use centaur_memsim;
 pub use centaur_power;
+pub use centaur_serve;
 pub use centaur_workload;

@@ -143,6 +143,46 @@ proptest! {
         }
     }
 
+    /// The runtime's remainder-wave path: batches that are **not** a
+    /// multiple of `BATCH_WAVE_SAMPLES` leave a short final wave in
+    /// `infer_batch_into`'s gather→dense pipeline, which must stay bitwise
+    /// identical to the per-sample path — the serving layer's dynamic
+    /// batcher dispatches exactly such ragged batch sizes all the time.
+    #[test]
+    fn remainder_wave_batches_match_per_sample_path(
+        waves in 1usize..3,
+        remainder in 1usize..8,
+        dim in 1usize..9,
+        seed in 0u64..200,
+    ) {
+        let batch = waves * centaur::BATCH_WAVE_SAMPLES + remainder;
+        prop_assert!(!batch.is_multiple_of(centaur::BATCH_WAVE_SAMPLES));
+        let config = config_from(2, dim, 4, 8, 6);
+        let model = DlrmModel::random(&config, seed).expect("valid model");
+        let dense = Matrix::from_fn(batch, 4, |r, c| {
+            ((r * 7 + c * 3 + seed as usize) % 23) as f32 * 0.08 - 0.8
+        });
+        let batch_indices = indices_for(&config, batch, seed);
+
+        let mut runtime = CentaurRuntime::harpv2(model).expect("model fits on chip");
+        let batched = runtime
+            .infer_batch(&dense, &batch_indices)
+            .expect("ragged batched inference succeeds");
+        prop_assert_eq!(batched.len(), batch);
+        for (i, indices) in batch_indices.iter().enumerate() {
+            let single = runtime
+                .infer_sample(dense.row(i), indices)
+                .expect("per-sample inference succeeds");
+            prop_assert_eq!(
+                batched[i],
+                single,
+                "sample {} of ragged batch {} diverged",
+                i,
+                batch
+            );
+        }
+    }
+
     /// `forward_batch_into` reuses one warm `BatchWorkspace` across varying
     /// batch sizes without corrupting results (high-water-mark buffers must
     /// never leak stale tail data between differently-sized requests).

@@ -249,4 +249,34 @@ fn steady_state_inference_paths_do_not_allocate() {
         reduced_batch, oracle,
         "streamer diverged from scalar oracle"
     );
+
+    // --- Serving steady state: stage + batched inference --------------------
+    // The serving layer's per-replica staging (`ReplicaStage`) copies a
+    // coalesced batch of requests into batch-major buffers and runs the
+    // runtime's batched path; after warm-up the whole stage-and-serve step
+    // must not touch the heap — this is what keeps the dynamic batcher's
+    // steady state allocation-free under sustained load.
+    let requests: Vec<centaur_dlrm::InferenceRequest> = (0..batch)
+        .map(|s| centaur_dlrm::InferenceRequest {
+            id: s as u64,
+            dense: batch_dense.row(s).to_vec(),
+            sparse: batch_sparse[s].clone(),
+        })
+        .collect();
+    let staged: Vec<&centaur_dlrm::InferenceRequest> = requests.iter().collect();
+    let mut serve_stage = centaur_serve::ReplicaStage::new(&config, batch);
+    let warm_served = serve_stage
+        .run_batch(&mut runtime, &staged)
+        .unwrap()
+        .to_vec();
+    assert_eq!(warm_served, warm_batch, "staged batch diverged");
+    let allocs = allocations_during(|| {
+        for _ in 0..10 {
+            serve_stage.run_batch(&mut runtime, &staged).unwrap();
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "serving stage + batched inference allocated in steady state"
+    );
 }
