@@ -54,9 +54,11 @@ fn main() {
             "Replicas",
             "Achieved qps",
             "Mean batch",
+            "mean ms",
             "p50 ms",
             "p95 ms",
             "p99 ms",
+            "p99.9 ms",
         ],
     );
     for r in &reports {
@@ -66,9 +68,11 @@ fn main() {
             r.replicas.to_string(),
             format!("{:.0}", r.achieved_qps),
             format!("{:.2}", r.mean_batch),
+            format!("{:.3}", r.latency.mean_s * 1e3),
             format!("{:.3}", r.latency.p50_s * 1e3),
             format!("{:.3}", r.latency.p95_s * 1e3),
             format!("{:.3}", r.latency.p99_s * 1e3),
+            format!("{:.3}", r.latency.p999_s * 1e3),
         ]);
     }
     table.print();

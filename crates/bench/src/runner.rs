@@ -573,7 +573,8 @@ impl ExperimentRunner {
     /// Renders serving measurements as the machine-readable
     /// `BENCH_serve.json` document tracked for the performance trajectory:
     /// one point per `offered QPS × policy × replicas` cell with achieved
-    /// throughput, mean coalesced batch and the p50/p95/p99 tail.
+    /// throughput, mean coalesced batch and the full latency digest
+    /// (mean, p50/p95/p99/p99.9, max).
     pub fn bench_serve_json(
         model_name: &str,
         fifo_capacity_qps: f64,
@@ -588,16 +589,19 @@ impl ExperimentRunner {
             json.push_str(&format!(
                 "    {{\"offered_qps\": {:.0}, \"policy\": \"{}\", \"replicas\": {}, \
                  \"completed\": {}, \"achieved_qps\": {:.1}, \"mean_batch\": {:.2}, \
-                 \"p50_s\": {:.6}, \"p95_s\": {:.6}, \"p99_s\": {:.6}, \"max_s\": {:.6}}}{}\n",
+                 \"mean_s\": {:.6}, \"p50_s\": {:.6}, \"p95_s\": {:.6}, \"p99_s\": {:.6}, \
+                 \"p999_s\": {:.6}, \"max_s\": {:.6}}}{}\n",
                 r.offered_qps,
                 r.policy,
                 r.replicas,
                 r.completed,
                 r.achieved_qps,
                 r.mean_batch,
+                r.latency.mean_s,
                 r.latency.p50_s,
                 r.latency.p95_s,
                 r.latency.p99_s,
+                r.latency.p999_s,
                 r.latency.max_s,
                 if i + 1 < reports.len() { "," } else { "" }
             ));
@@ -838,6 +842,9 @@ mod tests {
         assert!(json.contains("\"policy\": \"dynamic8\""));
         assert!(json.contains("\"fifo_capacity_qps\""));
         assert_eq!(json.matches("\"p99_s\":").count(), 4);
+        // The deep-tail and mean columns ride along in every point.
+        assert_eq!(json.matches("\"p999_s\":").count(), 4);
+        assert_eq!(json.matches("\"mean_s\":").count(), 4);
     }
 
     #[test]

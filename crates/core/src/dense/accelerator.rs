@@ -125,7 +125,10 @@ impl DenseAccelerator {
     }
 
     /// Uploads a model's MLP weights into `SRAM_MLPmodel` (done once at
-    /// boot; the weights persist across requests).
+    /// boot; the weights persist across requests), accounting the row-major
+    /// footprint from the configuration alone. Prefer
+    /// [`DenseAccelerator::load_model_packed`] when the instantiated model
+    /// is at hand: it accounts the panel layout actually served from.
     ///
     /// # Errors
     ///
@@ -134,6 +137,27 @@ impl DenseAccelerator {
     pub fn load_model(&mut self, config: &ModelConfig) -> Result<(), CentaurError> {
         self.weight_sram.clear();
         self.weight_sram.store(config.mlp_bytes())?;
+        self.weights_loaded = true;
+        Ok(())
+    }
+
+    /// Uploads an instantiated model's MLP weights in their **prepacked
+    /// panel layout** — the resident form the prepacked GEMM path serves
+    /// from, measured from the actual [`PrepackedWeights`] stores rather
+    /// than derived from the configuration. Packing is a permutation, so
+    /// the accounted bytes equal [`ModelConfig::mlp_bytes`] exactly; the
+    /// point is that the SRAM model now tracks the representation the
+    /// kernels really read.
+    ///
+    /// [`PrepackedWeights`]: centaur_dlrm::kernel::PrepackedWeights
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CentaurError::CapacityExceeded`] when the packed panels do
+    /// not fit on chip.
+    pub fn load_model_packed(&mut self, model: &DlrmModel) -> Result<(), CentaurError> {
+        self.weight_sram.clear();
+        self.weight_sram.store(model.mlp_packed_bytes() as u64)?;
         self.weights_loaded = true;
         Ok(())
     }
@@ -643,6 +667,26 @@ mod tests {
             acc.forward_sample(&model, &dense, &reduced),
             Err(CentaurError::NotInitialised(_))
         ));
+    }
+
+    #[test]
+    fn packed_weight_load_accounts_resident_panels() {
+        let model = tiny_model();
+        let mut acc = DenseAccelerator::harpv2();
+        acc.load_model_packed(&model).unwrap();
+        assert!(acc.weights_loaded());
+        // The panel-resident layout is a permutation of the row-major
+        // weights: the SRAM accounting must match the Table-I footprint
+        // bit for bit, measured from the actual PrepackedWeights stores.
+        assert_eq!(
+            acc.weight_sram().used_bytes(),
+            model.mlp_packed_bytes() as u64
+        );
+        assert_eq!(
+            acc.weight_sram().used_bytes(),
+            model.config().mlp_bytes(),
+            "prepacking must not inflate the on-chip weight footprint"
+        );
     }
 
     #[test]

@@ -83,7 +83,9 @@ impl CentaurRuntime {
         bpregs.mmio_write(BasePointer::Output, 0x0B00_0000)?;
 
         let mut dense = DenseAccelerator::harpv2();
-        dense.load_model(model.config())?;
+        // Upload the MLP weights in the prepacked panel layout — the
+        // resident form the default prepacked GEMM path serves from.
+        dense.load_model_packed(&model)?;
 
         let reduced = Matrix::zeros(model.config().num_tables, model.config().embedding_dim);
         Ok(CentaurRuntime {

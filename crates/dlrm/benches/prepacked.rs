@@ -1,0 +1,117 @@
+//! Criterion comparison of prepacked-panel GEMM against the
+//! on-the-fly-packing blocked kernel, at the shapes where the per-call
+//! `O(k·n)` pack actually matters: `m = 1` single-sample serving and the
+//! small coalesced batches a dynamic batcher dispatches under light load.
+//! At `m = 1` the pack is the same order of work as the multiply itself —
+//! prepacking once at load is where the batch-1 win comes from; at large
+//! `m` the pack amortizes and the two paths converge.
+
+use centaur_dlrm::kernel::{self, FusedAct, KernelBackend, PrepackedWeights, Workspace};
+use centaur_dlrm::{Activation, DenseLayer, Matrix};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn inputs(m: usize, k: usize, n: usize) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let a = (0..m * k)
+        .map(|i| ((i * 31) % 17) as f32 * 0.125 - 1.0)
+        .collect();
+    let b = (0..k * n)
+        .map(|i| ((i * 7) % 13) as f32 * 0.25 - 1.5)
+        .collect();
+    (a, b, vec![0.0; m * n])
+}
+
+fn bench_prepacked_vs_packing(c: &mut Criterion) {
+    // m = 1 serving, m = 4/16 small dynamic batches, m = 256 (pack
+    // amortized — the convergence point), on a paper-sized 512×512 layer.
+    for &(m, k, n) in &[
+        (1usize, 512usize, 512usize),
+        (4, 512, 512),
+        (16, 512, 512),
+        (256, 512, 512),
+    ] {
+        let (a, b, mut out) = inputs(m, k, n);
+        let mut ws = Workspace::new();
+        c.bench_function(&format!("gemm_packing_{m}x{k}x{n}"), |bench| {
+            bench.iter(|| {
+                kernel::gemm_into(
+                    KernelBackend::Blocked,
+                    black_box(&a),
+                    black_box(&b),
+                    &mut out,
+                    m,
+                    k,
+                    n,
+                    &mut ws,
+                )
+            })
+        });
+        let packed = PrepackedWeights::pack(&b, k, n);
+        c.bench_function(&format!("gemm_prepacked_{m}x{k}x{n}"), |bench| {
+            bench.iter(|| {
+                kernel::gemm_prepacked(
+                    KernelBackend::Blocked,
+                    black_box(&a),
+                    black_box(&packed),
+                    &mut out,
+                    m,
+                )
+            })
+        });
+    }
+}
+
+fn bench_prepacked_fused_layer(c: &mut Criterion) {
+    // The fused bias+activation epilogue variants, through a real
+    // DenseLayer at the batch-1 serving shape.
+    let (m, k, n) = (1usize, 512usize, 256usize);
+    let (a, b, mut out) = inputs(m, k, n);
+    let bias: Vec<f32> = (0..n).map(|j| j as f32 * 0.01 - 1.0).collect();
+    let mut pack = Vec::new();
+    c.bench_function("gemm_bias_relu_packing_1x512x256", |bench| {
+        bench.iter(|| {
+            kernel::gemm_bias_act_into(
+                KernelBackend::Blocked,
+                black_box(&a),
+                black_box(&b),
+                Some(&bias),
+                FusedAct::Relu,
+                &mut out,
+                m,
+                k,
+                n,
+                &mut pack,
+            )
+        })
+    });
+    let packed = PrepackedWeights::pack(&b, k, n);
+    c.bench_function("gemm_bias_relu_prepacked_1x512x256", |bench| {
+        bench.iter(|| {
+            kernel::gemm_bias_act_prepacked(
+                KernelBackend::BlockedPrepacked,
+                black_box(&a),
+                black_box(&packed),
+                Some(&bias),
+                FusedAct::Relu,
+                &mut out,
+                m,
+            )
+        })
+    });
+
+    let layer = DenseLayer::random(k, n, Activation::Relu, 7);
+    let x = Matrix::from_vec(m, k, a).unwrap();
+    for backend in [KernelBackend::Blocked, KernelBackend::BlockedPrepacked] {
+        c.bench_function(
+            &format!("dense_layer_{}_1x512x256", backend.label()),
+            |bench| bench.iter(|| layer.forward_with(backend, black_box(&x)).unwrap()),
+        );
+    }
+}
+
+criterion_group!(
+    prepacked,
+    bench_prepacked_vs_packing,
+    bench_prepacked_fused_layer
+);
+criterion_main!(prepacked);

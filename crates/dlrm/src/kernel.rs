@@ -10,7 +10,7 @@
 //! - [`KernelBackend::Naive`] — the textbook `ijk` triple loop. Slow by
 //!   design; kept as the correctness oracle every optimized backend is
 //!   property-tested against.
-//! - [`KernelBackend::Blocked`] — the default single-threaded kernel:
+//! - [`KernelBackend::Blocked`] — the single-threaded blocked kernel:
 //!   `B` is packed block-by-block into contiguous panels, and a 4-row
 //!   microkernel accumulates into output rows that stay resident in L1.
 //! - [`KernelBackend::BlockedParallel`] — the blocked kernel with the
@@ -18,18 +18,27 @@
 //!   external dependency). Only available with the `parallel` feature
 //!   (enabled by default); falls back to [`KernelBackend::Blocked`] for
 //!   small problems where threads would cost more than they save.
+//! - [`KernelBackend::BlockedPrepacked`] — the default: identical blocked
+//!   microkernels (including the band split), but paths that hold a
+//!   resident [`PrepackedWeights`] — every `DenseLayer` — feed them
+//!   straight from panels packed **once at load**, skipping the per-call
+//!   `O(k·n)` pack loop that dominates `m = 1` and small serving batches.
+//!   On generic GEMMs with no resident operand it packs on the fly like
+//!   `BlockedParallel`.
 //!
-//! `Blocked` and `BlockedParallel` produce **bitwise-identical** results:
-//! row-band parallelism never changes the floating-point accumulation order
-//! within a row. `Naive` differs only by float-summation order, within
-//! `1e-4` relative tolerance on well-conditioned inputs.
+//! `Blocked`, `BlockedParallel` and `BlockedPrepacked` produce
+//! **bitwise-identical** results: row-band parallelism never changes the
+//! floating-point accumulation order within a row, and prepacking only
+//! moves *when* the panels are laid out, not what the microkernels read.
+//! `Naive` differs only by float-summation order, within `1e-4` relative
+//! tolerance on well-conditioned inputs.
 //!
 //! Steady-state inference performs **zero heap allocations** when driven
 //! through a [`Workspace`]: all intermediates (MLP ping/pong buffers, packed
 //! `B` panels, interaction features) live in buffers that grow to a
 //! high-water mark and are reused across calls.
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::OnceLock;
 
 /// Rows processed together by the GEMM microkernel.
@@ -94,15 +103,21 @@ pub enum KernelBackend {
     Blocked,
     /// Blocked kernel with row-parallel execution across threads.
     BlockedParallel,
+    /// The blocked kernel fed from weights packed **once at load**
+    /// ([`PrepackedWeights`]) wherever a resident operand exists; generic
+    /// GEMMs fall back to the on-the-fly-packing parallel kernel. Bitwise
+    /// identical to `Blocked`/`BlockedParallel`.
+    BlockedPrepacked,
 }
 
 impl KernelBackend {
     /// Every available backend, for equivalence sweeps in tests/benches.
-    pub fn all() -> [KernelBackend; 3] {
+    pub fn all() -> [KernelBackend; 4] {
         [
             KernelBackend::Naive,
             KernelBackend::Blocked,
             KernelBackend::BlockedParallel,
+            KernelBackend::BlockedPrepacked,
         ]
     }
 
@@ -112,6 +127,7 @@ impl KernelBackend {
             KernelBackend::Naive => "naive",
             KernelBackend::Blocked => "blocked",
             KernelBackend::BlockedParallel => "blocked-parallel",
+            KernelBackend::BlockedPrepacked => "blocked-prepacked",
         }
     }
 }
@@ -124,12 +140,14 @@ pub fn parse_kernel_backend(value: &str) -> Option<KernelBackend> {
         "naive" => Some(KernelBackend::Naive),
         "blocked" => Some(KernelBackend::Blocked),
         "parallel" | "blocked-parallel" => Some(KernelBackend::BlockedParallel),
+        "prepacked" | "blocked-prepacked" => Some(KernelBackend::BlockedPrepacked),
         _ => None,
     }
 }
 
 /// Accepted `CENTAUR_KERNEL_BACKEND` values, for error messages.
-pub const KERNEL_BACKEND_VALUES: &str = "naive | blocked | parallel | blocked-parallel";
+pub const KERNEL_BACKEND_VALUES: &str =
+    "naive | blocked | parallel | blocked-parallel | prepacked | blocked-prepacked";
 
 /// Parses a `CENTAUR_SPARSE_BACKEND` value. Returns `None` for anything
 /// outside the accepted set (see [`SPARSE_BACKEND_VALUES`]).
@@ -145,12 +163,24 @@ pub fn parse_sparse_backend(value: &str) -> Option<SparseBackend> {
 /// Accepted `CENTAUR_SPARSE_BACKEND` values, for error messages.
 pub const SPARSE_BACKEND_VALUES: &str = "scalar | vectorized | parallel | vectorized-parallel";
 
+/// Parses a `CENTAUR_NUM_THREADS` value. Returns `None` for anything that
+/// is not a positive integer (see [`NUM_THREADS_VALUES`]) so callers can
+/// warn instead of silently falling back — same contract as
+/// [`parse_kernel_backend`].
+pub fn parse_num_threads(value: &str) -> Option<usize> {
+    value.parse::<usize>().ok().filter(|&threads| threads > 0)
+}
+
+/// Accepted `CENTAUR_NUM_THREADS` values, for error messages.
+pub const NUM_THREADS_VALUES: &str = "a positive integer (e.g. 1, 2, 8)";
+
 /// Process-wide default backend, encoded for the atomic.
 fn encode(backend: KernelBackend) -> u8 {
     match backend {
         KernelBackend::Naive => 0,
         KernelBackend::Blocked => 1,
         KernelBackend::BlockedParallel => 2,
+        KernelBackend::BlockedPrepacked => 3,
     }
 }
 
@@ -158,7 +188,8 @@ fn decode(value: u8) -> KernelBackend {
     match value {
         0 => KernelBackend::Naive,
         1 => KernelBackend::Blocked,
-        _ => KernelBackend::BlockedParallel,
+        2 => KernelBackend::BlockedParallel,
+        _ => KernelBackend::BlockedPrepacked,
     }
 }
 
@@ -166,11 +197,11 @@ static GLOBAL_BACKEND: AtomicU8 = AtomicU8::new(u8::MAX);
 static ENV_BACKEND: OnceLock<KernelBackend> = OnceLock::new();
 
 fn builtin_default() -> KernelBackend {
-    if cfg!(feature = "parallel") {
-        KernelBackend::BlockedParallel
-    } else {
-        KernelBackend::Blocked
-    }
+    // Prepacked is strictly the fastest correct choice: resident weights
+    // skip the per-call pack, generic GEMMs behave exactly like the
+    // (feature-gated) parallel blocked kernel, and results stay bitwise
+    // identical to `Blocked` either way.
+    KernelBackend::BlockedPrepacked
 }
 
 /// The process-wide default backend used by [`Matrix::matmul`] and the
@@ -178,8 +209,7 @@ fn builtin_default() -> KernelBackend {
 ///
 /// Resolution order: the last [`set_global_backend`] call, else the
 /// `CENTAUR_KERNEL_BACKEND` environment variable (`naive` | `blocked` |
-/// `parallel`), else `BlockedParallel` when the `parallel` feature is on and
-/// `Blocked` otherwise.
+/// `parallel` | `prepacked`), else `BlockedPrepacked`.
 ///
 /// [`Matrix::matmul`]: crate::tensor::Matrix::matmul
 pub fn global_backend() -> KernelBackend {
@@ -495,7 +525,13 @@ pub fn gemm_bias_act_into(
     match backend {
         KernelBackend::Naive => gemm_naive(a, b, out, m, k, n),
         KernelBackend::Blocked => gemm_blocked(a, b, out, m, k, n, pack),
-        KernelBackend::BlockedParallel => gemm_parallel(a, b, out, m, k, n, pack),
+        // A generic GEMM has no resident operand to prepack, so the
+        // prepacked backend packs on the fly like the parallel kernel
+        // (bitwise identical either way). Resident-weight callers use
+        // [`gemm_bias_act_prepacked`] instead.
+        KernelBackend::BlockedParallel | KernelBackend::BlockedPrepacked => {
+            gemm_parallel(a, b, out, m, k, n, pack)
+        }
     }
     epilogue(out, bias, act, m, n);
 }
@@ -561,21 +597,40 @@ fn gemm_blocked(
                 pack[kk * nc..kk * nc + nc].copy_from_slice(src);
             }
             let packed = &pack[..kcb * nc];
-
-            let mut i = 0;
-            while i + MR_WIDE <= m {
-                microkernel_8(a, packed, out, i, kc, kcb, jc, nc, k, n);
-                i += MR_WIDE;
-            }
-            while i + MR <= m {
-                microkernel_4(a, packed, out, i, kc, kcb, jc, nc, k, n);
-                i += MR;
-            }
-            while i < m {
-                microkernel_1(a, packed, out, i, kc, kcb, jc, nc, k, n);
-                i += 1;
-            }
+            microkernel_sweep(a, packed, out, m, kc, kcb, jc, nc, k, n);
         }
+    }
+}
+
+/// Runs the 8/4/1-row microkernels over every output row against one packed
+/// `B` panel — the row loop shared by the on-the-fly-packing and prepacked
+/// blocked kernels (the panel *source* is the only thing that differs).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn microkernel_sweep(
+    a: &[f32],
+    packed: &[f32],
+    out: &mut [f32],
+    m: usize,
+    kc: usize,
+    kcb: usize,
+    jc: usize,
+    nc: usize,
+    k: usize,
+    n: usize,
+) {
+    let mut i = 0;
+    while i + MR_WIDE <= m {
+        microkernel_8(a, packed, out, i, kc, kcb, jc, nc, k, n);
+        i += MR_WIDE;
+    }
+    while i + MR <= m {
+        microkernel_4(a, packed, out, i, kc, kcb, jc, nc, k, n);
+        i += MR;
+    }
+    while i < m {
+        microkernel_1(a, packed, out, i, kc, kcb, jc, nc, k, n);
+        i += 1;
     }
 }
 
@@ -769,16 +824,90 @@ fn microkernel_1(
     }
 }
 
-/// Row-parallel blocked GEMM: output rows are split into per-thread bands
-/// and each band runs the single-threaded blocked kernel independently
-/// (bitwise-identical results to [`KernelBackend::Blocked`]).
-/// Hardware thread count, resolved once: `available_parallelism` reads
-/// cgroup/affinity state from the kernel on every call (~10 µs in a
-/// container), which used to dominate small GEMMs on the parallel backend.
+/// Worker thread count the parallel band splits plan with, resolved once:
+/// `available_parallelism` reads cgroup/affinity state from the kernel on
+/// every call (~10 µs in a container), which used to dominate small GEMMs
+/// on the parallel backend.
+///
+/// `CENTAUR_NUM_THREADS` overrides the detected value — the band paths of
+/// `BlockedParallel`/`VectorizedParallel` degenerate on a single-core CI
+/// container, so forcing a count > 1 is the only way to exercise them
+/// there (and capping below the hardware count bounds a serving host's
+/// kernel threads). Invalid values warn once (one-time by construction:
+/// the `OnceLock` runs the closure once) and fall back to the detected
+/// parallelism, same contract as [`parse_kernel_backend`].
 #[cfg(feature = "parallel")]
 pub(crate) fn hardware_threads() -> usize {
     static THREADS: OnceLock<usize> = OnceLock::new();
-    *THREADS.get_or_init(|| std::thread::available_parallelism().map_or(1, |t| t.get()))
+    *THREADS.get_or_init(|| {
+        let detected = || std::thread::available_parallelism().map_or(1, |t| t.get());
+        match std::env::var("CENTAUR_NUM_THREADS") {
+            Ok(value) => parse_num_threads(&value).unwrap_or_else(|| {
+                eprintln!(
+                    "warning: invalid CENTAUR_NUM_THREADS value {value:?}, \
+                     expected {NUM_THREADS_VALUES}; \
+                     using the detected hardware parallelism"
+                );
+                detected()
+            }),
+            Err(_) => detected(),
+        }
+    })
+}
+
+/// Row-parallel blocked GEMM: output rows are split into per-thread bands
+/// and each band runs the single-threaded blocked kernel independently
+/// (bitwise-identical results to [`KernelBackend::Blocked`]).
+/// Plans the row-band split shared by the on-the-fly-packing and prepacked
+/// parallel kernels: returns the band height in rows, or `None` when the
+/// problem should stay on the single-threaded kernel.
+///
+/// Cheap size gate first: small problems must not even pay for the
+/// (cached) thread-count lookup, let alone a spawn. One band per
+/// MR_WIDE-multiple of rows (band heights are rounded to the wide
+/// microkernel, so planning with a finer granularity would promise more
+/// bands than can actually spawn), at most one per worker thread. Band
+/// height rounds to a multiple of MR_WIDE so every full band still runs
+/// the 8×16 register-tiled kernel (a multiple of MR would hand 4-row bands
+/// to the slower kernel on many-core hosts) and only the last band hits
+/// the narrow edge paths. Per-element accumulation order is identical in
+/// every microkernel, so banding stays bitwise-neutral.
+#[cfg(feature = "parallel")]
+fn parallel_band_rows(m: usize, k: usize, n: usize) -> Option<usize> {
+    if 2 * m * n * k < PARALLEL_FLOP_THRESHOLD {
+        return None;
+    }
+    let max_bands = m.div_ceil(MR_WIDE);
+    let bands = hardware_threads().min(max_bands);
+    if bands <= 1 {
+        return None;
+    }
+    Some(m.div_ceil(bands).div_ceil(MR_WIDE) * MR_WIDE)
+}
+
+/// Runs `band_kernel(a_band, out_band, rows)` for every `band_rows`-high
+/// row band on its own scoped thread — the spawn loop shared by the
+/// packing and prepacked parallel kernels.
+#[cfg(feature = "parallel")]
+fn spawn_row_bands<F>(
+    a: &[f32],
+    out: &mut [f32],
+    k: usize,
+    n: usize,
+    band_rows: usize,
+    band_kernel: F,
+) where
+    F: Fn(&[f32], &mut [f32], usize) + Sync,
+{
+    std::thread::scope(|scope| {
+        for (band, out_band) in out.chunks_mut(band_rows * n).enumerate() {
+            let row0 = band * band_rows;
+            let rows = out_band.len() / n;
+            let a_band = &a[row0 * k..(row0 + rows) * k];
+            let band_kernel = &band_kernel;
+            scope.spawn(move || band_kernel(a_band, out_band, rows));
+        }
+    });
 }
 
 #[cfg(feature = "parallel")]
@@ -791,36 +920,12 @@ fn gemm_parallel(
     n: usize,
     pack: &mut Vec<f32>,
 ) {
-    // Cheap size gate first: small problems must not even pay for the
-    // (cached) thread-count lookup, let alone a spawn.
-    if 2 * m * n * k < PARALLEL_FLOP_THRESHOLD {
+    let Some(band_rows) = parallel_band_rows(m, k, n) else {
         return gemm_blocked(a, b, out, m, k, n, pack);
-    }
-    // One band per MR_WIDE-multiple of rows (band heights are rounded to
-    // the wide microkernel below, so planning with a finer granularity
-    // would promise more bands than can actually spawn), at most one per
-    // hardware thread.
-    let max_bands = m.div_ceil(MR_WIDE);
-    let bands = hardware_threads().min(max_bands);
-    if bands <= 1 {
-        return gemm_blocked(a, b, out, m, k, n, pack);
-    }
-    // Round band height to a multiple of MR_WIDE so every full band still
-    // runs the 8×16 register-tiled kernel (a multiple of MR would hand
-    // 4-row bands to the slower kernel on many-core hosts) and only the
-    // last band hits the narrow edge paths. Per-element accumulation order
-    // is identical in every microkernel, so banding stays bitwise-neutral.
-    let band_rows = m.div_ceil(bands).div_ceil(MR_WIDE) * MR_WIDE;
-    std::thread::scope(|scope| {
-        for (band, out_band) in out.chunks_mut(band_rows * n).enumerate() {
-            let row0 = band * band_rows;
-            let rows = out_band.len() / n;
-            let a_band = &a[row0 * k..(row0 + rows) * k];
-            scope.spawn(move || {
-                let mut pack = Vec::new();
-                gemm_blocked(a_band, b, out_band, rows, k, n, &mut pack);
-            });
-        }
+    };
+    spawn_row_bands(a, out, k, n, band_rows, |a_band, out_band, rows| {
+        let mut pack = Vec::new();
+        gemm_blocked(a_band, b, out_band, rows, k, n, &mut pack);
     });
 }
 
@@ -837,6 +942,216 @@ fn gemm_parallel(
     pack: &mut Vec<f32>,
 ) {
     gemm_blocked(a, b, out, m, k, n, pack)
+}
+
+// ---------------------------------------------------------------------------
+// Prepacked resident weights
+// ---------------------------------------------------------------------------
+
+/// How many [`PrepackedWeights::pack`] runs have executed process-wide.
+///
+/// Diagnostics for the pack-once contract: tests assert the counter rises
+/// exactly once per dense layer at model load and stays flat across
+/// steady-state serving (cloning a packed layer copies the panels without
+/// re-packing).
+static PREPACK_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of [`PrepackedWeights::pack`] executions (see
+/// [`PREPACK_EVENTS`]).
+pub fn prepack_events() -> u64 {
+    PREPACK_EVENTS.load(Ordering::Relaxed)
+}
+
+/// A weight matrix `B` (`[k, n]` row-major) packed **once** into the exact
+/// `KC × NC` panel sequence [`gemm_blocked`] writes into its workspace on
+/// every call — including the remainder panels at the `k`/`n` edges — so
+/// the 8/4/1-row microkernels can stream it directly with no per-call pack
+/// loop.
+///
+/// At `m = 1` the `O(k·n)` pack is the same order of work as the
+/// `O(m·k·n)` multiply itself, which is why a resident prepack is the
+/// production move for serving: the dense accelerator holds MLP weights
+/// next to the compute units, and the software path should too.
+///
+/// Panels are concatenated `jc`-major (`n` blocks) then `kc` (`k` blocks),
+/// exactly the blocked kernel's loop order, so the panel for block
+/// `(jc, kc)` starts at `k·jc + kc·nc` — a closed form, no directory
+/// needed. The total element count is exactly `k·n` (packing is a
+/// permutation; nothing is padded), so the resident footprint equals the
+/// row-major matrix it mirrors.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PrepackedWeights {
+    k: usize,
+    n: usize,
+    /// Concatenated `KC × NC` panels in `(jc outer, kc inner)` order.
+    panels: Vec<f32>,
+}
+
+impl PrepackedWeights {
+    /// Packs a row-major `[k, n]` matrix into resident panels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != k * n`.
+    pub fn pack(b: &[f32], k: usize, n: usize) -> Self {
+        assert_eq!(b.len(), k * n, "B length must be k*n");
+        let mut panels = Vec::with_capacity(k * n);
+        for jc in (0..n).step_by(NC) {
+            let nc = NC.min(n - jc);
+            for kc in (0..k).step_by(KC) {
+                let kcb = KC.min(k - kc);
+                for kk in 0..kcb {
+                    let row = (kc + kk) * n + jc;
+                    panels.extend_from_slice(&b[row..row + nc]);
+                }
+            }
+        }
+        PREPACK_EVENTS.fetch_add(1, Ordering::Relaxed);
+        PrepackedWeights { k, n, panels }
+    }
+
+    /// Inner (`k`) dimension of the packed matrix.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output (`n`) dimension of the packed matrix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Resident footprint of the panels in bytes (exactly the row-major
+    /// matrix's size — packing is a permutation, not an expansion).
+    pub fn size_bytes(&self) -> usize {
+        self.panels.len() * std::mem::size_of::<f32>()
+    }
+
+    /// The stored panel for block `(jc, kc)`: `kcb` rows of `nc` floats.
+    #[inline]
+    fn panel(&self, jc: usize, kc: usize, kcb: usize, nc: usize) -> &[f32] {
+        let start = self.k * jc + kc * nc;
+        &self.panels[start..start + kcb * nc]
+    }
+}
+
+/// `out = a · packed` from resident panels: [`gemm`] with the per-call pack
+/// loop already paid at load time. Bitwise identical to the
+/// on-the-fly-packing path of the same backend (`Naive` walks the panels in
+/// the oracle's exact accumulation order; the blocked backends feed the
+/// same microkernels the workspace pack would).
+///
+/// # Panics
+///
+/// Panics if `a.len() != m * packed.k()` or `out.len() != m * packed.n()`.
+pub fn gemm_prepacked(
+    backend: KernelBackend,
+    a: &[f32],
+    packed: &PrepackedWeights,
+    out: &mut [f32],
+    m: usize,
+) {
+    gemm_bias_act_prepacked(backend, a, packed, None, FusedAct::Identity, out, m);
+}
+
+/// Fused `out = act(a · packed + bias)` from resident panels — the
+/// prepacked counterpart of [`gemm_bias_act_into`], and the kernel every
+/// `DenseLayer` forward pass runs on the prepacked backend. No packing
+/// scratch is touched (or needed): steady state is zero-alloc with no
+/// workspace pack buffer at all.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with its shape.
+pub fn gemm_bias_act_prepacked(
+    backend: KernelBackend,
+    a: &[f32],
+    packed: &PrepackedWeights,
+    bias: Option<&[f32]>,
+    act: FusedAct,
+    out: &mut [f32],
+    m: usize,
+) {
+    let (k, n) = (packed.k, packed.n);
+    assert_eq!(a.len(), m * k, "A length must be m*k");
+    assert_eq!(out.len(), m * n, "out length must be m*n");
+    if let Some(bias) = bias {
+        assert_eq!(bias.len(), n, "bias length must be n");
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    match backend {
+        KernelBackend::Naive => gemm_naive_prepacked(a, packed, out, m),
+        KernelBackend::Blocked => gemm_blocked_prepacked(a, packed, out, m),
+        KernelBackend::BlockedParallel | KernelBackend::BlockedPrepacked => {
+            gemm_parallel_prepacked(a, packed, out, m)
+        }
+    }
+    epilogue(out, bias, act, m, n);
+}
+
+/// The oracle over resident panels: per output element the products
+/// accumulate in ascending `k` order across the `kc` panels — exactly
+/// [`gemm_naive`]'s order, so results are bitwise identical to it.
+fn gemm_naive_prepacked(a: &[f32], pw: &PrepackedWeights, out: &mut [f32], m: usize) {
+    let (k, n) = (pw.k, pw.n);
+    for i in 0..m {
+        for jc in (0..n).step_by(NC) {
+            let nc = NC.min(n - jc);
+            for j in 0..nc {
+                let mut acc = 0.0f32;
+                for kc in (0..k).step_by(KC) {
+                    let kcb = KC.min(k - kc);
+                    let panel = pw.panel(jc, kc, kcb, nc);
+                    for kk in 0..kcb {
+                        acc += a[i * k + kc + kk] * panel[kk * nc + j];
+                    }
+                }
+                out[i * n + jc + j] = acc;
+            }
+        }
+    }
+}
+
+/// [`gemm_blocked`] reading each `KC × NC` panel from the resident store
+/// instead of packing it first — the microkernel sweep is byte-for-byte the
+/// same code, so results are bitwise identical.
+fn gemm_blocked_prepacked(a: &[f32], pw: &PrepackedWeights, out: &mut [f32], m: usize) {
+    let (k, n) = (pw.k, pw.n);
+    out.fill(0.0);
+    if k == 0 {
+        return;
+    }
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for kc in (0..k).step_by(KC) {
+            let kcb = KC.min(k - kc);
+            let packed = pw.panel(jc, kc, kcb, nc);
+            microkernel_sweep(a, packed, out, m, kc, kcb, jc, nc, k, n);
+        }
+    }
+}
+
+/// Row-parallel prepacked GEMM: the same band split as [`gemm_parallel`]
+/// (shared [`parallel_band_rows`] plan + [`spawn_row_bands`] loop), but
+/// every band reads the shared resident panels — no per-thread pack buffer
+/// exists at all.
+#[cfg(feature = "parallel")]
+fn gemm_parallel_prepacked(a: &[f32], pw: &PrepackedWeights, out: &mut [f32], m: usize) {
+    let (k, n) = (pw.k, pw.n);
+    let Some(band_rows) = parallel_band_rows(m, k, n) else {
+        return gemm_blocked_prepacked(a, pw, out, m);
+    };
+    spawn_row_bands(a, out, k, n, band_rows, |a_band, out_band, rows| {
+        gemm_blocked_prepacked(a_band, pw, out_band, rows)
+    });
+}
+
+/// Without the `parallel` feature the prepacked band path degrades to the
+/// single-threaded prepacked kernel.
+#[cfg(not(feature = "parallel"))]
+fn gemm_parallel_prepacked(a: &[f32], pw: &PrepackedWeights, out: &mut [f32], m: usize) {
+    gemm_blocked_prepacked(a, pw, out, m)
 }
 
 // ---------------------------------------------------------------------------
@@ -1261,9 +1576,71 @@ mod tests {
     #[test]
     fn backend_labels_and_global_default() {
         assert_eq!(KernelBackend::Naive.label(), "naive");
-        assert_eq!(KernelBackend::all().len(), 3);
+        assert_eq!(KernelBackend::BlockedPrepacked.label(), "blocked-prepacked");
+        assert_eq!(KernelBackend::all().len(), 4);
         // The global default must be one of the optimized backends.
         assert_ne!(global_backend(), KernelBackend::Naive);
+    }
+
+    #[test]
+    fn prepacked_gemm_is_bitwise_identical_to_packing_path() {
+        // Shapes straddling the KC=256/NC=512 block boundaries and hitting
+        // the 8-, 4- and 1-row microkernel tails.
+        for &(m, k, n) in &[
+            (1, 7, 5),
+            (1, 300, 17),
+            (4, 257, 16),
+            (8, 64, 33),
+            (13, 513, 30),
+            (3, 100, 513),
+        ] {
+            let a = fill(m, k, |i, j| ((i * 13 + j * 7) % 19) as f32 * 0.25 - 2.0);
+            let b = fill(k, n, |i, j| ((i * 5 + j * 11) % 17) as f32 * 0.125 - 1.0);
+            let packed = PrepackedWeights::pack(&b, k, n);
+            assert_eq!(packed.size_bytes(), k * n * 4, "pack is a permutation");
+            for backend in KernelBackend::all() {
+                // The prepacked-only backend's on-the-fly reference is the
+                // blocked kernel it feeds.
+                let reference_backend = if backend == KernelBackend::BlockedPrepacked {
+                    KernelBackend::Blocked
+                } else {
+                    backend
+                };
+                let mut reference = vec![f32::NAN; m * n];
+                gemm(reference_backend, &a, &b, &mut reference, m, k, n);
+                let mut out = vec![f32::NAN; m * n];
+                gemm_prepacked(backend, &a, &packed, &mut out, m);
+                assert_eq!(reference, out, "{backend:?} diverged at {m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn prepack_counts_events_and_handles_empty_dims() {
+        let before = prepack_events();
+        let packed = PrepackedWeights::pack(&[], 0, 3);
+        // The counter is process-global and other tests in this binary pack
+        // concurrently, so only monotonicity can be asserted here; the
+        // exactly-once-per-layer accounting lives in `tests/zero_alloc.rs`,
+        // whose binary holds a single test.
+        assert!(prepack_events() > before);
+        let mut out = [0.5, 0.5, 0.5, 0.5, 0.5, 0.5];
+        // k == 0: the product is the zero matrix (plus any epilogue).
+        gemm_prepacked(KernelBackend::Blocked, &[], &packed, &mut out, 2);
+        assert_eq!(out, [0.0; 6]);
+        let empty = PrepackedWeights::pack(&[], 4, 0);
+        gemm_prepacked(KernelBackend::Blocked, &[0.0; 8], &empty, &mut [], 2);
+    }
+
+    #[test]
+    fn num_threads_env_values_parse() {
+        assert_eq!(parse_num_threads("1"), Some(1));
+        assert_eq!(parse_num_threads("16"), Some(16));
+        // The historic failure mode class: misspellings and out-of-domain
+        // values must be rejected, never silently defaulted.
+        for bad in ["0", "-1", "two", "4.0", " 4", "4 ", ""] {
+            assert_eq!(parse_num_threads(bad), None, "{bad:?} must not parse");
+        }
     }
 
     #[test]
@@ -1280,6 +1657,10 @@ mod tests {
         assert_eq!(
             parse_kernel_backend("blocked-parallel"),
             Some(KernelBackend::BlockedParallel)
+        );
+        assert_eq!(
+            parse_kernel_backend("prepacked"),
+            Some(KernelBackend::BlockedPrepacked)
         );
         // Every label round-trips, so docs/benches and the env var agree.
         for backend in KernelBackend::all() {

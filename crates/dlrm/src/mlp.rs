@@ -2,7 +2,7 @@
 //! activations and MLP stacks used for the bottom and top MLPs of DLRM.
 
 use crate::error::DlrmError;
-use crate::kernel::{self, grow, FusedAct, KernelBackend, Workspace};
+use crate::kernel::{self, grow, FusedAct, KernelBackend, PrepackedWeights, Workspace};
 use crate::tensor::{gemm_flops, Matrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -40,16 +40,26 @@ impl Activation {
 }
 
 /// A dense layer `y = act(x * W + b)` with `W` of shape `[in, out]`.
+///
+/// The weight matrix is held in **two** resident layouts: the row-major
+/// `[in, out]` matrix (the reference form every on-the-fly-packing backend
+/// reads) and the [`PrepackedWeights`] panels packed **once at
+/// construction**, which [`KernelBackend::BlockedPrepacked`] feeds to the
+/// GEMM microkernels with no per-call pack loop. Both layouts stay in sync:
+/// every weight mutation ([`DenseLayer::set_weights`]) re-packs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DenseLayer {
     weights: Matrix,
     bias: Matrix,
     activation: Activation,
+    /// `weights` in the blocked kernel's panel layout, packed once.
+    packed: PrepackedWeights,
 }
 
 impl DenseLayer {
     /// Creates a layer from explicit weights (`[in, out]`), bias (`[1, out]`)
-    /// and activation.
+    /// and activation; the weights are prepacked into resident panels here,
+    /// once, and reused by every prepacked-backend forward pass.
     ///
     /// # Errors
     ///
@@ -63,10 +73,12 @@ impl DenseLayer {
                 rhs: bias.shape(),
             });
         }
+        let packed = PrepackedWeights::pack(weights.as_slice(), weights.rows(), weights.cols());
         Ok(DenseLayer {
             weights,
             bias,
             activation,
+            packed,
         })
     }
 
@@ -76,11 +88,7 @@ impl DenseLayer {
         let limit = (6.0 / (in_dim + out_dim) as f32).sqrt();
         let weights = Matrix::from_fn(in_dim, out_dim, |_, _| rng.gen_range(-limit..limit));
         let bias = Matrix::from_fn(1, out_dim, |_, _| rng.gen_range(-0.01..0.01));
-        DenseLayer {
-            weights,
-            bias,
-            activation,
-        }
+        DenseLayer::new(weights, bias, activation).expect("bias shape is valid by construction")
     }
 
     /// Input dimension.
@@ -101,6 +109,41 @@ impl DenseLayer {
     /// Borrows the bias row vector.
     pub fn bias(&self) -> &Matrix {
         &self.bias
+    }
+
+    /// Borrows the resident prepacked weight panels.
+    pub fn packed(&self) -> &PrepackedWeights {
+        &self.packed
+    }
+
+    /// Resident footprint of the layer's parameters as served from on the
+    /// prepacked path: the packed panels plus the (unpadded) bias row —
+    /// byte-for-byte equal to [`DenseLayer::size_bytes`], because packing
+    /// is a permutation of the weight matrix, not an expansion.
+    pub fn packed_size_bytes(&self) -> usize {
+        self.packed.size_bytes() + self.bias.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Replaces the layer's weights (same `[in, out]` shape) and
+    /// **re-packs** the resident panels so the prepacked path never serves
+    /// stale weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlrmError::ShapeMismatch`] if the new matrix's shape
+    /// differs from the current one (layer widths are structural; changing
+    /// them would silently break the surrounding MLP's wiring).
+    pub fn set_weights(&mut self, weights: Matrix) -> Result<(), DlrmError> {
+        if weights.shape() != self.weights.shape() {
+            return Err(DlrmError::ShapeMismatch {
+                op: "dense layer weight update",
+                lhs: self.weights.shape(),
+                rhs: weights.shape(),
+            });
+        }
+        self.packed = PrepackedWeights::pack(weights.as_slice(), weights.rows(), weights.cols());
+        self.weights = weights;
+        Ok(())
     }
 
     /// Activation applied by the layer.
@@ -160,6 +203,11 @@ impl DenseLayer {
     /// Allocation-free forward pass into a caller-provided output buffer
     /// (`[batch, out_dim]`), using `pack` as the GEMM packing scratch.
     ///
+    /// On [`KernelBackend::BlockedPrepacked`] the GEMM streams the resident
+    /// panels packed at construction and `pack` is never touched (it stays
+    /// at zero capacity on a workspace that only ever serves prepacked) —
+    /// bitwise identical to the on-the-fly-packing backends.
+    ///
     /// # Panics
     ///
     /// Panics if `input.len() != batch * in_dim` or
@@ -173,6 +221,18 @@ impl DenseLayer {
         out: &mut [f32],
         pack: &mut Vec<f32>,
     ) {
+        if backend == KernelBackend::BlockedPrepacked {
+            kernel::gemm_bias_act_prepacked(
+                backend,
+                input,
+                &self.packed,
+                Some(self.bias.as_slice()),
+                self.activation.fused(),
+                out,
+                batch,
+            );
+            return;
+        }
         kernel::gemm_bias_act_into(
             backend,
             input,
@@ -297,6 +357,13 @@ impl Mlp {
     /// Total parameter footprint in bytes.
     pub fn size_bytes(&self) -> usize {
         self.layers.iter().map(DenseLayer::size_bytes).sum()
+    }
+
+    /// Resident footprint of the stack as served from on the prepacked
+    /// path (packed panels + biases) — what the dense accelerator accounts
+    /// against its weight SRAM. Equals [`Mlp::size_bytes`] by construction.
+    pub fn packed_bytes(&self) -> usize {
+        self.layers.iter().map(DenseLayer::packed_size_bytes).sum()
     }
 
     /// Total forward-pass FLOPs for a batch.
@@ -523,6 +590,71 @@ mod tests {
         let params = 13 * 512 + 512 + 512 * 256 + 256 + 256 * 64 + 64;
         assert_eq!(mlp.num_params(), params);
         assert_eq!(mlp.size_bytes(), params * 4);
+    }
+
+    #[test]
+    fn prepacked_forward_is_bitwise_identical_to_packing_path() {
+        // Ragged widths so the 8/4/1-row microkernel tails and the packed
+        // panel remainders are all exercised.
+        let mlp = Mlp::random(&[13, 67, 29, 3], Activation::Relu, 21).unwrap();
+        for batch in [1usize, 4, 9, 16] {
+            let x = Matrix::from_fn(batch, 13, |r, c| (r as f32 * 0.3 - c as f32 * 0.2).sin());
+            let reference = mlp.forward_with(KernelBackend::Blocked, &x).unwrap();
+            let prepacked = mlp
+                .forward_with(KernelBackend::BlockedPrepacked, &x)
+                .unwrap();
+            assert_eq!(reference, prepacked, "batch {batch}");
+        }
+        // A workspace that only ever serves prepacked never grows a pack
+        // buffer: its footprint is exactly the two ping/pong layer buffers.
+        let mut ws = Workspace::new();
+        mlp.forward_ws(
+            KernelBackend::BlockedPrepacked,
+            &vec![0.1; 4 * 13],
+            4,
+            13,
+            &mut ws,
+        )
+        .unwrap();
+        let widest = 67;
+        assert_eq!(ws.capacity_bytes(), 2 * 4 * widest * 4, "pack buffer grew");
+    }
+
+    #[test]
+    fn set_weights_repacks_and_checks_shape() {
+        let mut layer = DenseLayer::random(9, 7, Activation::Relu, 5);
+        let replacement = Matrix::from_fn(9, 7, |r, c| (r * 7 + c) as f32 * 0.05 - 1.0);
+        layer.set_weights(replacement.clone()).unwrap();
+        // The resident panels and the served result both match a layer
+        // constructed fresh from the new weights — set_weights really
+        // re-packed (asserting on the process-global prepack_events counter
+        // would race with concurrently running tests in this binary; the
+        // exact-count accounting lives in `tests/zero_alloc.rs`).
+        let fresh = DenseLayer::new(replacement, layer.bias().clone(), Activation::Relu).unwrap();
+        assert_eq!(layer.packed(), fresh.packed(), "panels must be re-packed");
+        let x = Matrix::from_fn(3, 9, |r, c| (r as f32 - c as f32) * 0.1);
+        assert_eq!(
+            layer
+                .forward_with(KernelBackend::BlockedPrepacked, &x)
+                .unwrap(),
+            fresh
+                .forward_with(KernelBackend::BlockedPrepacked, &x)
+                .unwrap()
+        );
+        // Shape changes are structural and rejected.
+        assert!(layer.set_weights(Matrix::zeros(9, 8)).is_err());
+        assert!(layer.set_weights(Matrix::zeros(8, 7)).is_err());
+    }
+
+    #[test]
+    fn packed_bytes_equal_row_major_bytes() {
+        let mlp = Mlp::random(&[13, 512, 256, 64], Activation::Relu, 9).unwrap();
+        assert_eq!(mlp.packed_bytes(), mlp.size_bytes());
+        for layer in mlp.iter() {
+            assert_eq!(layer.packed_size_bytes(), layer.size_bytes());
+            assert_eq!(layer.packed().k(), layer.in_dim());
+            assert_eq!(layer.packed().n(), layer.out_dim());
+        }
     }
 
     #[test]

@@ -37,7 +37,9 @@ pub struct DlrmModel {
 /// mark and steady-state inference allocates nothing.
 #[derive(Debug, Clone, Default)]
 pub struct ModelWorkspace {
-    /// MLP scratch (ping/pong layer buffers + GEMM packing panel).
+    /// MLP scratch (ping/pong layer buffers + GEMM packing panel; the pack
+    /// panel never grows on the prepacked backend, which serves from the
+    /// layers' resident panels instead).
     mlp: Workspace,
     /// Interaction input: `[num_tables + 1, embedding_dim]` row-major.
     features: Vec<f32>,
@@ -69,7 +71,9 @@ impl ModelWorkspace {
 #[derive(Debug, Clone, Default)]
 pub struct BatchWorkspace {
     /// MLP scratch (ping/pong layer buffers + GEMM packing panel), sized to
-    /// `batch × widest layer`.
+    /// `batch × widest layer`. On the prepacked backend the pack panel is
+    /// dropped entirely (capacity stays zero): layers serve from their
+    /// resident panels.
     mlp: Workspace,
     /// Batch-major interaction input: `[batch, num_features * dim]`.
     features: Vec<f32>,
@@ -241,6 +245,15 @@ impl DlrmModel {
     /// The feature-interaction operator.
     pub fn interaction(&self) -> &FeatureInteraction {
         &self.interaction
+    }
+
+    /// Resident footprint of both MLPs as served from on the prepacked
+    /// path: every layer's packed weight panels plus its bias row. This is
+    /// what the dense accelerator accounts against its weight SRAM — and it
+    /// equals `config.mlp_bytes()` exactly, because prepacking is a
+    /// permutation of the weight matrix (no padding).
+    pub fn mlp_packed_bytes(&self) -> usize {
+        self.bottom_mlp.packed_bytes() + self.top_mlp.packed_bytes()
     }
 
     /// Runs a single-sample forward pass and returns every intermediate

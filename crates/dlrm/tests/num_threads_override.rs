@@ -1,0 +1,46 @@
+//! Exercises the `CENTAUR_NUM_THREADS` override in its own test binary:
+//! the variable and the cached thread count are process-global, so this
+//! file holds exactly one `#[test]` and sets the variable before any
+//! kernel call can populate the cache.
+//!
+//! On the single-core CI container `available_parallelism` is 1 and the
+//! `BlockedParallel`/`BlockedPrepacked` band splits normally degenerate to
+//! the single-threaded kernel; forcing 4 worker threads makes the
+//! multi-band code path actually execute there — and band parallelism must
+//! stay **bitwise identical** to the single-threaded blocked kernel.
+
+use centaur_dlrm::kernel::{self, KernelBackend, PrepackedWeights};
+
+#[test]
+fn forced_thread_count_exercises_bands_and_stays_bitwise_identical() {
+    std::env::set_var("CENTAUR_NUM_THREADS", "4");
+
+    // Big enough to clear PARALLEL_FLOP_THRESHOLD (2·m·n·k ≥ 2^22) with
+    // m ≥ 4 bands × 8 rows, so all four forced bands really spawn.
+    let (m, k, n) = (64usize, 256usize, 256usize);
+    assert!(2 * m * n * k >= 1 << 22, "shape must clear the spawn gate");
+    let a: Vec<f32> = (0..m * k).map(|i| ((i * 31) % 17) as f32 - 8.0).collect();
+    let b: Vec<f32> = (0..k * n)
+        .map(|i| ((i * 13) % 11) as f32 * 0.125 - 0.5)
+        .collect();
+
+    let mut blocked = vec![0.0f32; m * n];
+    kernel::gemm(KernelBackend::Blocked, &a, &b, &mut blocked, m, k, n);
+
+    let mut banded = vec![f32::NAN; m * n];
+    kernel::gemm(KernelBackend::BlockedParallel, &a, &b, &mut banded, m, k, n);
+    assert_eq!(blocked, banded, "forced bands diverged from blocked");
+
+    // The prepacked band path reads shared resident panels per band; it
+    // must match too.
+    let packed = PrepackedWeights::pack(&b, k, n);
+    let mut prepacked = vec![f32::NAN; m * n];
+    kernel::gemm_prepacked(
+        KernelBackend::BlockedPrepacked,
+        &a,
+        &packed,
+        &mut prepacked,
+        m,
+    );
+    assert_eq!(blocked, prepacked, "forced prepacked bands diverged");
+}

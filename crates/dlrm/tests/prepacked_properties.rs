@@ -1,0 +1,142 @@
+//! Property tests pinning the prepacked-panel GEMM **bitwise** against the
+//! on-the-fly-packing path: `PrepackedWeights` only moves *when* the `B`
+//! panels are laid out (once at load instead of per call), so every backend
+//! must produce exactly the bytes its packing counterpart does — across
+//! ragged shapes that hit the 8-, 4- and 1-row remainder microkernels and
+//! the `KC = 256` / `NC = 512` panel boundaries, with and without fused
+//! bias/activation epilogues.
+
+use centaur_dlrm::kernel::{self, FusedAct, KernelBackend, PrepackedWeights};
+use centaur_dlrm::{Activation, DenseLayer, Matrix};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random matrix data for a given seed.
+fn test_data(len: usize, seed: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let x = (i as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(seed);
+            ((x >> 33) % 64) as f32 * 0.0625 - 2.0
+        })
+        .collect()
+}
+
+/// The on-the-fly-packing backend a prepacked run must match bitwise: the
+/// prepacked-only backend feeds the blocked microkernels, everything else
+/// is compared against itself.
+fn packing_reference(backend: KernelBackend) -> KernelBackend {
+    if backend == KernelBackend::BlockedPrepacked {
+        KernelBackend::Blocked
+    } else {
+        backend
+    }
+}
+
+fn assert_prepacked_matches_packing(m: usize, k: usize, n: usize, seed: u64) {
+    let a = test_data(m * k, seed);
+    let b = test_data(k * n, seed.wrapping_add(1));
+    let bias = test_data(n, seed.wrapping_add(2));
+    let packed = PrepackedWeights::pack(&b, k, n);
+    assert_eq!(packed.k(), k);
+    assert_eq!(packed.n(), n);
+    for backend in KernelBackend::all() {
+        for (bias_opt, act) in [
+            (None, FusedAct::Identity),
+            (Some(bias.as_slice()), FusedAct::Relu),
+            (Some(bias.as_slice()), FusedAct::Sigmoid),
+        ] {
+            let mut reference = vec![f32::NAN; m * n];
+            kernel::gemm_bias_act(
+                packing_reference(backend),
+                &a,
+                &b,
+                bias_opt,
+                act,
+                &mut reference,
+                m,
+                k,
+                n,
+            );
+            let mut prepacked = vec![f32::NAN; m * n];
+            kernel::gemm_bias_act_prepacked(backend, &a, &packed, bias_opt, act, &mut prepacked, m);
+            // Bitwise, not tolerance: assert_eq on the raw f32s.
+            assert_eq!(
+                reference, prepacked,
+                "{backend:?}/{act:?} diverged at {m}x{k}x{n} (seed {seed})"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random ragged shapes: `m` spans the 8/4/1-row microkernel tails,
+    /// `k`/`n` stay small enough to iterate quickly.
+    #[test]
+    fn prepacked_matches_packing_on_random_shapes(
+        m in 1usize..20,
+        k in 1usize..96,
+        n in 1usize..48,
+        seed in 0u64..10_000,
+    ) {
+        assert_prepacked_matches_packing(m, k, n, seed);
+    }
+
+    /// A whole dense layer served from resident panels equals the packing
+    /// path bitwise, for every backend and batch size.
+    #[test]
+    fn dense_layer_prepacked_forward_matches_packing(
+        batch in 1usize..14,
+        in_dim in 1usize..40,
+        out_dim in 1usize..40,
+        seed in 0u64..1_000,
+    ) {
+        let layer = DenseLayer::random(in_dim, out_dim, Activation::Relu, seed);
+        let x = Matrix::from_vec(batch, in_dim, test_data(batch * in_dim, seed)).unwrap();
+        for backend in KernelBackend::all() {
+            let reference = layer.forward_with(packing_reference(backend), &x).unwrap();
+            let served = layer.forward_with(backend, &x).unwrap();
+            prop_assert_eq!(reference.as_slice(), served.as_slice());
+        }
+    }
+}
+
+#[test]
+fn prepacked_matches_packing_on_block_boundary_shapes() {
+    // Shapes straddling KC = 256 and NC = 512 so multi-panel walks (and
+    // their remainder panels) are covered, with every microkernel tail:
+    // m = 8 (wide only), 12 (8+4), 13 (8+4+1), 5 (4+1), 1, 3.
+    for &(m, k, n) in &[
+        (1, 1, 1),
+        (1, 256, 512), // exactly one full panel
+        (1, 257, 513), // one element past both block boundaries
+        (8, 300, 17),
+        (12, 513, 512),
+        (13, 511, 30),
+        (5, 256, 513),
+        (3, 700, 65),
+    ] {
+        assert_prepacked_matches_packing(m, k, n, 42);
+    }
+}
+
+#[test]
+fn repacked_weights_serve_new_values_bitwise() {
+    // set_weights re-packs: the layer must serve the *new* weights on the
+    // prepacked path, bitwise equal to a fresh layer built from them.
+    let mut layer = DenseLayer::random(33, 17, Activation::Relu, 7);
+    let replacement = Matrix::from_vec(33, 17, test_data(33 * 17, 99)).unwrap();
+    layer.set_weights(replacement.clone()).unwrap();
+    let fresh = DenseLayer::new(replacement, layer.bias().clone(), Activation::Relu).unwrap();
+    let x = Matrix::from_vec(6, 33, test_data(6 * 33, 101)).unwrap();
+    assert_eq!(
+        layer
+            .forward_with(KernelBackend::BlockedPrepacked, &x)
+            .unwrap(),
+        fresh
+            .forward_with(KernelBackend::BlockedPrepacked, &x)
+            .unwrap()
+    );
+}

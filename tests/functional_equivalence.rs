@@ -82,6 +82,27 @@ fn centaur_matches_reference_under_skewed_traffic() {
 }
 
 #[test]
+fn prepacked_runtime_is_bitwise_identical_to_packing_runtime() {
+    // The whole accelerator datapath — EB-Streamer gathers, bottom MLP,
+    // interaction, top MLP, sigmoid — served from resident prepacked
+    // panels must equal the on-the-fly-packing path *exactly*, not within
+    // tolerance: prepacking only changes when panels are laid out, never
+    // what the microkernels accumulate.
+    let config = scaled(PaperModel::Dlrm1, 512);
+    let model = DlrmModel::random(&config, 17).unwrap();
+    let mut runtime = CentaurRuntime::harpv2(model).unwrap();
+    let mut generator = RequestGenerator::new(&config, IndexDistribution::Uniform, 19);
+    for batch_size in [1usize, 5, 64, 70] {
+        let batch = generator.functional_batch(batch_size);
+        runtime.set_backend(KernelBackend::Blocked);
+        let packing = runtime.infer_batch(&batch.dense, &batch.sparse).unwrap();
+        runtime.set_backend(KernelBackend::BlockedPrepacked);
+        let prepacked = runtime.infer_batch(&batch.dense, &batch.sparse).unwrap();
+        assert_eq!(packing, prepacked, "batch {batch_size} diverged");
+    }
+}
+
+#[test]
 fn repeated_requests_are_deterministic_across_the_runtime() {
     let config = scaled(PaperModel::Dlrm1, 256);
     let model = DlrmModel::random(&config, 3).unwrap();

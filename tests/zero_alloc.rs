@@ -119,7 +119,16 @@ fn steady_state_inference_paths_do_not_allocate() {
         .top_mlp(&[64, 1])
         .build()
         .unwrap();
+    let packs_before_model = centaur_dlrm::prepack_events();
     let model = DlrmModel::random(&config, 11).unwrap();
+    // Prepacking happens exactly once per dense layer, at construction —
+    // never lazily on the serving path.
+    let total_layers = (model.bottom_mlp().num_layers() + model.top_mlp().num_layers()) as u64;
+    assert_eq!(
+        centaur_dlrm::prepack_events() - packs_before_model,
+        total_layers,
+        "model construction must prepack each layer exactly once"
+    );
     let dense = Matrix::from_fn(1, 13, |_, c| c as f32 * 0.05 - 0.3);
     let sparse: Vec<Vec<u32>> = (0..4)
         .map(|t| (0..8u32).map(|i| (t as u32 * 31 + i * 7) % 256).collect())
@@ -278,5 +287,38 @@ fn steady_state_inference_paths_do_not_allocate() {
     assert_eq!(
         allocs, 0,
         "serving stage + batched inference allocated in steady state"
+    );
+
+    // --- Prepacked serving steady state -------------------------------------
+    // The default serving backend feeds the GEMM microkernels from panels
+    // packed once at model load: booting the runtime re-packed nothing
+    // (replica clones copy panels), steady-state serving re-packs nothing
+    // and allocates nothing, and the results stay bitwise identical to the
+    // on-the-fly-packing path just measured.
+    let packs_before_serving = centaur_dlrm::prepack_events();
+    assert_eq!(
+        packs_before_serving - packs_before_model,
+        total_layers,
+        "runtime boot and staging must not re-prepack any layer"
+    );
+    runtime.set_backend(KernelBackend::BlockedPrepacked);
+    let warm_prepacked = serve_stage
+        .run_batch(&mut runtime, &staged)
+        .unwrap()
+        .to_vec();
+    assert_eq!(warm_prepacked, warm_batch, "prepacked serving diverged");
+    let allocs = allocations_during(|| {
+        for _ in 0..10 {
+            serve_stage.run_batch(&mut runtime, &staged).unwrap();
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "prepacked serving stage allocated in steady state"
+    );
+    assert_eq!(
+        centaur_dlrm::prepack_events(),
+        packs_before_serving,
+        "steady-state serving must never re-prepack"
     );
 }
