@@ -1,22 +1,35 @@
-//! Measures the serving layer under load: an open-loop Poisson query stream
+//! Measures the serving layer under load: an open-loop shaped query stream
 //! replayed against a pool of `CentaurRuntime` replica shards behind the
-//! dynamic batcher, across offered QPS × batching policy × replica count —
-//! the RecNMP/MicroRec-style at-load evaluation (p50/p95/p99 versus offered
-//! load) for this repo's functional datapath. Writes the machine-readable
-//! `BENCH_serve.json` tracked for the performance trajectory.
+//! dynamic batcher — the RecNMP/MicroRec-style at-load evaluation
+//! (p50/p95/p99 versus offered load) for this repo's functional datapath.
+//! Writes the machine-readable `BENCH_serve.json` tracked for the
+//! performance trajectory.
 //!
-//! The offered loads are anchored on a measured batch-1 FIFO saturation
-//! capacity (single replica): one point comfortably below the knee
-//! (~0.5×) and one past it (~1.5×), where the un-batched baseline's queue
-//! grows without bound while dynamic batching rides the batch-major
-//! throughput curve and keeps the tail flat.
+//! Two sweeps share the document:
+//!
+//! 1. the **latency sweep** — offered QPS × batching policy × replica
+//!    count under stationary Poisson arrivals, loads anchored on a measured
+//!    batch-1 FIFO saturation capacity (~0.5× and ~1.5× the knee);
+//! 2. the **overload sweep** — traffic shape (poisson / bursty / on-off) ×
+//!    load (1.0×, 1.5×, 2.0× the knee) × serving variant, comparing an
+//!    unprotected dynamic-batching baseline against admission control +
+//!    dequeue shedding + deadline-aware dispatch, scored on
+//!    **goodput-under-SLO** (completions inside the SLO per second) — the
+//!    metric that keeps meaning past saturation, where raw qps counts
+//!    answers nobody can use.
+//!
+//! The SLO defaults to 5 ms and reads `CENTAUR_SERVE_SLO_MS`; the admission
+//! depth defaults to one SLO's worth of work at capacity and reads
+//! `CENTAUR_SERVE_QUEUE_DEPTH`.
 //!
 //! `CRITERION_QUICK=1` shrinks the offered windows to a smoke run (used by
 //! CI, where the numbers only need to exist, not to be stable).
 
 use centaur_bench::{ExperimentRunner, TextTable};
 use centaur_dlrm::PaperModel;
-use centaur_serve::BatchPolicy;
+use centaur_serve::{BatchPolicy, ServeOptions};
+use centaur_workload::TrafficShape;
+use std::time::Duration;
 
 fn main() {
     let runner = ExperimentRunner::new();
@@ -37,7 +50,7 @@ fn main() {
         "measured batch-1 FIFO capacity: {capacity:.0} qps; offering {:.0} and {:.0} qps",
         offered[0], offered[1]
     );
-    let reports = runner.serve_latency_sweep(
+    let mut reports = runner.serve_latency_sweep(
         &config,
         &offered,
         &policies,
@@ -77,6 +90,81 @@ fn main() {
     }
     table.print();
 
+    // Overload sweep: shaped traffic at and past the knee, unprotected
+    // baseline versus full overload protection under the same SLO.
+    let slo_ms = centaur_serve::serve_slo_ms();
+    let slo = Duration::from_secs_f64(slo_ms * 1e-3);
+    // One SLO's worth of queue at capacity: anything deeper is guaranteed
+    // to finish late, so admitting it can only waste accelerator time.
+    let depth =
+        centaur_serve::serve_queue_depth().unwrap_or(((capacity * slo_ms * 1e-3) as usize).max(64));
+    // Conservative per-batch service estimate for deadline-aware dispatch:
+    // a full wave at the measured batch-1 rate (batching is faster, so the
+    // policy errs toward dispatching early rather than expiring requests).
+    let service_estimate =
+        Duration::from_secs_f64(centaur::BATCH_WAVE_SAMPLES as f64 / capacity.max(1.0));
+    let variants = [
+        (BatchPolicy::dynamic_wave(), ServeOptions::with_slo(slo)),
+        (
+            BatchPolicy::deadline_wave(service_estimate),
+            ServeOptions::overload_protected(slo, depth),
+        ),
+    ];
+    let shapes = [
+        TrafficShape::Poisson,
+        TrafficShape::Bursty,
+        TrafficShape::OnOff,
+    ];
+    let multipliers = [1.0, 1.5, 2.0];
+    // Overload cells need a longer window than the latency sweep: bursty
+    // shapes only collapse an unprotected baseline once sustained overload
+    // has accumulated backlog across several dwell cycles.
+    let (overload_duration_s, overload_max_queries) =
+        if quick { (0.05, 4_000) } else { (0.5, 120_000) };
+    println!(
+        "overload sweep: SLO {slo_ms:.1} ms, admission depth {depth}, \
+         service estimate {:.0} us",
+        service_estimate.as_secs_f64() * 1e6
+    );
+    let overload = runner.serve_overload_sweep(
+        &config,
+        capacity,
+        &shapes,
+        &multipliers,
+        &variants,
+        1,
+        overload_duration_s,
+        overload_max_queries,
+    );
+
+    let mut table = TextTable::new(
+        &format!("Goodput under a {slo_ms:.1} ms SLO, {model} @ 64K rows/table (measured)"),
+        &[
+            "Traffic",
+            "Offered qps",
+            "Policy",
+            "Goodput qps",
+            "Achieved qps",
+            "Shed",
+            "Late",
+            "p99 ms",
+        ],
+    );
+    for r in &overload {
+        table.add_row(vec![
+            r.traffic.clone(),
+            format!("{:.0}", r.offered_qps),
+            r.policy.clone(),
+            format!("{:.0}", r.goodput_qps),
+            format!("{:.0}", r.achieved_qps),
+            r.shed.to_string(),
+            r.deadline_misses.to_string(),
+            format!("{:.3}", r.latency.p99_s * 1e3),
+        ]);
+    }
+    table.print();
+
+    reports.extend(overload);
     let json = ExperimentRunner::bench_serve_json(model.label(), capacity, &reports);
     let path = "BENCH_serve.json";
     match std::fs::write(path, &json) {

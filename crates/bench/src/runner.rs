@@ -536,15 +536,67 @@ impl ExperimentRunner {
                             &model,
                             centaur::CentaurConfig::harpv2(),
                             self.distribution,
-                            centaur_serve::ServeCell {
-                                offered_qps: qps,
-                                queries,
-                                policy,
-                                replicas: shards,
-                                seed: self.seed,
-                            },
+                            centaur_serve::ServeCell::poisson(
+                                qps, queries, policy, shards, self.seed,
+                            ),
                         )
                         .expect("serving cell succeeds"),
+                    );
+                }
+            }
+        }
+        reports
+    }
+
+    /// Runs the overload sweep: for every `traffic shape × load multiplier
+    /// × serving variant` cell, replays the shaped arrival stream (offered
+    /// load = `multiplier × capacity_qps`, deliberately including loads past
+    /// the knee) and digests goodput-under-SLO alongside latency. Each
+    /// variant pairs a batching policy with its [`ServeOptions`] so an
+    /// unprotected baseline and a shedding + deadline-aware configuration
+    /// sweep the same traffic.
+    ///
+    /// Cells run **sequentially** for the same reason as
+    /// [`serve_latency_sweep`](Self::serve_latency_sweep).
+    ///
+    /// [`ServeOptions`]: centaur_serve::ServeOptions
+    ///
+    /// # Panics
+    ///
+    /// Panics when the model does not fit the accelerator or a serving run
+    /// fails — fixed, known-good configurations.
+    #[allow(clippy::too_many_arguments)]
+    pub fn serve_overload_sweep(
+        &self,
+        config: &ModelConfig,
+        capacity_qps: f64,
+        shapes: &[centaur_workload::TrafficShape],
+        load_multipliers: &[f64],
+        variants: &[(centaur_serve::BatchPolicy, centaur_serve::ServeOptions)],
+        replicas: usize,
+        duration_s: f64,
+        max_queries: usize,
+    ) -> Vec<centaur_serve::ServeReport> {
+        let model = DlrmModel::random(config, self.seed).expect("valid benchmark model");
+        let mut reports =
+            Vec::with_capacity(shapes.len() * load_multipliers.len() * variants.len());
+        for &shape in shapes {
+            for &multiplier in load_multipliers {
+                let qps = multiplier * capacity_qps;
+                let queries = ((qps * duration_s).ceil() as usize).clamp(64, max_queries.max(64));
+                for &(policy, options) in variants {
+                    reports.push(
+                        centaur_serve::run_serve_cell(
+                            &model,
+                            centaur::CentaurConfig::harpv2(),
+                            self.distribution,
+                            centaur_serve::ServeCell::poisson(
+                                qps, queries, policy, replicas, self.seed,
+                            )
+                            .with_shape(shape)
+                            .with_options(options),
+                        )
+                        .expect("overload cell succeeds"),
                     );
                 }
             }
@@ -572,30 +624,43 @@ impl ExperimentRunner {
 
     /// Renders serving measurements as the machine-readable
     /// `BENCH_serve.json` document tracked for the performance trajectory:
-    /// one point per `offered QPS × policy × replicas` cell with achieved
-    /// throughput, mean coalesced batch and the full latency digest
-    /// (mean, p50/p95/p99/p99.9, max).
+    /// one point per `offered QPS × traffic × policy × replicas` cell with
+    /// achieved throughput, goodput under the cell's SLO, shed counts, mean
+    /// coalesced batch and the full latency digest (mean, p50/p95/p99/p99.9,
+    /// max). Cells without an SLO write `"slo_ms": null` and goodput equals
+    /// throughput.
     pub fn bench_serve_json(
         model_name: &str,
         fifo_capacity_qps: f64,
         reports: &[centaur_serve::ServeReport],
     ) -> String {
         let mut json = format!(
-            "{{\n  \"unit\": \"seconds\",\n  \"scenario\": \"open_loop_poisson_replay\",\n  \
+            "{{\n  \"unit\": \"seconds\",\n  \"scenario\": \"open_loop_shaped_replay\",\n  \
              \"model\": \"{model_name}\",\n  \"fifo_capacity_qps\": {fifo_capacity_qps:.0},\n  \
              \"points\": [\n"
         );
         for (i, r) in reports.iter().enumerate() {
+            let slo_ms = r.slo_ms.map_or("null".to_string(), |ms| format!("{ms:.1}"));
             json.push_str(&format!(
-                "    {{\"offered_qps\": {:.0}, \"policy\": \"{}\", \"replicas\": {}, \
-                 \"completed\": {}, \"achieved_qps\": {:.1}, \"mean_batch\": {:.2}, \
+                "    {{\"offered_qps\": {:.0}, \"traffic\": \"{}\", \"policy\": \"{}\", \
+                 \"replicas\": {}, \"slo_ms\": {}, \"completed\": {}, \
+                 \"achieved_qps\": {:.1}, \"goodput_qps\": {:.1}, \"shed\": {}, \
+                 \"shed_admission\": {}, \"shed_expired\": {}, \"deadline_misses\": {}, \
+                 \"mean_batch\": {:.2}, \
                  \"mean_s\": {:.6}, \"p50_s\": {:.6}, \"p95_s\": {:.6}, \"p99_s\": {:.6}, \
                  \"p999_s\": {:.6}, \"max_s\": {:.6}}}{}\n",
                 r.offered_qps,
+                r.traffic,
                 r.policy,
                 r.replicas,
+                slo_ms,
                 r.completed,
                 r.achieved_qps,
+                r.goodput_qps,
+                r.shed,
+                r.shed_admission,
+                r.shed_expired,
+                r.deadline_misses,
                 r.mean_batch,
                 r.latency.mean_s,
                 r.latency.p50_s,
@@ -839,12 +904,63 @@ mod tests {
         assert!(capacity > 0.0);
         let json = ExperimentRunner::bench_serve_json("DLRM(1)", capacity, &reports);
         assert!(json.contains("\"policy\": \"fifo\""));
-        assert!(json.contains("\"policy\": \"dynamic8\""));
+        assert!(
+            json.contains("\"policy\": \"dynamic8w200us\""),
+            "dynamic labels carry the hold-open window"
+        );
         assert!(json.contains("\"fifo_capacity_qps\""));
+        assert!(json.contains("\"traffic\": \"poisson\""));
+        assert!(json.contains("\"slo_ms\": null"), "no-SLO cells say so");
         assert_eq!(json.matches("\"p99_s\":").count(), 4);
+        assert_eq!(json.matches("\"goodput_qps\":").count(), 4);
+        assert_eq!(json.matches("\"shed\":").count(), 4);
         // The deep-tail and mean columns ride along in every point.
         assert_eq!(json.matches("\"p999_s\":").count(), 4);
         assert_eq!(json.matches("\"mean_s\":").count(), 4);
+    }
+
+    #[test]
+    fn overload_sweep_covers_shapes_loads_and_variants() {
+        use std::time::Duration;
+        let runner = ExperimentRunner::new();
+        let config = PaperModel::Dlrm1.config().with_rows_per_table(512);
+        let slo = Duration::from_millis(5);
+        let variants = [
+            (
+                centaur_serve::BatchPolicy::dynamic_wave(),
+                centaur_serve::ServeOptions::with_slo(slo),
+            ),
+            (
+                centaur_serve::BatchPolicy::deadline_wave(Duration::from_micros(500)),
+                centaur_serve::ServeOptions::overload_protected(slo, 256),
+            ),
+        ];
+        let shapes = [
+            centaur_workload::TrafficShape::Poisson,
+            centaur_workload::TrafficShape::Bursty,
+        ];
+        let reports = runner.serve_overload_sweep(
+            &config,
+            50_000.0,
+            &shapes,
+            &[0.5, 1.5],
+            &variants,
+            1,
+            0.01,
+            128,
+        );
+        assert_eq!(reports.len(), 8, "2 shapes × 2 loads × 2 variants");
+        assert!(reports.iter().all(|r| r.slo_ms == Some(5.0)));
+        assert!(reports.iter().any(|r| r.traffic == "bursty"));
+        assert!(reports.iter().any(|r| r.policy.starts_with("deadline")));
+        for r in &reports {
+            assert!(r.goodput_qps <= r.achieved_qps + 1e-9);
+            assert_eq!(r.shed, r.shed_admission + r.shed_expired);
+        }
+        let json = ExperimentRunner::bench_serve_json("DLRM(1)", 50_000.0, &reports);
+        assert!(json.contains("\"traffic\": \"bursty\""));
+        assert!(json.contains("\"slo_ms\": 5.0"));
+        assert_eq!(json.matches("\"goodput_qps\":").count(), 8);
     }
 
     #[test]

@@ -65,7 +65,7 @@ pub use kernel::{
 };
 pub use mlp::{Activation, DenseLayer, Mlp, MlpStack};
 pub use model::{check_batch_inputs, BatchWorkspace, DlrmModel, ForwardBreakdown, ModelWorkspace};
-pub use request::{InferenceRequest, InferenceResponse};
+pub use request::{InferenceRequest, InferenceResponse, RejectReason, RejectedRequest};
 pub use tensor::Matrix;
 pub use trace::{EmbeddingAccess, GatherTrace, InferenceTrace};
 

@@ -62,6 +62,39 @@ pub struct InferenceResponse {
     pub probability: f32,
 }
 
+/// Why a serving layer refused to answer a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Shed at admission: the arrival queue was already at its configured
+    /// depth bound when the request arrived.
+    QueueFull,
+    /// Shed at dispatch: the request's deadline had already passed when a
+    /// worker reached it, so serving it would waste accelerator time on an
+    /// answer the caller no longer wants.
+    DeadlineExpired,
+}
+
+impl RejectReason {
+    /// Short label for report output (`queue_full`, `deadline_expired`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RejectReason::QueueFull => "queue_full",
+            RejectReason::DeadlineExpired => "deadline_expired",
+        }
+    }
+}
+
+/// The wire-level refusal of one [`InferenceRequest`] — what an
+/// overload-protected deployment sends back instead of a prediction when it
+/// sheds the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RejectedRequest {
+    /// The request id this refuses.
+    pub id: u64,
+    /// Why it was shed.
+    pub reason: RejectReason,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,6 +125,18 @@ mod tests {
             request.check_shape(&config),
             Err(DlrmError::BatchMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn reject_reasons_label_distinctly() {
+        assert_eq!(RejectReason::QueueFull.label(), "queue_full");
+        assert_eq!(RejectReason::DeadlineExpired.label(), "deadline_expired");
+        let rejected = RejectedRequest {
+            id: 3,
+            reason: RejectReason::DeadlineExpired,
+        };
+        assert_eq!(rejected.id, 3);
+        assert_eq!(rejected.reason, RejectReason::DeadlineExpired);
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Environment knobs for the serving layer, mirroring the warn-once
+//! contract of `CENTAUR_KERNEL_BACKEND`: a pure `parse_*` function returns
+//! `None` for malformed values so callers can distinguish "unset" from
+//! "misspelled", and the env-reading accessor warns exactly once (via
+//! `OnceLock`) before falling back to the built-in default.
+//!
+//! * `CENTAUR_SERVE_SLO_MS` — the per-request latency SLO in milliseconds
+//!   used by overload sweeps when no explicit SLO is passed (default 5 ms);
+//! * `CENTAUR_SERVE_QUEUE_DEPTH` — the admission gate's depth bound
+//!   (default: unbounded; overload sweeps size it from capacity × SLO).
+
+use std::sync::OnceLock;
+
+/// Parses a `CENTAUR_SERVE_SLO_MS` value. Returns `None` for anything that
+/// is not a strictly positive finite number (see [`SERVE_SLO_MS_VALUES`]).
+pub fn parse_serve_slo_ms(value: &str) -> Option<f64> {
+    value
+        .parse::<f64>()
+        .ok()
+        .filter(|&ms| ms.is_finite() && ms > 0.0)
+}
+
+/// Accepted `CENTAUR_SERVE_SLO_MS` values, for error messages.
+pub const SERVE_SLO_MS_VALUES: &str = "a positive number of milliseconds (e.g. 5, 2.5)";
+
+/// Parses a `CENTAUR_SERVE_QUEUE_DEPTH` value. Returns `None` for anything
+/// that is not a positive integer (see [`SERVE_QUEUE_DEPTH_VALUES`]).
+pub fn parse_serve_queue_depth(value: &str) -> Option<usize> {
+    value.parse::<usize>().ok().filter(|&depth| depth > 0)
+}
+
+/// Accepted `CENTAUR_SERVE_QUEUE_DEPTH` values, for error messages.
+pub const SERVE_QUEUE_DEPTH_VALUES: &str = "a positive integer (e.g. 512, 4096)";
+
+/// Built-in default SLO for overload sweeps, in milliseconds — tight enough
+/// that an unshedded backlog past the knee blows straight through it.
+pub const DEFAULT_SERVE_SLO_MS: f64 = 5.0;
+
+static ENV_SLO_MS: OnceLock<f64> = OnceLock::new();
+static ENV_QUEUE_DEPTH: OnceLock<Option<usize>> = OnceLock::new();
+
+/// The SLO (milliseconds) overload sweeps use when the caller does not pass
+/// one explicitly: `CENTAUR_SERVE_SLO_MS` if set and valid, else
+/// [`DEFAULT_SERVE_SLO_MS`]. Malformed values warn once and fall back.
+pub fn serve_slo_ms() -> f64 {
+    *ENV_SLO_MS.get_or_init(|| match std::env::var("CENTAUR_SERVE_SLO_MS") {
+        Ok(value) => parse_serve_slo_ms(&value).unwrap_or_else(|| {
+            // One-time by construction: the OnceLock runs this closure once.
+            eprintln!(
+                "warning: invalid CENTAUR_SERVE_SLO_MS value {value:?}, \
+                 expected {SERVE_SLO_MS_VALUES}; \
+                 using the built-in default ({DEFAULT_SERVE_SLO_MS} ms)"
+            );
+            DEFAULT_SERVE_SLO_MS
+        }),
+        Err(_) => DEFAULT_SERVE_SLO_MS,
+    })
+}
+
+/// The admission-gate depth bound overload sweeps use when the caller does
+/// not pass one explicitly: `CENTAUR_SERVE_QUEUE_DEPTH` if set and valid,
+/// else `None` (the sweep sizes the bound from capacity × SLO). Malformed
+/// values warn once and fall back.
+pub fn serve_queue_depth() -> Option<usize> {
+    *ENV_QUEUE_DEPTH.get_or_init(|| match std::env::var("CENTAUR_SERVE_QUEUE_DEPTH") {
+        Ok(value) => match parse_serve_queue_depth(&value) {
+            Some(depth) => Some(depth),
+            None => {
+                eprintln!(
+                    "warning: invalid CENTAUR_SERVE_QUEUE_DEPTH value {value:?}, \
+                     expected {SERVE_QUEUE_DEPTH_VALUES}; leaving the depth unbounded"
+                );
+                None
+            }
+        },
+        Err(_) => None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slo_parser_accepts_positive_finite_numbers_only() {
+        assert_eq!(parse_serve_slo_ms("5"), Some(5.0));
+        assert_eq!(parse_serve_slo_ms("2.5"), Some(2.5));
+        assert_eq!(parse_serve_slo_ms("0"), None);
+        assert_eq!(parse_serve_slo_ms("-1"), None);
+        assert_eq!(parse_serve_slo_ms("inf"), None);
+        assert_eq!(parse_serve_slo_ms("NaN"), None);
+        assert_eq!(parse_serve_slo_ms("fast"), None);
+        assert_eq!(parse_serve_slo_ms(""), None);
+    }
+
+    #[test]
+    fn depth_parser_accepts_positive_integers_only() {
+        assert_eq!(parse_serve_queue_depth("512"), Some(512));
+        assert_eq!(parse_serve_queue_depth("1"), Some(1));
+        assert_eq!(parse_serve_queue_depth("0"), None);
+        assert_eq!(parse_serve_queue_depth("-3"), None);
+        assert_eq!(parse_serve_queue_depth("4.5"), None);
+        assert_eq!(parse_serve_queue_depth("lots"), None);
+    }
+
+    #[test]
+    fn accessors_fall_back_to_the_builtin_defaults() {
+        // The OnceLocks read the env at most once per process; in the test
+        // suite the variables are unset, so the accessors must return the
+        // documented defaults (and keep returning them).
+        assert_eq!(serve_slo_ms(), DEFAULT_SERVE_SLO_MS);
+        assert_eq!(serve_slo_ms(), DEFAULT_SERVE_SLO_MS);
+        assert_eq!(serve_queue_depth(), None);
+    }
+}

@@ -1,17 +1,19 @@
 //! The serving harness: an open-loop load generator replays a seeded
 //! [`QueryStream`] against a pool of replica workers behind the shared
 //! [`ArrivalQueue`], and the recorded per-request completions are digested
-//! into tail-latency reports.
+//! into tail-latency and goodput-under-SLO reports.
 
 use crate::policy::BatchPolicy;
-use crate::queue::{ArrivalQueue, QueuedRequest};
+use crate::queue::{AdmissionConfig, ArrivalQueue, QueuedRequest};
 use crate::stage::ReplicaStage;
 use centaur::{CentaurConfig, CentaurError, CentaurRuntime};
 use centaur_dlrm::config::ModelConfig;
-use centaur_dlrm::{DlrmModel, InferenceRequest, InferenceResponse};
+use centaur_dlrm::{DlrmModel, InferenceRequest, InferenceResponse, RejectedRequest};
 use centaur_workload::{
-    ArrivalProcess, IndexDistribution, LatencySummary, QueryStream, RequestGenerator,
+    IndexDistribution, LatencySummary, QueryStream, RequestGenerator, TrafficShape,
 };
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 /// One served request's record: scheduled arrival, completion time and the
@@ -44,6 +46,59 @@ impl Completion {
     }
 }
 
+/// Per-run serving options: the latency SLO requests carry and the
+/// overload-protection gates. The default is the pre-SLO behaviour — no
+/// deadline, unbounded queue, nothing shed.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ServeOptions {
+    /// Per-request latency SLO: each request's deadline is its scheduled
+    /// arrival plus this. `None` = no deadline (goodput equals throughput).
+    pub slo: Option<Duration>,
+    /// Admission-gate depth bound: arrivals are shed while the queue
+    /// already holds this many requests. `None` = unbounded.
+    pub admission_depth: Option<usize>,
+    /// Shed already-dead requests at dequeue instead of serving them.
+    pub shed_expired: bool,
+}
+
+impl ServeOptions {
+    /// Measure goodput against `slo` without shedding anything — the
+    /// baseline that shows what overload does to an unprotected server.
+    pub fn with_slo(slo: Duration) -> Self {
+        ServeOptions {
+            slo: Some(slo),
+            ..ServeOptions::default()
+        }
+    }
+
+    /// Full overload protection: requests carry `slo`-derived deadlines,
+    /// the admission gate sheds beyond `admission_depth`, and dead requests
+    /// are shed at dequeue.
+    pub fn overload_protected(slo: Duration, admission_depth: usize) -> Self {
+        ServeOptions {
+            slo: Some(slo),
+            admission_depth: Some(admission_depth),
+            shed_expired: true,
+        }
+    }
+
+    /// The SLO in seconds, `f64::INFINITY` when none is set.
+    pub fn slo_s(&self) -> f64 {
+        self.slo.map_or(f64::INFINITY, |slo| slo.as_secs_f64())
+    }
+
+    fn admission(&self) -> AdmissionConfig {
+        AdmissionConfig {
+            max_depth: self.admission_depth,
+            shed_expired: self.shed_expired,
+        }
+    }
+}
+
+/// What one replica worker hands back: its completions and batch count, or
+/// the datapath error that stopped it — wrapped in the panic-guard's result.
+type WorkerResult = std::thread::Result<Result<(Vec<Completion>, usize), CentaurError>>;
+
 /// Everything recorded by one serving run.
 #[derive(Debug, Clone)]
 pub struct ServeOutcome {
@@ -51,6 +106,14 @@ pub struct ServeOutcome {
     pub completions: Vec<Completion>,
     /// Number of accelerator batches dispatched.
     pub batches: usize,
+    /// The SLO the run was configured with, seconds (`INFINITY` = none).
+    pub slo_s: f64,
+    /// Requests shed at the admission gate.
+    pub shed_admission: usize,
+    /// Requests shed at dequeue because their deadline had passed.
+    pub shed_expired: usize,
+    /// Per-request refusals for everything shed (wire-level, in shed order).
+    pub rejections: Vec<RejectedRequest>,
 }
 
 impl ServeOutcome {
@@ -75,6 +138,38 @@ impl ServeOutcome {
             0.0
         } else {
             self.completions.len() as f64 / span
+        }
+    }
+
+    /// Completions that met the run's SLO — the answers a caller actually
+    /// got in time.
+    pub fn within_slo(&self) -> usize {
+        self.completions
+            .iter()
+            .filter(|c| c.latency_s() <= self.slo_s)
+            .count()
+    }
+
+    /// Completions that arrived after their deadline — served, but too late
+    /// for the caller to use.
+    pub fn deadline_misses(&self) -> usize {
+        self.completions.len() - self.within_slo()
+    }
+
+    /// Total requests shed (admission gate + dequeue expiry).
+    pub fn shed(&self) -> usize {
+        self.shed_admission + self.shed_expired
+    }
+
+    /// Goodput under the run's SLO: completions that met their deadline per
+    /// second of span — the metric that matters past saturation, where raw
+    /// qps keeps counting answers nobody can use.
+    pub fn goodput_qps(&self) -> f64 {
+        let span = self.span_s();
+        if span <= 0.0 {
+            0.0
+        } else {
+            self.within_slo() as f64 / span
         }
     }
 
@@ -110,6 +205,21 @@ pub fn generate_requests(
         .collect()
 }
 
+/// Replays `stream` open-loop against a pool of replica shards with the
+/// default (fully permissive) [`ServeOptions`] — see [`serve_replay_with`].
+///
+/// # Errors
+///
+/// See [`serve_replay_with`].
+pub fn serve_replay(
+    replicas: Vec<CentaurRuntime>,
+    requests: &[InferenceRequest],
+    stream: &QueryStream,
+    policy: BatchPolicy,
+) -> Result<ServeOutcome, CentaurError> {
+    serve_replay_with(replicas, requests, stream, policy, ServeOptions::default())
+}
+
 /// Replays `stream` open-loop against a pool of replica shards: the calling
 /// thread becomes the load generator (sleeping until each scheduled arrival
 /// and enqueueing the matching request), while one worker thread per replica
@@ -121,16 +231,33 @@ pub fn generate_requests(
 /// load — open-loop semantics, the methodology RecNMP/MicroRec-style
 /// at-load studies require.
 ///
+/// `options` adds the overload-protection layer: an SLO stamps each queued
+/// request with a deadline, the admission gate bounds queue depth, and
+/// dequeue shedding drops dead requests before they reach the accelerator.
+/// Everything shed is counted and surfaced as per-request
+/// [`RejectedRequest`]s in the outcome — never silently.
+///
+/// A worker that fails mid-run (datapath error or panic) aborts the whole
+/// experiment promptly: the queue closes, the generator stops replaying the
+/// remaining schedule, and the failure — a panic's original payload
+/// included — is surfaced as soon as the workers unwind, not after the
+/// full arrival schedule has played out.
+///
 /// # Errors
 ///
 /// Returns an error when `requests` and `stream` disagree in length, the
 /// replica pool is empty, a request's shape does not match the replicas'
 /// model, or the accelerator datapath fails mid-run.
-pub fn serve_replay(
+///
+/// # Panics
+///
+/// Re-raises a replica worker's panic with its original payload.
+pub fn serve_replay_with(
     mut replicas: Vec<CentaurRuntime>,
     requests: &[InferenceRequest],
     stream: &QueryStream,
     policy: BatchPolicy,
+    options: ServeOptions,
 ) -> Result<ServeOutcome, CentaurError> {
     if replicas.is_empty() {
         return Err(CentaurError::NotInitialised("serving replica pool"));
@@ -148,49 +275,113 @@ pub fn serve_replay(
         request.check_shape(&model_config)?;
     }
 
-    let queue = ArrivalQueue::new();
-    let mut outcome = ServeOutcome {
-        completions: Vec::with_capacity(requests.len()),
-        batches: 0,
-    };
-    let mut worker_results: Vec<Result<(Vec<Completion>, usize), CentaurError>> = Vec::new();
+    let queue = ArrivalQueue::with_config(options.admission());
+    // Worst case every request is shed: pre-grow the log so the shedding
+    // path stays allocation-free in steady state.
+    queue.reserve_shed(requests.len());
+    let slo_s = options.slo_s();
+    let abort = AtomicBool::new(false);
+    let mut worker_results: Vec<WorkerResult> = Vec::new();
     std::thread::scope(|scope| {
-        let start = Instant::now();
+        let start = queue.start();
         let queue = &queue;
+        let abort = &abort;
         let handles: Vec<_> = replicas
             .iter_mut()
             .map(|runtime| {
                 let stage = ReplicaStage::new(&model_config, policy.max_batch());
-                scope.spawn(move || worker_loop(queue, requests, runtime, stage, policy, start))
+                scope.spawn(move || {
+                    guard_worker(queue, abort, move || {
+                        worker_loop(queue, requests, runtime, stage, policy, start)
+                    })
+                })
             })
             .collect();
 
         // Open-loop replay on this thread: release each query at its
-        // scheduled offset (bursts of overdue queries release back to back).
-        for (index, arrival_s) in stream.replay() {
+        // scheduled offset (bursts of overdue queries release back to
+        // back). Sleeps are sliced so a failed worker's abort is observed
+        // within milliseconds, not at the end of the schedule.
+        'replay: for (index, arrival_s) in stream.replay() {
             let target = start + Duration::from_secs_f64(arrival_s);
             loop {
+                if abort.load(Ordering::Relaxed) {
+                    break 'replay;
+                }
                 let now = Instant::now();
                 if now >= target {
                     break;
                 }
-                std::thread::sleep(target - now);
+                std::thread::sleep((target - now).min(Duration::from_millis(5)));
             }
-            queue.push(QueuedRequest { index, arrival_s });
+            let queued = QueuedRequest {
+                index,
+                arrival_s,
+                deadline_s: arrival_s + slo_s,
+            };
+            if !queue.push(queued) && queue.is_closed() {
+                // A worker failed and closed the queue mid-run.
+                break 'replay;
+            }
         }
         queue.close();
 
+        // The guard already catches panics inside the worker body, so the
+        // thread result and the guard result collapse into one layer.
         worker_results = handles
             .into_iter()
-            .map(|h| h.join().expect("serving worker panicked"))
+            .map(|h| h.join().unwrap_or_else(Err))
             .collect();
     });
+    let mut outcome = ServeOutcome {
+        completions: Vec::with_capacity(requests.len()),
+        batches: 0,
+        slo_s,
+        shed_admission: queue.shed_admission(),
+        shed_expired: queue.shed_expired(),
+        rejections: Vec::new(),
+    };
+    let mut failure: Option<CentaurError> = None;
     for result in worker_results {
-        let (completions, batches) = result?;
-        outcome.completions.extend(completions);
-        outcome.batches += batches;
+        match result {
+            // A panicking worker takes precedence: re-raise its payload.
+            Err(payload) => std::panic::resume_unwind(payload),
+            Ok(Ok((completions, batches))) => {
+                outcome.completions.extend(completions);
+                outcome.batches += batches;
+            }
+            Ok(Err(error)) => failure = failure.or(Some(error)),
+        }
     }
+    if let Some(error) = failure {
+        return Err(error);
+    }
+    outcome.rejections = queue
+        .take_shed()
+        .into_iter()
+        .map(|(shed, reason)| RejectedRequest {
+            id: requests[shed.index].id,
+            reason,
+        })
+        .collect();
     Ok(outcome)
+}
+
+/// Runs one worker body under a panic/failure guard: when the body panics
+/// or returns an error, the shared abort flag flips and the queue closes so
+/// the generator and sibling workers stop promptly instead of playing out
+/// the rest of the schedule. The panic payload (or error) is returned
+/// unaltered for the harness to surface.
+fn guard_worker<F>(queue: &ArrivalQueue, abort: &AtomicBool, body: F) -> WorkerResult
+where
+    F: FnOnce() -> Result<(Vec<Completion>, usize), CentaurError>,
+{
+    let result = catch_unwind(AssertUnwindSafe(body));
+    if !matches!(result, Ok(Ok(_))) {
+        abort.store(true, Ordering::Relaxed);
+        queue.close();
+    }
+    result
 }
 
 /// One replica's serving loop: pop a coalesced batch, stage it, run the
@@ -234,11 +425,16 @@ fn worker_loop(
 pub struct ServeReport {
     /// Offered load in queries per second.
     pub offered_qps: f64,
-    /// Batching policy label (`fifo`, `dynamic64`, …).
+    /// Traffic-shape label (`poisson`, `bursty`, `onoff`).
+    pub traffic: String,
+    /// Batching policy label (`fifo`, `dynamic64w1ms`, …).
     pub policy: String,
     /// Replica shards serving the queue.
     pub replicas: usize,
-    /// Requests completed.
+    /// The SLO this cell measured goodput against, in milliseconds
+    /// (`None` = no SLO; goodput equals throughput).
+    pub slo_ms: Option<f64>,
+    /// Requests completed (in time or not).
     pub completed: usize,
     /// Accelerator batches dispatched.
     pub batches: usize,
@@ -246,28 +442,77 @@ pub struct ServeReport {
     pub mean_batch: f64,
     /// Sustained completions per second.
     pub achieved_qps: f64,
+    /// Completions that met the SLO, per second of span.
+    pub goodput_qps: f64,
+    /// Requests shed (admission + expiry).
+    pub shed: usize,
+    /// Requests shed at the admission gate.
+    pub shed_admission: usize,
+    /// Requests shed at dequeue (deadline already passed).
+    pub shed_expired: usize,
+    /// Completions that arrived after their deadline.
+    pub deadline_misses: usize,
     /// End-to-end latency digest.
     pub latency: LatencySummary,
 }
 
-/// One cell's specification for [`run_serve_cell`]: the offered load, how
-/// many queries to replay and how to serve them.
+/// One cell's specification for [`run_serve_cell`]: the offered load, the
+/// traffic shape carrying it, how many queries to replay and how to serve
+/// them.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeCell {
-    /// Offered load in queries per second (Poisson arrivals).
+    /// Offered load in queries per second (long-run mean of the shape).
     pub offered_qps: f64,
+    /// Traffic shape modulating the arrivals.
+    pub shape: TrafficShape,
     /// Number of queries replayed.
     pub queries: usize,
     /// Batching policy serving the queue.
     pub policy: BatchPolicy,
     /// Replica shards serving the queue.
     pub replicas: usize,
+    /// SLO/overload-protection options for the run.
+    pub options: ServeOptions,
     /// Seed for the request set and the arrival schedule.
     pub seed: u64,
 }
 
+impl ServeCell {
+    /// The pre-overload-sweep cell: stationary Poisson arrivals, no SLO, no
+    /// shedding.
+    pub fn poisson(
+        offered_qps: f64,
+        queries: usize,
+        policy: BatchPolicy,
+        replicas: usize,
+        seed: u64,
+    ) -> Self {
+        ServeCell {
+            offered_qps,
+            shape: TrafficShape::Poisson,
+            queries,
+            policy,
+            replicas,
+            options: ServeOptions::default(),
+            seed,
+        }
+    }
+
+    /// Same cell under a different traffic shape.
+    pub fn with_shape(mut self, shape: TrafficShape) -> Self {
+        self.shape = shape;
+        self
+    }
+
+    /// Same cell under different SLO/overload-protection options.
+    pub fn with_options(mut self, options: ServeOptions) -> Self {
+        self.options = options;
+        self
+    }
+}
+
 /// Runs one serving cell end to end: pre-generates the request set and the
-/// Poisson arrival schedule, boots the cell's replica shards of `model`
+/// shaped arrival schedule, boots the cell's replica shards of `model`
 /// (one registration, cloned), replays the stream and digests the result.
 ///
 /// # Errors
@@ -283,25 +528,30 @@ pub fn run_serve_cell(
     let config = model.config().clone();
     let requests = generate_requests(&config, distribution, cell.seed, cell.queries);
     let stream = QueryStream::generate(
-        ArrivalProcess::Poisson {
-            rate_qps: cell.offered_qps,
-        },
+        cell.shape.process(cell.offered_qps),
         cell.queries,
         cell.seed ^ 0xA11,
     );
     let pool = CentaurRuntime::replica_pool(model.clone(), accel_config, cell.replicas)?;
-    let outcome = serve_replay(pool, &requests, &stream, cell.policy)?;
+    let outcome = serve_replay_with(pool, &requests, &stream, cell.policy, cell.options)?;
     let latency = outcome
         .latency_summary()
         .ok_or(CentaurError::NotInitialised("no completions recorded"))?;
     Ok(ServeReport {
         offered_qps: cell.offered_qps,
+        traffic: cell.shape.label().to_string(),
         policy: cell.policy.label(),
         replicas: cell.replicas,
+        slo_ms: cell.options.slo.map(|slo| slo.as_secs_f64() * 1e3),
         completed: outcome.completions.len(),
         batches: outcome.batches,
         mean_batch: outcome.mean_batch(),
         achieved_qps: outcome.achieved_qps(),
+        goodput_qps: outcome.goodput_qps(),
+        shed: outcome.shed(),
+        shed_admission: outcome.shed_admission,
+        shed_expired: outcome.shed_expired,
+        deadline_misses: outcome.deadline_misses(),
         latency,
     })
 }
@@ -342,7 +592,8 @@ pub fn calibrate_fifo_capacity_qps(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use centaur_dlrm::PaperModel;
+    use centaur_dlrm::{PaperModel, RejectReason};
+    use centaur_workload::ArrivalProcess;
 
     fn small_model() -> DlrmModel {
         let config = PaperModel::Dlrm1.config().with_rows_per_table(512);
@@ -370,6 +621,13 @@ mod tests {
         assert_eq!(outcome.completions.len(), 64, "every query is served");
         assert!(outcome.batches >= 8, "64 queries cap at batch 8");
         assert!(outcome.mean_batch() >= 1.0);
+        assert_eq!(outcome.shed(), 0, "permissive options shed nothing");
+        assert!(outcome.rejections.is_empty());
+        assert_eq!(
+            outcome.goodput_qps(),
+            outcome.achieved_qps(),
+            "with no SLO, goodput equals throughput"
+        );
         // Every id served exactly once.
         let mut ids: Vec<u64> = outcome.completions.iter().map(|c| c.id).collect();
         ids.sort_unstable();
@@ -412,27 +670,150 @@ mod tests {
     }
 
     #[test]
+    fn admission_gate_sheds_are_counted_and_surfaced() {
+        let model = small_model();
+        let config = model.config().clone();
+        let requests = generate_requests(&config, IndexDistribution::Uniform, 7, 256);
+        // A burst far beyond one replica's service rate with a depth-1
+        // queue: most arrivals shed at the door, every shed is surfaced.
+        let stream = QueryStream::generate(
+            ArrivalProcess::Poisson {
+                rate_qps: 500_000.0,
+            },
+            256,
+            2,
+        );
+        let pool = CentaurRuntime::replica_pool(model, CentaurConfig::harpv2(), 1).unwrap();
+        let options = ServeOptions {
+            slo: Some(Duration::from_millis(250)),
+            admission_depth: Some(1),
+            shed_expired: true,
+        };
+        let outcome =
+            serve_replay_with(pool, &requests, &stream, BatchPolicy::Fifo, options).unwrap();
+        assert_eq!(
+            outcome.completions.len() + outcome.shed(),
+            256,
+            "every request either completes or is counted shed"
+        );
+        assert!(outcome.shed_admission > 0, "depth-1 gate must shed a burst");
+        assert_eq!(outcome.rejections.len(), outcome.shed());
+        assert!(outcome
+            .rejections
+            .iter()
+            .any(|r| r.reason == RejectReason::QueueFull));
+        // Rejected ids refer to real requests and never also completed.
+        let completed: std::collections::HashSet<u64> =
+            outcome.completions.iter().map(|c| c.id).collect();
+        for rejection in &outcome.rejections {
+            assert!((rejection.id as usize) < requests.len());
+            assert!(!completed.contains(&rejection.id));
+        }
+    }
+
+    #[test]
+    fn worker_errors_abort_the_run_promptly() {
+        let model = small_model();
+        let config = model.config().clone();
+        let mut requests = generate_requests(&config, IndexDistribution::Uniform, 3, 400);
+        // Corrupt an early request so the datapath fails on it; the rest of
+        // the 20 s arrival schedule must NOT play out after the failure.
+        requests[0].sparse[0][0] = u32::MAX;
+        let stream = QueryStream::generate(ArrivalProcess::Uniform { rate_qps: 20.0 }, 400, 2);
+        let pool = CentaurRuntime::replica_pool(model, CentaurConfig::harpv2(), 2).unwrap();
+        let started = Instant::now();
+        let result = serve_replay(pool, &requests, &stream, BatchPolicy::Fifo);
+        let elapsed = started.elapsed();
+        assert!(result.is_err(), "corrupted request must fail the run");
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "failure surfaced in {elapsed:?}, not after the 20 s schedule"
+        );
+    }
+
+    #[test]
+    fn guarded_worker_preserves_the_panic_payload_and_aborts() {
+        let queue = ArrivalQueue::new();
+        let abort = AtomicBool::new(false);
+        let result = guard_worker(&queue, &abort, || panic!("replica blew up"));
+        let payload = result.expect_err("panic must be caught, not swallowed");
+        assert_eq!(
+            payload.downcast_ref::<&str>().copied(),
+            Some("replica blew up"),
+            "payload survives for resume_unwind"
+        );
+        assert!(abort.load(Ordering::Relaxed), "abort flag flips");
+        assert!(queue.is_closed(), "queue closes so siblings drain and exit");
+    }
+
+    #[test]
+    fn guarded_worker_flags_errors_too() {
+        let queue = ArrivalQueue::new();
+        let abort = AtomicBool::new(false);
+        let result = guard_worker(&queue, &abort, || {
+            Err(CentaurError::NotInitialised("synthetic failure"))
+        });
+        assert!(matches!(result, Ok(Err(_))));
+        assert!(abort.load(Ordering::Relaxed));
+        assert!(queue.is_closed());
+    }
+
+    #[test]
     fn run_serve_cell_produces_a_digest() {
         let model = small_model();
         let report = run_serve_cell(
             &model,
             CentaurConfig::harpv2(),
             IndexDistribution::Uniform,
-            ServeCell {
-                offered_qps: 5_000.0,
-                queries: 32,
-                policy: BatchPolicy::Fifo,
-                replicas: 1,
-                seed: 9,
-            },
+            ServeCell::poisson(5_000.0, 32, BatchPolicy::Fifo, 1, 9),
         )
         .unwrap();
         assert_eq!(report.completed, 32);
         assert_eq!(report.policy, "fifo");
+        assert_eq!(report.traffic, "poisson");
         assert_eq!(report.replicas, 1);
+        assert_eq!(report.slo_ms, None);
+        assert_eq!(report.shed, 0);
+        assert_eq!(report.deadline_misses, 0);
         assert!(report.achieved_qps > 0.0);
+        assert!(
+            (report.goodput_qps - report.achieved_qps).abs() < 1e-9,
+            "no SLO: goodput equals throughput"
+        );
         assert!(report.latency.p50_s > 0.0);
         assert!((report.mean_batch - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn run_serve_cell_reports_goodput_under_a_shaped_overload() {
+        let model = small_model();
+        let cell = ServeCell::poisson(
+            400_000.0,
+            192,
+            BatchPolicy::deadline_wave(Duration::from_micros(500)),
+            1,
+            13,
+        )
+        .with_shape(TrafficShape::Bursty)
+        .with_options(ServeOptions::overload_protected(
+            Duration::from_millis(2),
+            64,
+        ));
+        let report = run_serve_cell(
+            &model,
+            CentaurConfig::harpv2(),
+            IndexDistribution::Uniform,
+            cell,
+        )
+        .unwrap();
+        assert_eq!(report.traffic, "bursty");
+        assert_eq!(report.slo_ms, Some(2.0));
+        assert_eq!(report.completed + report.shed, 192, "full accounting");
+        assert_eq!(report.shed, report.shed_admission + report.shed_expired);
+        assert!(
+            report.goodput_qps <= report.achieved_qps + 1e-9,
+            "goodput can never exceed throughput"
+        );
     }
 
     #[test]

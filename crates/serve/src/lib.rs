@@ -8,10 +8,15 @@
 //!
 //! The moving parts:
 //!
-//! * [`BatchPolicy`] — batch-1 FIFO (the un-batched baseline) or dynamic
-//!   batching (coalesce until `max_batch` fills or `max_wait` expires);
+//! * [`BatchPolicy`] — batch-1 FIFO (the un-batched baseline), dynamic
+//!   batching (coalesce until `max_batch` fills or `max_wait` expires), or
+//!   deadline-aware dynamic batching (additionally dispatch partial when
+//!   the oldest held request's SLO slack runs out);
 //! * [`ArrivalQueue`] — the shared arrival queue between the open-loop load
-//!   generator and the replica workers;
+//!   generator and the replica workers, with an optional admission gate
+//!   (bounded depth, shed at enqueue) and dequeue shedding of already-dead
+//!   requests, both configured through [`AdmissionConfig`] /
+//!   [`ServeOptions`] and always counted — never silent;
 //! * [`ReplicaStage`] — per-replica staging buffers that copy a coalesced
 //!   batch into batch-major form and run the accelerator's batched path,
 //!   zero heap allocations in steady state;
@@ -21,8 +26,9 @@
 //!   thread each), recording per-request end-to-end latency against
 //!   *scheduled* arrivals (open-loop);
 //! * [`run_serve_cell`] / [`calibrate_fifo_capacity_qps`] — one sweep cell
-//!   (offered QPS × policy × replicas → [`ServeReport`]) and the
-//!   saturation-anchor measurement the sweeps place their loads around.
+//!   (offered QPS × traffic shape × policy × replicas → [`ServeReport`],
+//!   now with goodput-under-SLO and shed counts) and the saturation-anchor
+//!   measurement the sweeps place their loads around.
 //!
 //! ```no_run
 //! use centaur::{CentaurConfig, CentaurRuntime};
@@ -46,15 +52,20 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod env;
 pub mod harness;
 pub mod policy;
 pub mod queue;
 pub mod stage;
 
+pub use env::{
+    parse_serve_queue_depth, parse_serve_slo_ms, serve_queue_depth, serve_slo_ms,
+    DEFAULT_SERVE_SLO_MS, SERVE_QUEUE_DEPTH_VALUES, SERVE_SLO_MS_VALUES,
+};
 pub use harness::{
-    calibrate_fifo_capacity_qps, generate_requests, run_serve_cell, serve_replay, Completion,
-    ServeCell, ServeOutcome, ServeReport,
+    calibrate_fifo_capacity_qps, generate_requests, run_serve_cell, serve_replay,
+    serve_replay_with, Completion, ServeCell, ServeOptions, ServeOutcome, ServeReport,
 };
 pub use policy::BatchPolicy;
-pub use queue::{ArrivalQueue, QueuedRequest};
+pub use queue::{AdmissionConfig, ArrivalQueue, QueuedRequest};
 pub use stage::ReplicaStage;

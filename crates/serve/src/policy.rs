@@ -20,6 +20,23 @@ pub enum BatchPolicy {
         /// Longest a batch is held open waiting to fill.
         max_wait: Duration,
     },
+    /// Deadline-aware dynamic batching: coalesces like [`Dynamic`], but the
+    /// hold-open window additionally closes early when the *oldest* held
+    /// request's remaining SLO slack drops below `service_estimate` — the
+    /// batch dispatches partial rather than letting a request it already
+    /// holds expire while waiting for co-riders.
+    ///
+    /// [`Dynamic`]: BatchPolicy::Dynamic
+    Deadline {
+        /// Largest coalesced batch handed to the accelerator.
+        max_batch: usize,
+        /// Longest a batch is held open waiting to fill.
+        max_wait: Duration,
+        /// Expected service time of one dispatched batch — the margin the
+        /// oldest request needs before its deadline for the answer to still
+        /// arrive in time.
+        service_estimate: Duration,
+    },
 }
 
 impl BatchPolicy {
@@ -32,11 +49,26 @@ impl BatchPolicy {
         }
     }
 
+    /// The deadline-aware twin of [`dynamic_wave`]: same wave-sized batch
+    /// and 1 ms hold-open, dispatching early when the oldest held request
+    /// has less than `service_estimate` of SLO slack left.
+    ///
+    /// [`dynamic_wave`]: BatchPolicy::dynamic_wave
+    pub fn deadline_wave(service_estimate: Duration) -> BatchPolicy {
+        BatchPolicy::Deadline {
+            max_batch: centaur::BATCH_WAVE_SAMPLES,
+            max_wait: Duration::from_millis(1),
+            service_estimate,
+        }
+    }
+
     /// Largest batch this policy dispatches.
     pub fn max_batch(&self) -> usize {
         match *self {
             BatchPolicy::Fifo => 1,
-            BatchPolicy::Dynamic { max_batch, .. } => max_batch.max(1),
+            BatchPolicy::Dynamic { max_batch, .. } | BatchPolicy::Deadline { max_batch, .. } => {
+                max_batch.max(1)
+            }
         }
     }
 
@@ -44,16 +76,50 @@ impl BatchPolicy {
     pub fn max_wait(&self) -> Duration {
         match *self {
             BatchPolicy::Fifo => Duration::ZERO,
-            BatchPolicy::Dynamic { max_wait, .. } => max_wait,
+            BatchPolicy::Dynamic { max_wait, .. } | BatchPolicy::Deadline { max_wait, .. } => {
+                max_wait
+            }
         }
     }
 
-    /// Short label for bench/report output (`fifo`, `dynamic64`, …).
+    /// The slack margin below which a held batch dispatches early, or `None`
+    /// for deadline-oblivious policies.
+    pub fn dispatch_slack(&self) -> Option<Duration> {
+        match *self {
+            BatchPolicy::Deadline {
+                service_estimate, ..
+            } => Some(service_estimate),
+            _ => None,
+        }
+    }
+
+    /// Short label for bench/report output: `fifo`, `dynamic64w1ms`,
+    /// `deadline64w1ms`, … — the hold-open window is part of the label so
+    /// bench cells differing only in `max_wait` stay distinguishable.
     pub fn label(&self) -> String {
         match *self {
             BatchPolicy::Fifo => "fifo".to_string(),
-            BatchPolicy::Dynamic { max_batch, .. } => format!("dynamic{max_batch}"),
+            BatchPolicy::Dynamic {
+                max_batch,
+                max_wait,
+            } => format!("dynamic{max_batch}w{}", wait_label(max_wait)),
+            BatchPolicy::Deadline {
+                max_batch,
+                max_wait,
+                ..
+            } => format!("deadline{max_batch}w{}", wait_label(max_wait)),
         }
+    }
+}
+
+/// Compact duration label: whole milliseconds as `1ms`, sub-millisecond
+/// windows as `200us`.
+fn wait_label(wait: Duration) -> String {
+    let micros = wait.as_micros();
+    if micros.is_multiple_of(1_000) {
+        format!("{}ms", micros / 1_000)
+    } else {
+        format!("{micros}us")
     }
 }
 
@@ -65,21 +131,37 @@ mod tests {
     fn fifo_is_batch_one_no_wait() {
         assert_eq!(BatchPolicy::Fifo.max_batch(), 1);
         assert_eq!(BatchPolicy::Fifo.max_wait(), Duration::ZERO);
+        assert_eq!(BatchPolicy::Fifo.dispatch_slack(), None);
         assert_eq!(BatchPolicy::Fifo.label(), "fifo");
     }
 
     #[test]
-    fn dynamic_clamps_and_labels() {
+    fn dynamic_clamps_and_labels_with_the_hold_open_window() {
         let p = BatchPolicy::Dynamic {
             max_batch: 0,
             max_wait: Duration::from_micros(200),
         };
         assert_eq!(p.max_batch(), 1);
+        assert_eq!(p.label(), "dynamic0w200us");
         let wave = BatchPolicy::dynamic_wave();
         assert_eq!(wave.max_batch(), centaur::BATCH_WAVE_SAMPLES);
+        assert_eq!(wave.dispatch_slack(), None);
         assert_eq!(
             wave.label(),
-            format!("dynamic{}", centaur::BATCH_WAVE_SAMPLES)
+            format!("dynamic{}w1ms", centaur::BATCH_WAVE_SAMPLES)
+        );
+    }
+
+    #[test]
+    fn deadline_wave_carries_the_service_estimate() {
+        let est = Duration::from_micros(400);
+        let p = BatchPolicy::deadline_wave(est);
+        assert_eq!(p.max_batch(), centaur::BATCH_WAVE_SAMPLES);
+        assert_eq!(p.max_wait(), Duration::from_millis(1));
+        assert_eq!(p.dispatch_slack(), Some(est));
+        assert_eq!(
+            p.label(),
+            format!("deadline{}w1ms", centaur::BATCH_WAVE_SAMPLES)
         );
     }
 }

@@ -1,27 +1,81 @@
 //! The shared arrival queue between the load generator and the replica
 //! workers: requests land as they arrive and workers coalesce them into
 //! batches according to the [`BatchPolicy`].
+//!
+//! Overload protection lives here as two independently switchable gates
+//! configured through [`AdmissionConfig`]:
+//!
+//! * an **admission gate** — [`ArrivalQueue::push`] refuses new requests
+//!   while the queue already holds `max_depth` of them, so a burst sheds at
+//!   the door instead of building unbounded backlog every queued request
+//!   then pays for;
+//! * **dequeue shedding** — [`ArrivalQueue::pop_batch`] drops requests whose
+//!   deadline has already passed, so dead work never reaches the
+//!   accelerator.
+//!
+//! Both gates count what they shed (never silently) and park the shed
+//! requests in a log the harness drains into per-request rejections.
 
 use crate::policy::BatchPolicy;
+use centaur_dlrm::RejectReason;
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// One queued query: which pre-generated request arrived, and when it was
+/// One queued query: which pre-generated request arrived, when it was
 /// scheduled to arrive (seconds from experiment start — the open-loop
-/// latency clock starts here, not at enqueue time).
+/// latency clock starts here, not at enqueue time), and when its answer
+/// stops being useful.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueuedRequest {
     /// Index into the experiment's pre-generated request set.
     pub index: usize,
     /// Scheduled arrival offset in seconds from experiment start.
     pub arrival_s: f64,
+    /// Deadline offset in seconds from experiment start: the request is
+    /// dead once the clock passes this. `f64::INFINITY` means no deadline.
+    pub deadline_s: f64,
+}
+
+impl QueuedRequest {
+    /// A request with no deadline — pre-SLO behaviour.
+    pub fn new(index: usize, arrival_s: f64) -> Self {
+        QueuedRequest {
+            index,
+            arrival_s,
+            deadline_s: f64::INFINITY,
+        }
+    }
+
+    /// A request that must complete within `slo_s` of its scheduled arrival.
+    pub fn with_slo(index: usize, arrival_s: f64, slo_s: f64) -> Self {
+        QueuedRequest {
+            index,
+            arrival_s,
+            deadline_s: arrival_s + slo_s,
+        }
+    }
+}
+
+/// Overload-protection knobs for an [`ArrivalQueue`]. The default is fully
+/// permissive (unbounded depth, no shedding) — exactly the pre-admission
+/// behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdmissionConfig {
+    /// Refuse new requests while the queue already holds this many.
+    /// `None` = unbounded.
+    pub max_depth: Option<usize>,
+    /// Drop already-dead requests at dequeue instead of serving them.
+    pub shed_expired: bool,
 }
 
 #[derive(Debug)]
 struct QueueState {
     queue: VecDeque<QueuedRequest>,
     closed: bool,
+    shed_admission: usize,
+    shed_expired: usize,
+    shed_log: Vec<(QueuedRequest, RejectReason)>,
 }
 
 /// MPMC arrival queue (mutex + condvar; no external dependencies). The
@@ -31,33 +85,73 @@ struct QueueState {
 pub struct ArrivalQueue {
     state: Mutex<QueueState>,
     nonempty: Condvar,
+    config: AdmissionConfig,
+    start: Instant,
 }
 
 impl ArrivalQueue {
-    /// Creates an open, empty queue.
+    /// Creates an open, empty, fully permissive queue (unbounded depth, no
+    /// shedding).
     pub fn new() -> Self {
+        ArrivalQueue::with_config(AdmissionConfig::default())
+    }
+
+    /// Creates an open, empty queue with the given overload-protection
+    /// config. The queue's deadline clock starts now.
+    pub fn with_config(config: AdmissionConfig) -> Self {
         ArrivalQueue {
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
                 closed: false,
+                shed_admission: 0,
+                shed_expired: 0,
+                shed_log: Vec::new(),
             }),
             nonempty: Condvar::new(),
+            config,
+            start: Instant::now(),
         }
     }
 
-    /// Enqueues one arrived request and wakes a waiting worker.
-    pub fn push(&self, request: QueuedRequest) {
+    /// The instant the queue's deadline clock started — the experiment
+    /// start every `arrival_s`/`deadline_s` offset is measured from.
+    pub fn start(&self) -> Instant {
+        self.start
+    }
+
+    /// Enqueues one arrived request and wakes a waiting worker. Returns
+    /// `false` without enqueueing when the queue is closed, or when the
+    /// admission gate sheds the request because the queue is already at its
+    /// depth bound (counted in [`shed_admission`](Self::shed_admission)).
+    #[must_use = "a rejected push means the request was shed, not queued"]
+    pub fn push(&self, request: QueuedRequest) -> bool {
         let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return false;
+        }
+        if let Some(depth) = self.config.max_depth {
+            if state.queue.len() >= depth {
+                state.shed_admission += 1;
+                state.shed_log.push((request, RejectReason::QueueFull));
+                return false;
+            }
+        }
         state.queue.push_back(request);
         drop(state);
         self.nonempty.notify_one();
+        true
     }
 
     /// Marks the arrival stream finished; workers drain what is left and
-    /// then observe the close.
+    /// then observe the close. Pushes after this are rejected.
     pub fn close(&self) {
         self.state.lock().expect("queue poisoned").closed = true;
         self.nonempty.notify_all();
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue poisoned").closed
     }
 
     /// Queued-but-unserved requests right now.
@@ -65,18 +159,62 @@ impl ArrivalQueue {
         self.state.lock().expect("queue poisoned").queue.len()
     }
 
+    /// Requests shed at the admission gate so far.
+    pub fn shed_admission(&self) -> usize {
+        self.state.lock().expect("queue poisoned").shed_admission
+    }
+
+    /// Requests shed at dequeue (deadline already passed) so far.
+    pub fn shed_expired(&self) -> usize {
+        self.state.lock().expect("queue poisoned").shed_expired
+    }
+
+    /// Pre-grows the shed log so steady-state shedding never allocates.
+    pub fn reserve_shed(&self, additional: usize) {
+        self.state
+            .lock()
+            .expect("queue poisoned")
+            .shed_log
+            .reserve(additional);
+    }
+
+    /// Drains and returns every shed request recorded so far with why it
+    /// was shed, in shed order (admission and expiry sheds interleaved).
+    pub fn take_shed(&self) -> Vec<(QueuedRequest, RejectReason)> {
+        std::mem::take(&mut self.state.lock().expect("queue poisoned").shed_log)
+    }
+
     /// Pops the next batch into `out` (cleared first): blocks for the first
-    /// request, then — for a dynamic policy — keeps the batch open until it
-    /// fills to `max_batch` or `max_wait` elapses. Returns `false` when the
+    /// live request, then — for a dynamic policy — keeps the batch open
+    /// until it fills to `max_batch` or `max_wait` elapses. A deadline-aware
+    /// policy additionally closes the batch early when the oldest held
+    /// request's remaining slack drops to its `service_estimate`, so the
+    /// batch dispatches partial rather than expiring what it already holds.
+    /// With `shed_expired` set, already-dead requests are dropped (and
+    /// counted) instead of entering the batch. Returns `false` when the
     /// queue is closed and fully drained (no batch was produced).
     pub fn pop_batch(&self, policy: BatchPolicy, out: &mut Vec<QueuedRequest>) -> bool {
         out.clear();
         let max_batch = policy.max_batch();
+        let shed = self.config.shed_expired;
         let mut state = self.state.lock().expect("queue poisoned");
-        // Block until the batch can open.
+        // Block until the batch opens with a live request.
         loop {
-            if let Some(request) = state.queue.pop_front() {
+            let now_s = self.start.elapsed().as_secs_f64();
+            let mut opened = false;
+            while let Some(request) = state.queue.pop_front() {
+                if shed && request.deadline_s < now_s {
+                    state.shed_expired += 1;
+                    state
+                        .shed_log
+                        .push((request, RejectReason::DeadlineExpired));
+                    continue;
+                }
                 out.push(request);
+                opened = true;
+                break;
+            }
+            if opened {
                 break;
             }
             if state.closed {
@@ -84,13 +222,36 @@ impl ArrivalQueue {
             }
             state = self.nonempty.wait(state).expect("queue poisoned");
         }
+        // Hold-open deadline: the policy's max_wait, tightened for a
+        // deadline-aware policy by when the oldest held request must
+        // dispatch to finish inside its SLO. (Queue order is arrival
+        // order, so with a uniform SLO the first request held has the
+        // earliest deadline.)
+        let mut hold_until = Instant::now() + policy.max_wait();
+        if let Some(slack) = policy.dispatch_slack() {
+            let oldest_deadline_s = out[0].deadline_s;
+            if oldest_deadline_s.is_finite() {
+                let dispatch_by_s = (oldest_deadline_s - slack.as_secs_f64()).max(0.0);
+                let dispatch_by = self.start + Duration::from_secs_f64(dispatch_by_s);
+                hold_until = hold_until.min(dispatch_by);
+            }
+        }
         // Fill the open batch: drain whatever is queued, then wait out the
         // remainder of the hold-open window for co-riders.
-        let deadline = Instant::now() + policy.max_wait();
         loop {
+            let now_s = self.start.elapsed().as_secs_f64();
             while out.len() < max_batch {
                 match state.queue.pop_front() {
-                    Some(request) => out.push(request),
+                    Some(request) => {
+                        if shed && request.deadline_s < now_s {
+                            state.shed_expired += 1;
+                            state
+                                .shed_log
+                                .push((request, RejectReason::DeadlineExpired));
+                            continue;
+                        }
+                        out.push(request);
+                    }
                     None => break,
                 }
             }
@@ -98,12 +259,12 @@ impl ArrivalQueue {
                 break;
             }
             let now = Instant::now();
-            if now >= deadline {
+            if now >= hold_until {
                 break;
             }
             let (next, timeout) = self
                 .nonempty
-                .wait_timeout(state, deadline - now)
+                .wait_timeout(state, hold_until - now)
                 .expect("queue poisoned");
             state = next;
             if timeout.timed_out() && state.queue.is_empty() {
@@ -126,9 +287,16 @@ mod tests {
     use std::time::Duration;
 
     fn request(index: usize) -> QueuedRequest {
+        QueuedRequest::new(index, index as f64 * 0.001)
+    }
+
+    /// A request whose deadline passed before the experiment even started —
+    /// definitely dead without any timing dependence in the test.
+    fn dead_request(index: usize) -> QueuedRequest {
         QueuedRequest {
             index,
-            arrival_s: index as f64 * 0.001,
+            arrival_s: 0.0,
+            deadline_s: -1.0,
         }
     }
 
@@ -136,7 +304,7 @@ mod tests {
     fn fifo_pops_one_at_a_time_in_order() {
         let queue = ArrivalQueue::new();
         for i in 0..3 {
-            queue.push(request(i));
+            assert!(queue.push(request(i)));
         }
         let mut batch = Vec::new();
         for expected in 0..3 {
@@ -151,7 +319,7 @@ mod tests {
     fn dynamic_coalesces_everything_queued() {
         let queue = ArrivalQueue::new();
         for i in 0..5 {
-            queue.push(request(i));
+            assert!(queue.push(request(i)));
         }
         let policy = BatchPolicy::Dynamic {
             max_batch: 4,
@@ -167,13 +335,145 @@ mod tests {
     #[test]
     fn close_drains_then_stops() {
         let queue = ArrivalQueue::new();
-        queue.push(request(0));
+        assert!(queue.push(request(0)));
         queue.close();
         let mut batch = Vec::new();
         assert!(queue.pop_batch(BatchPolicy::Fifo, &mut batch));
         assert_eq!(batch.len(), 1);
         assert!(!queue.pop_batch(BatchPolicy::Fifo, &mut batch));
         assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn push_after_close_is_rejected_not_silently_queued() {
+        let queue = ArrivalQueue::new();
+        queue.close();
+        assert!(queue.is_closed());
+        assert!(!queue.push(request(0)), "closed queue must refuse pushes");
+        assert_eq!(queue.depth(), 0, "nothing may enqueue after close");
+        // A rejected-at-close push is not a shed: the stream itself ended.
+        assert_eq!(queue.shed_admission(), 0);
+    }
+
+    #[test]
+    fn admission_gate_sheds_exactly_the_overflow() {
+        let queue = ArrivalQueue::with_config(AdmissionConfig {
+            max_depth: Some(2),
+            shed_expired: false,
+        });
+        assert!(queue.push(request(0)));
+        assert!(queue.push(request(1)));
+        assert!(!queue.push(request(2)), "third push exceeds depth 2");
+        assert!(!queue.push(request(3)));
+        assert_eq!(queue.depth(), 2);
+        assert_eq!(queue.shed_admission(), 2);
+        assert_eq!(queue.shed_expired(), 0);
+        let shed: Vec<(usize, RejectReason)> = queue
+            .take_shed()
+            .iter()
+            .map(|&(q, reason)| (q.index, reason))
+            .collect();
+        assert_eq!(
+            shed,
+            vec![(2, RejectReason::QueueFull), (3, RejectReason::QueueFull)],
+            "shed log records exactly the overflow"
+        );
+        // Draining one slot re-opens admission.
+        let mut batch = Vec::new();
+        assert!(queue.pop_batch(BatchPolicy::Fifo, &mut batch));
+        assert!(queue.push(request(4)));
+        assert_eq!(queue.shed_admission(), 2, "re-admitted push is not a shed");
+    }
+
+    #[test]
+    fn expired_requests_are_shed_at_dequeue_with_exact_counters() {
+        let queue = ArrivalQueue::with_config(AdmissionConfig {
+            max_depth: None,
+            shed_expired: true,
+        });
+        assert!(queue.push(dead_request(0)));
+        assert!(queue.push(request(1)));
+        assert!(queue.push(dead_request(2)));
+        assert!(queue.push(request(3)));
+        queue.close();
+        let policy = BatchPolicy::Dynamic {
+            max_batch: 8,
+            max_wait: Duration::from_millis(10),
+        };
+        let mut batch = Vec::new();
+        assert!(queue.pop_batch(policy, &mut batch));
+        let served: Vec<usize> = batch.iter().map(|q| q.index).collect();
+        assert_eq!(served, vec![1, 3], "only live requests reach the batch");
+        assert_eq!(queue.shed_expired(), 2);
+        assert_eq!(queue.shed_admission(), 0);
+        let shed: Vec<(usize, RejectReason)> = queue
+            .take_shed()
+            .iter()
+            .map(|&(q, reason)| (q.index, reason))
+            .collect();
+        assert_eq!(
+            shed,
+            vec![
+                (0, RejectReason::DeadlineExpired),
+                (2, RejectReason::DeadlineExpired),
+            ]
+        );
+        assert!(!queue.pop_batch(policy, &mut batch), "queue is drained");
+    }
+
+    #[test]
+    fn all_expired_and_closed_pops_nothing_but_counts_everything() {
+        let queue = ArrivalQueue::with_config(AdmissionConfig {
+            max_depth: None,
+            shed_expired: true,
+        });
+        assert!(queue.push(dead_request(0)));
+        assert!(queue.push(dead_request(1)));
+        queue.close();
+        let mut batch = Vec::new();
+        assert!(
+            !queue.pop_batch(BatchPolicy::Fifo, &mut batch),
+            "a queue of only dead requests produces no batch"
+        );
+        assert!(batch.is_empty());
+        assert_eq!(queue.shed_expired(), 2);
+    }
+
+    #[test]
+    fn without_shedding_expired_requests_are_still_served() {
+        let queue = ArrivalQueue::new();
+        assert!(queue.push(dead_request(0)));
+        let mut batch = Vec::new();
+        assert!(queue.pop_batch(BatchPolicy::Fifo, &mut batch));
+        assert_eq!(batch[0].index, 0, "permissive queue serves dead requests");
+        assert_eq!(queue.shed_expired(), 0);
+    }
+
+    #[test]
+    fn deadline_policy_dispatches_partial_batch_before_the_slo_expires() {
+        let queue = ArrivalQueue::new();
+        // One lone request whose deadline is 50 ms out; the policy would
+        // otherwise hold the batch open for 10 s waiting for co-riders.
+        let lone = QueuedRequest {
+            index: 0,
+            arrival_s: 0.0,
+            deadline_s: 0.05,
+        };
+        assert!(queue.push(lone));
+        let policy = BatchPolicy::Deadline {
+            max_batch: 64,
+            max_wait: Duration::from_secs(10),
+            service_estimate: Duration::from_millis(5),
+        };
+        let mut batch = Vec::new();
+        let popped_in = Instant::now();
+        assert!(queue.pop_batch(policy, &mut batch));
+        let waited = popped_in.elapsed();
+        assert_eq!(batch.len(), 1, "dispatches partial rather than expiring");
+        assert!(
+            waited < Duration::from_secs(2),
+            "batch dispatched by the deadline, not after max_wait ({waited:?})"
+        );
     }
 
     #[test]
@@ -186,7 +486,7 @@ mod tests {
                 (served, batch)
             });
             std::thread::sleep(Duration::from_millis(10));
-            queue.push(request(9));
+            assert!(queue.push(request(9)));
             let (served, batch) = worker.join().unwrap();
             assert!(served);
             assert_eq!(batch[0].index, 9);

@@ -23,30 +23,308 @@ pub enum ArrivalProcess {
         /// Arrival rate in queries per second.
         rate_qps: f64,
     },
+    /// Two-state Markov-modulated Poisson process: Poisson arrivals whose
+    /// rate switches between a low and a high state, with exponentially
+    /// distributed dwell times in each state — the classic bursty-traffic
+    /// model (request floods arrive in episodes, not as a stationary
+    /// stream).
+    Mmpp2 {
+        /// Arrival rate while in the low state, queries per second.
+        rate_low_qps: f64,
+        /// Arrival rate while in the high (burst) state, queries per second.
+        rate_high_qps: f64,
+        /// Mean dwell time in the low state, seconds.
+        mean_dwell_low_s: f64,
+        /// Mean dwell time in the high state, seconds.
+        mean_dwell_high_s: f64,
+    },
+    /// On-off modulated Poisson (a square-wave "diurnal" superposition):
+    /// Poisson arrivals at `rate_on_qps` during on-windows of `on_s`
+    /// seconds, silence for `off_s` seconds between them, repeating from
+    /// stream start.
+    OnOff {
+        /// Arrival rate during on-windows, queries per second.
+        rate_on_qps: f64,
+        /// On-window length, seconds.
+        on_s: f64,
+        /// Off-window length, seconds.
+        off_s: f64,
+    },
 }
 
 impl ArrivalProcess {
-    /// Mean arrival rate in queries per second.
+    /// Long-run mean arrival rate in queries per second.
     pub fn rate_qps(&self) -> f64 {
         match *self {
             ArrivalProcess::Poisson { rate_qps } | ArrivalProcess::Uniform { rate_qps } => rate_qps,
+            ArrivalProcess::Mmpp2 {
+                rate_low_qps,
+                rate_high_qps,
+                mean_dwell_low_s,
+                mean_dwell_high_s,
+            } => {
+                let span = mean_dwell_low_s + mean_dwell_high_s;
+                (rate_low_qps * mean_dwell_low_s + rate_high_qps * mean_dwell_high_s) / span
+            }
+            ArrivalProcess::OnOff {
+                rate_on_qps,
+                on_s,
+                off_s,
+            } => rate_on_qps * on_s / (on_s + off_s),
         }
     }
 
-    /// Draws the next inter-arrival gap in seconds.
+    /// Short traffic-shape label for bench/report cells.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Poisson { .. } => "poisson",
+            ArrivalProcess::Uniform { .. } => "uniform",
+            ArrivalProcess::Mmpp2 { .. } => "mmpp2",
+            ArrivalProcess::OnOff { .. } => "onoff",
+        }
+    }
+
+    /// Draws the next inter-arrival gap in seconds. Only defined for the
+    /// memoryless (stateless) processes; the modulated shapes carry state
+    /// between arrivals and must be sampled through [`ArrivalSampler`] (or
+    /// [`QueryStream::generate`], which uses one internally).
     ///
     /// # Panics
     ///
-    /// Panics if the configured rate is not strictly positive.
+    /// Panics if the configured rate is not strictly positive, or on a
+    /// modulated process (`Mmpp2`, `OnOff`).
     pub fn next_gap_seconds(&self, rng: &mut StdRng) -> f64 {
         let rate = self.rate_qps();
         assert!(rate > 0.0, "arrival rate must be positive");
         match self {
-            ArrivalProcess::Poisson { .. } => {
-                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-                -u.ln() / rate
-            }
+            ArrivalProcess::Poisson { .. } => exp_gap(rng, rate),
             ArrivalProcess::Uniform { .. } => 1.0 / rate,
+            ArrivalProcess::Mmpp2 { .. } | ArrivalProcess::OnOff { .. } => panic!(
+                "modulated arrival processes are stateful; sample them through ArrivalSampler"
+            ),
+        }
+    }
+
+    /// Validates the process parameters (positive rates and dwell/window
+    /// lengths where they are required).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive rates, dwells or window lengths (a burst
+    /// state must burst; an off-window of zero is a plain Poisson stream
+    /// and should be written as one).
+    pub fn validate(&self) {
+        match *self {
+            ArrivalProcess::Poisson { rate_qps } | ArrivalProcess::Uniform { rate_qps } => {
+                assert!(rate_qps > 0.0, "arrival rate must be positive");
+            }
+            ArrivalProcess::Mmpp2 {
+                rate_low_qps,
+                rate_high_qps,
+                mean_dwell_low_s,
+                mean_dwell_high_s,
+            } => {
+                assert!(
+                    rate_low_qps > 0.0 && rate_high_qps > 0.0,
+                    "MMPP state rates must be positive"
+                );
+                assert!(
+                    mean_dwell_low_s > 0.0 && mean_dwell_high_s > 0.0,
+                    "MMPP mean dwell times must be positive"
+                );
+            }
+            ArrivalProcess::OnOff {
+                rate_on_qps,
+                on_s,
+                off_s,
+            } => {
+                assert!(rate_on_qps > 0.0, "on-window rate must be positive");
+                assert!(on_s > 0.0 && off_s > 0.0, "on/off windows must be positive");
+            }
+        }
+    }
+}
+
+/// Draws one exponential gap at `rate` events per second.
+fn exp_gap(rng: &mut StdRng, rate: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -u.ln() / rate
+}
+
+/// Stateful arrival-time sampler: owns the seeded RNG plus whatever
+/// modulation state the process carries (MMPP phase and dwell boundary),
+/// and yields successive **absolute** arrival offsets in seconds from
+/// stream start.
+///
+/// For the memoryless processes this draws exactly the same stream as the
+/// historical `next_gap_seconds` loop (bit-for-bit, same RNG call
+/// sequence), so pre-existing seeded Poisson/Uniform streams are unchanged.
+#[derive(Debug, Clone)]
+pub struct ArrivalSampler {
+    process: ArrivalProcess,
+    rng: StdRng,
+    /// Current absolute time, seconds from stream start.
+    t: f64,
+    /// MMPP: `true` while in the high (burst) state.
+    high: bool,
+    /// MMPP: absolute time the current state's dwell ends.
+    dwell_until: f64,
+}
+
+impl ArrivalSampler {
+    /// Creates a sampler for `process`, deterministically seeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the process parameters are invalid
+    /// (see [`ArrivalProcess::validate`]).
+    pub fn new(process: ArrivalProcess, seed: u64) -> Self {
+        process.validate();
+        let mut rng = StdRng::seed_from_u64(seed);
+        // MMPP starts in the low state with a full exponential dwell ahead
+        // of it; the other processes ignore these fields.
+        let dwell_until = match process {
+            ArrivalProcess::Mmpp2 {
+                mean_dwell_low_s, ..
+            } => exp_gap(&mut rng, 1.0 / mean_dwell_low_s),
+            _ => f64::INFINITY,
+        };
+        ArrivalSampler {
+            process,
+            rng,
+            t: 0.0,
+            high: false,
+            dwell_until,
+        }
+    }
+
+    /// Returns the next arrival's absolute offset in seconds from stream
+    /// start (strictly non-decreasing).
+    pub fn next_arrival_s(&mut self) -> f64 {
+        match self.process {
+            ArrivalProcess::Poisson { .. } | ArrivalProcess::Uniform { .. } => {
+                self.t += self.process.next_gap_seconds(&mut self.rng);
+            }
+            ArrivalProcess::Mmpp2 {
+                rate_low_qps,
+                rate_high_qps,
+                mean_dwell_low_s,
+                mean_dwell_high_s,
+            } => loop {
+                let rate = if self.high {
+                    rate_high_qps
+                } else {
+                    rate_low_qps
+                };
+                let gap = exp_gap(&mut self.rng, rate);
+                if self.t + gap <= self.dwell_until {
+                    self.t += gap;
+                    break;
+                }
+                // The candidate arrival falls past the state switch: jump to
+                // the switch and redraw at the new state's rate (correct by
+                // memorylessness of the exponential).
+                self.t = self.dwell_until;
+                self.high = !self.high;
+                let mean_dwell = if self.high {
+                    mean_dwell_high_s
+                } else {
+                    mean_dwell_low_s
+                };
+                self.dwell_until = self.t + exp_gap(&mut self.rng, 1.0 / mean_dwell);
+            },
+            ArrivalProcess::OnOff {
+                rate_on_qps,
+                on_s,
+                off_s,
+            } => loop {
+                let period = on_s + off_s;
+                // The jump target is computed as a window-index *product*
+                // rather than accumulated increments: adding `period - phase`
+                // onto a large `t` can advance it by less than one ulp and
+                // stall the walk. The product form has its own rounding trap —
+                // right after a jump to `k·period`, `t / period` can round to
+                // just below `k`, making `(window + 1)·period` land back on
+                // `t` itself — so jumps bump the index until they strictly
+                // advance.
+                let window = (self.t / period).floor();
+                let next_window_start = |mut w: f64, t: f64| loop {
+                    w += 1.0;
+                    let start = w * period;
+                    if start > t {
+                        return start;
+                    }
+                };
+                let phase = self.t - window * period;
+                if phase >= on_s {
+                    // Inside an off-window: jump to the next on-window.
+                    self.t = next_window_start(window, self.t);
+                    continue;
+                }
+                let gap = exp_gap(&mut self.rng, rate_on_qps);
+                if phase + gap < on_s {
+                    self.t += gap;
+                    break;
+                }
+                // Candidate lands past this on-window's end: jump to the
+                // next window start and redraw (memorylessness again).
+                self.t = next_window_start(window, self.t);
+            },
+        }
+        self.t
+    }
+}
+
+/// Named traffic-shape presets serving sweeps iterate over: each maps a
+/// target long-run mean rate to a concrete [`ArrivalProcess`], so bench
+/// cells can sweep `shape × load` with comparable offered work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficShape {
+    /// Stationary Poisson at the mean rate.
+    Poisson,
+    /// Bursty 2-state MMPP: 75 ms low-state dwells at ⅓× the mean rate,
+    /// 25 ms burst dwells at 3× — long-run mean equals the target
+    /// (¾·⅓ + ¼·3 = 1), but a burst offers 3× the provisioned load.
+    Bursty,
+    /// On-off square wave: 50 ms on at 2× the mean rate, 50 ms silent —
+    /// the diurnal/batch-ingest shape compressed to bench timescales.
+    OnOff,
+}
+
+impl TrafficShape {
+    /// Every preset, in sweep order.
+    pub fn all() -> [TrafficShape; 3] {
+        [
+            TrafficShape::Poisson,
+            TrafficShape::Bursty,
+            TrafficShape::OnOff,
+        ]
+    }
+
+    /// The concrete arrival process offering `mean_qps` long-run.
+    pub fn process(self, mean_qps: f64) -> ArrivalProcess {
+        match self {
+            TrafficShape::Poisson => ArrivalProcess::Poisson { rate_qps: mean_qps },
+            TrafficShape::Bursty => ArrivalProcess::Mmpp2 {
+                rate_low_qps: mean_qps / 3.0,
+                rate_high_qps: mean_qps * 3.0,
+                mean_dwell_low_s: 0.075,
+                mean_dwell_high_s: 0.025,
+            },
+            TrafficShape::OnOff => ArrivalProcess::OnOff {
+                rate_on_qps: mean_qps * 2.0,
+                on_s: 0.05,
+                off_s: 0.05,
+            },
+        }
+    }
+
+    /// Short label for bench/report cells.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrafficShape::Poisson => "poisson",
+            TrafficShape::Bursty => "bursty",
+            TrafficShape::OnOff => "onoff",
         }
     }
 }
@@ -61,12 +339,10 @@ pub struct QueryStream {
 impl QueryStream {
     /// Generates `count` arrivals from `process`, deterministically seeded.
     pub fn generate(process: ArrivalProcess, count: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut t = 0.0;
+        let mut sampler = ArrivalSampler::new(process, seed);
         let mut arrivals_s = Vec::with_capacity(count);
         for _ in 0..count {
-            t += process.next_gap_seconds(&mut rng);
-            arrivals_s.push(t);
+            arrivals_s.push(sampler.next_arrival_s());
         }
         QueryStream { arrivals_s }
     }
@@ -352,5 +628,146 @@ mod tests {
         let a = QueryStream::generate(ArrivalProcess::Poisson { rate_qps: 10.0 }, 50, 9);
         let b = QueryStream::generate(ArrivalProcess::Poisson { rate_qps: 10.0 }, 50, 9);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn modulated_generation_is_deterministic_and_monotonic() {
+        for process in [
+            TrafficShape::Bursty.process(5_000.0),
+            TrafficShape::OnOff.process(5_000.0),
+        ] {
+            let a = QueryStream::generate(process, 2_000, 17);
+            let b = QueryStream::generate(process, 2_000, 17);
+            assert_eq!(
+                a,
+                b,
+                "{} stream must be seed-deterministic",
+                process.label()
+            );
+            assert!(
+                a.arrivals_seconds().windows(2).all(|w| w[1] >= w[0]),
+                "{} arrivals must be non-decreasing",
+                process.label()
+            );
+            let c = QueryStream::generate(process, 2_000, 18);
+            assert_ne!(a, c, "different seeds must differ");
+        }
+    }
+
+    #[test]
+    fn mmpp2_long_run_rate_matches_the_configured_mean() {
+        let process = TrafficShape::Bursty.process(10_000.0);
+        assert!((process.rate_qps() - 10_000.0).abs() < 1e-9);
+        // Long stream: the measured rate converges on the configured mean.
+        let stream = QueryStream::generate(process, 100_000, 3);
+        let span = *stream.arrivals_seconds().last().unwrap();
+        let measured = stream.len() as f64 / span;
+        assert!(
+            (measured - 10_000.0).abs() / 10_000.0 < 0.08,
+            "measured mean rate {measured:.0} qps drifted from 10k"
+        );
+    }
+
+    #[test]
+    fn mmpp2_dwell_statistics_are_within_tolerance() {
+        // Count arrivals in dwell-sized windows: the burst state must show
+        // up as windows far above the mean rate and the low state far
+        // below — i.e. the index of dispersion (var/mean of window counts)
+        // is well above the ~1.0 a stationary Poisson stream would show.
+        let mean_qps = 20_000.0;
+        let window_s = 0.025;
+        let dispersion = |process: ArrivalProcess| {
+            let stream = QueryStream::generate(process, 200_000, 7);
+            let span = *stream.arrivals_seconds().last().unwrap();
+            let windows = (span / window_s).floor() as usize;
+            let mut counts = vec![0usize; windows];
+            for &t in stream.arrivals_seconds() {
+                let w = (t / window_s) as usize;
+                if w < windows {
+                    counts[w] += 1;
+                }
+            }
+            let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+            let var = counts
+                .iter()
+                .map(|&c| (c as f64 - mean).powi(2))
+                .sum::<f64>()
+                / counts.len() as f64;
+            var / mean
+        };
+        let poisson = dispersion(TrafficShape::Poisson.process(mean_qps));
+        let bursty = dispersion(TrafficShape::Bursty.process(mean_qps));
+        assert!(
+            (0.5..2.0).contains(&poisson),
+            "Poisson window counts should be near-Poisson dispersed, got {poisson:.2}"
+        );
+        assert!(
+            bursty > 10.0,
+            "MMPP burst/low states must overdisperse window counts, got {bursty:.2}"
+        );
+    }
+
+    #[test]
+    fn on_off_arrivals_only_land_in_on_windows_at_the_on_rate() {
+        let process = ArrivalProcess::OnOff {
+            rate_on_qps: 8_000.0,
+            on_s: 0.05,
+            off_s: 0.05,
+        };
+        assert!((process.rate_qps() - 4_000.0).abs() < 1e-9);
+        let stream = QueryStream::generate(process, 20_000, 5);
+        for &t in stream.arrivals_seconds() {
+            let phase = t.rem_euclid(0.1);
+            assert!(phase < 0.05, "arrival at {t:.4}s lands in an off-window");
+        }
+        // Within on-windows the rate is the on-rate, so the stream's mean
+        // over full periods is the duty-cycled mean.
+        let span = *stream.arrivals_seconds().last().unwrap();
+        let measured = stream.len() as f64 / span;
+        assert!(
+            (measured - 4_000.0).abs() / 4_000.0 < 0.08,
+            "duty-cycled mean rate {measured:.0} qps drifted from 4k"
+        );
+    }
+
+    #[test]
+    fn traffic_shapes_label_and_mean_preserving() {
+        for shape in TrafficShape::all() {
+            let process = shape.process(50_000.0);
+            assert!(
+                (process.rate_qps() - 50_000.0).abs() < 1e-6,
+                "{} preset must preserve the mean rate",
+                shape.label()
+            );
+        }
+        assert_eq!(TrafficShape::Poisson.label(), "poisson");
+        assert_eq!(TrafficShape::Bursty.label(), "bursty");
+        assert_eq!(TrafficShape::OnOff.label(), "onoff");
+        assert_eq!(TrafficShape::Bursty.process(1.0).label(), "mmpp2");
+        assert_eq!(TrafficShape::OnOff.process(1.0).label(), "onoff");
+        assert_eq!(ArrivalProcess::Uniform { rate_qps: 1.0 }.label(), "uniform");
+    }
+
+    #[test]
+    #[should_panic(expected = "stateful")]
+    fn modulated_gap_sampling_requires_the_sampler() {
+        let mut rng = StdRng::seed_from_u64(0);
+        TrafficShape::Bursty
+            .process(100.0)
+            .next_gap_seconds(&mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "dwell times must be positive")]
+    fn mmpp2_rejects_non_positive_dwells() {
+        ArrivalSampler::new(
+            ArrivalProcess::Mmpp2 {
+                rate_low_qps: 1.0,
+                rate_high_qps: 2.0,
+                mean_dwell_low_s: 0.0,
+                mean_dwell_high_s: 1.0,
+            },
+            0,
+        );
     }
 }

@@ -31,6 +31,6 @@ pub mod arrival;
 pub mod distribution;
 pub mod generator;
 
-pub use arrival::{ArrivalProcess, LatencySummary, QueryStream};
+pub use arrival::{ArrivalProcess, ArrivalSampler, LatencySummary, QueryStream, TrafficShape};
 pub use distribution::IndexDistribution;
 pub use generator::{FunctionalBatch, RequestGenerator};

@@ -321,4 +321,56 @@ fn steady_state_inference_paths_do_not_allocate() {
         packs_before_serving,
         "steady-state serving must never re-prepack"
     );
+
+    // --- Overload-protected queue steady state ------------------------------
+    // The shedding/deadline path: an admission-bounded queue with dequeue
+    // shedding, exercised through push (admitted + admission-shed) and
+    // deadline-aware pop_batch (expired requests shed, live ones batched).
+    // After the ring buffer and the shed log reach their high-water marks
+    // (one warm-up round + reserve_shed), sustained overload must not touch
+    // the heap — shedding is exactly the path that runs hottest when the
+    // server is drowning.
+    use centaur_serve::{AdmissionConfig, ArrivalQueue, BatchPolicy, QueuedRequest};
+    use std::time::Duration;
+    let queue = ArrivalQueue::with_config(AdmissionConfig {
+        max_depth: Some(8),
+        shed_expired: true,
+    });
+    queue.reserve_shed(256);
+    let policy = BatchPolicy::Deadline {
+        max_batch: 8,
+        max_wait: Duration::ZERO,
+        service_estimate: Duration::from_millis(1),
+    };
+    let mut shed_batch: Vec<QueuedRequest> = Vec::with_capacity(8);
+    let mut overload_round = || {
+        // Four already-dead requests, four live, two over the depth bound.
+        for i in 0..10usize {
+            let deadline_s = if i < 4 { -1.0 } else { f64::INFINITY };
+            let _ = queue.push(QueuedRequest {
+                index: i,
+                arrival_s: 0.0,
+                deadline_s,
+            });
+        }
+        // The pop sheds the four dead requests and batches the four live
+        // ones; ZERO max_wait means it never parks on the condvar.
+        assert!(queue.pop_batch(policy, &mut shed_batch));
+        assert_eq!(shed_batch.len(), 4);
+        assert_eq!(queue.depth(), 0);
+    };
+    overload_round(); // warm-up: grow the ring buffer to its high-water mark
+    let allocs = allocations_during(|| {
+        for _ in 0..10 {
+            overload_round();
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "overload-protected queue allocated in steady state"
+    );
+    // Every round sheds 2 at admission and 4 at dequeue (the retry loop in
+    // `allocations_during` may run a variable number of rounds).
+    assert!(queue.shed_admission() >= 2 * 11);
+    assert_eq!(queue.shed_expired(), 2 * queue.shed_admission());
 }
