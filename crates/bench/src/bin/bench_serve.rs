@@ -5,7 +5,7 @@
 //! Writes the machine-readable `BENCH_serve.json` tracked for the
 //! performance trajectory.
 //!
-//! Two sweeps share the document:
+//! Three sweeps share the document:
 //!
 //! 1. the **latency sweep** — offered QPS × batching policy × replica
 //!    count under stationary Poisson arrivals, loads anchored on a measured
@@ -16,18 +16,28 @@
 //!    dequeue shedding + deadline-aware dispatch, scored on
 //!    **goodput-under-SLO** (completions inside the SLO per second) — the
 //!    metric that keeps meaning past saturation, where raw qps counts
-//!    answers nobody can use.
+//!    answers nobody can use;
+//! 3. the **availability sweep** — seeded fault plan (crashes / stalls /
+//!    transient datapath errors) × load × serving variant against a
+//!    2-replica **supervised** pool: crashed workers' in-flight batches are
+//!    recovered and requeued with their original arrival stamps, replicas
+//!    restart against a pool-wide budget, and each cell reports
+//!    availability (completed / accepted), restarts, retries and
+//!    per-reason rejections.
 //!
 //! The SLO defaults to 5 ms and reads `CENTAUR_SERVE_SLO_MS`; the admission
 //! depth defaults to one SLO's worth of work at capacity and reads
-//! `CENTAUR_SERVE_QUEUE_DEPTH`.
+//! `CENTAUR_SERVE_QUEUE_DEPTH`. The supervision budgets read
+//! `CENTAUR_SERVE_RETRY_LIMIT` / `CENTAUR_SERVE_RESTART_BUDGET` (defaults
+//! 2 / 2), and `CENTAUR_SERVE_FAULT_PLAN` pins an explicit fault schedule
+//! on every faulted cell in place of the seeded ones.
 //!
 //! `CRITERION_QUICK=1` shrinks the offered windows to a smoke run (used by
 //! CI, where the numbers only need to exist, not to be stable).
 
 use centaur_bench::{ExperimentRunner, TextTable};
 use centaur_dlrm::PaperModel;
-use centaur_serve::{BatchPolicy, ServeOptions};
+use centaur_serve::{BatchPolicy, FaultSpec, ServeOptions, Supervision};
 use centaur_workload::TrafficShape;
 use std::time::Duration;
 
@@ -165,6 +175,79 @@ fn main() {
     table.print();
 
     reports.extend(overload);
+
+    // Availability sweep: the same goodput instrument pointed at faults —
+    // a supervised 2-replica pool rides out seeded crash/stall/transient
+    // schedules while the budgets bound retries and restarts.
+    let supervision = Supervision::new(
+        centaur_serve::serve_retry_limit(),
+        centaur_serve::serve_restart_budget(),
+    );
+    let fault_variants = [
+        (
+            BatchPolicy::dynamic_wave(),
+            ServeOptions::with_slo(slo).supervised(supervision),
+        ),
+        (
+            BatchPolicy::deadline_wave(service_estimate),
+            ServeOptions::overload_protected(slo, depth).supervised(supervision),
+        ),
+    ];
+    let fault_specs = [
+        FaultSpec::none(),
+        FaultSpec::crashes(1).with_seed(42),
+        FaultSpec::crashes(1)
+            .with_stalls(1)
+            .with_transients(2)
+            .with_stall_ms(2)
+            .with_seed(42),
+    ];
+    let fault_loads = [0.7, 1.0];
+    println!(
+        "availability sweep: supervision retry limit {}, restart budget {}",
+        supervision.retry_limit, supervision.restart_budget
+    );
+    let availability = runner.serve_availability_sweep(
+        &config,
+        capacity,
+        &fault_specs,
+        &fault_loads,
+        &fault_variants,
+        2,
+        overload_duration_s,
+        overload_max_queries,
+    );
+
+    let mut table = TextTable::new(
+        &format!("Availability under injected faults, {model} @ 64K rows/table (measured, 2 supervised replicas)"),
+        &[
+            "Faults",
+            "Offered qps",
+            "Policy",
+            "Availability",
+            "Goodput qps",
+            "Restarts",
+            "Retries",
+            "Failed",
+            "Shed",
+        ],
+    );
+    for r in &availability {
+        table.add_row(vec![
+            r.faults.clone(),
+            format!("{:.0}", r.offered_qps),
+            r.policy.clone(),
+            format!("{:.4}", r.availability),
+            format!("{:.0}", r.goodput_qps),
+            r.restarts.to_string(),
+            r.retries.to_string(),
+            r.failed.to_string(),
+            r.shed.to_string(),
+        ]);
+    }
+    table.print();
+
+    reports.extend(availability);
     let json = ExperimentRunner::bench_serve_json(model.label(), capacity, &reports);
     let path = "BENCH_serve.json";
     match std::fs::write(path, &json) {

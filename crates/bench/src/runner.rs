@@ -604,6 +604,70 @@ impl ExperimentRunner {
         reports
     }
 
+    /// Runs the availability-under-faults sweep: for every `fault spec ×
+    /// load multiplier × serving variant` cell, replays a seeded Poisson
+    /// stream against a **supervised** replica pool while a deterministic
+    /// fault plan (sampled from the spec over the cell's replay window)
+    /// injects crashes, stalls and transient datapath errors — and digests
+    /// availability, restarts, retries and per-reason rejections alongside
+    /// the goodput metrics. Every variant must carry supervision in its
+    /// [`ServeOptions`]; a `CENTAUR_SERVE_FAULT_PLAN` env override replaces
+    /// the seeded schedule of every faulted cell.
+    ///
+    /// Cells run **sequentially** for the same reason as
+    /// [`serve_latency_sweep`](Self::serve_latency_sweep).
+    ///
+    /// [`ServeOptions`]: centaur_serve::ServeOptions
+    ///
+    /// # Panics
+    ///
+    /// Panics when the model does not fit the accelerator or a serving run
+    /// fails — fixed, known-good configurations (the supervised pool
+    /// absorbs the injected faults rather than aborting).
+    #[allow(clippy::too_many_arguments)]
+    pub fn serve_availability_sweep(
+        &self,
+        config: &ModelConfig,
+        capacity_qps: f64,
+        faults: &[centaur_serve::FaultSpec],
+        load_multipliers: &[f64],
+        variants: &[(centaur_serve::BatchPolicy, centaur_serve::ServeOptions)],
+        replicas: usize,
+        duration_s: f64,
+        max_queries: usize,
+    ) -> Vec<centaur_serve::ServeReport> {
+        let model = DlrmModel::random(config, self.seed).expect("valid benchmark model");
+        let mut reports =
+            Vec::with_capacity(faults.len() * load_multipliers.len() * variants.len());
+        for &spec in faults {
+            for &multiplier in load_multipliers {
+                let qps = multiplier * capacity_qps;
+                let queries = ((qps * duration_s).ceil() as usize).clamp(64, max_queries.max(64));
+                for &(policy, options) in variants {
+                    reports.push(
+                        centaur_serve::run_serve_cell(
+                            &model,
+                            centaur::CentaurConfig::harpv2(),
+                            self.distribution,
+                            centaur_serve::ServeCell::poisson(
+                                qps, queries, policy, replicas, self.seed,
+                            )
+                            .with_options(options)
+                            .with_faults(spec),
+                        )
+                        .unwrap_or_else(|e| {
+                            panic!(
+                                "availability cell failed ({spec:?}, {qps:.0} qps, {}): {e}",
+                                policy.label(),
+                            )
+                        }),
+                    );
+                }
+            }
+        }
+        reports
+    }
+
     /// Measures the batch-1 FIFO saturation capacity of `config` on one
     /// replica — the anchor [`ExperimentRunner::serve_latency_sweep`]
     /// callers place offered loads around.
@@ -628,7 +692,10 @@ impl ExperimentRunner {
     /// achieved throughput, goodput under the cell's SLO, shed counts, mean
     /// coalesced batch and the full latency digest (mean, p50/p95/p99/p99.9,
     /// max). Cells without an SLO write `"slo_ms": null` and goodput equals
-    /// throughput.
+    /// throughput. Fault-tolerance columns ride on every point: the fault
+    /// plan label, availability, per-reason rejection counts (`failed`
+    /// alongside the shed split), restarts, retries and replicas lost —
+    /// `"faults": "none"` with availability 1.0 on fault-free cells.
     pub fn bench_serve_json(
         model_name: &str,
         fifo_capacity_qps: f64,
@@ -646,6 +713,8 @@ impl ExperimentRunner {
                  \"replicas\": {}, \"slo_ms\": {}, \"completed\": {}, \
                  \"achieved_qps\": {:.1}, \"goodput_qps\": {:.1}, \"shed\": {}, \
                  \"shed_admission\": {}, \"shed_expired\": {}, \"deadline_misses\": {}, \
+                 \"faults\": \"{}\", \"availability\": {:.6}, \"failed\": {}, \
+                 \"retries\": {}, \"restarts\": {}, \"replicas_lost\": {}, \
                  \"mean_batch\": {:.2}, \
                  \"mean_s\": {:.6}, \"p50_s\": {:.6}, \"p95_s\": {:.6}, \"p99_s\": {:.6}, \
                  \"p999_s\": {:.6}, \"max_s\": {:.6}}}{}\n",
@@ -661,6 +730,12 @@ impl ExperimentRunner {
                 r.shed_admission,
                 r.shed_expired,
                 r.deadline_misses,
+                r.faults,
+                r.availability,
+                r.failed,
+                r.retries,
+                r.restarts,
+                r.replicas_lost,
                 r.mean_batch,
                 r.latency.mean_s,
                 r.latency.p50_s,
@@ -961,6 +1036,59 @@ mod tests {
         assert!(json.contains("\"traffic\": \"bursty\""));
         assert!(json.contains("\"slo_ms\": 5.0"));
         assert_eq!(json.matches("\"goodput_qps\":").count(), 8);
+        // Fault-free cells still carry the availability columns.
+        assert_eq!(json.matches("\"faults\": \"none\"").count(), 8);
+        assert_eq!(json.matches("\"availability\": 1.000000").count(), 8);
+    }
+
+    #[test]
+    fn availability_sweep_survives_injected_faults_with_full_accounting() {
+        use std::time::Duration;
+        let runner = ExperimentRunner::new();
+        let config = PaperModel::Dlrm1.config().with_rows_per_table(512);
+        let slo = Duration::from_millis(5);
+        let supervision = centaur_serve::Supervision::default();
+        let variants = [(
+            centaur_serve::BatchPolicy::dynamic_wave(),
+            centaur_serve::ServeOptions::with_slo(slo).supervised(supervision),
+        )];
+        let faults = [
+            centaur_serve::FaultSpec::none(),
+            centaur_serve::FaultSpec::crashes(1).with_seed(41),
+        ];
+        let reports = runner.serve_availability_sweep(
+            &config,
+            20_000.0,
+            &faults,
+            &[0.8],
+            &variants,
+            2,
+            0.02,
+            256,
+        );
+        assert_eq!(reports.len(), 2, "2 fault specs × 1 load × 1 variant");
+        let clean = &reports[0];
+        assert_eq!(clean.faults, "none");
+        assert_eq!(clean.restarts, 0);
+        assert_eq!(clean.availability, 1.0);
+        let crashed = &reports[1];
+        assert_eq!(crashed.faults, "c1");
+        assert_eq!(crashed.restarts, 1, "the crashed replica restarted");
+        assert_eq!(crashed.replicas_lost, 0);
+        for r in &reports {
+            // queries = clamp(ceil(0.8 × 20k × 0.02 s), 64, 256) = 256.
+            assert_eq!(
+                r.completed + r.shed + r.failed,
+                256,
+                "every generated request reached exactly one terminal state"
+            );
+            assert!(r.availability >= 0.99, "availability {}", r.availability);
+        }
+        let json = ExperimentRunner::bench_serve_json("DLRM(1)", 20_000.0, &reports);
+        assert!(json.contains("\"faults\": \"c1\""));
+        assert_eq!(json.matches("\"restarts\":").count(), 2);
+        assert_eq!(json.matches("\"failed\":").count(), 2);
+        assert_eq!(json.matches("\"replicas_lost\":").count(), 2);
     }
 
     #[test]

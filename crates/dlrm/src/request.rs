@@ -72,27 +72,39 @@ pub enum RejectReason {
     /// worker reached it, so serving it would waste accelerator time on an
     /// answer the caller no longer wants.
     DeadlineExpired,
+    /// Failed after exhausting its retry budget: every serve attempt ended
+    /// in a replica crash or datapath error, and the supervisor gave up
+    /// rather than retry forever. Never silent — a failed request surfaces
+    /// here exactly like a shed one.
+    Failed,
 }
 
 impl RejectReason {
-    /// Short label for report output (`queue_full`, `deadline_expired`).
+    /// Short label for report output (`queue_full`, `deadline_expired`,
+    /// `failed`).
     pub fn label(&self) -> &'static str {
         match self {
             RejectReason::QueueFull => "queue_full",
             RejectReason::DeadlineExpired => "deadline_expired",
+            RejectReason::Failed => "failed",
         }
     }
 }
 
 /// The wire-level refusal of one [`InferenceRequest`] — what an
 /// overload-protected deployment sends back instead of a prediction when it
-/// sheds the request.
+/// sheds or fails the request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RejectedRequest {
     /// The request id this refuses.
     pub id: u64,
-    /// Why it was shed.
+    /// Why it was refused.
     pub reason: RejectReason,
+    /// Retry metadata: how many times the request was re-served after a
+    /// replica crash or datapath error before this refusal. Always `0` for
+    /// admission/deadline sheds (those never reached a replica); for
+    /// [`RejectReason::Failed`] it equals the exhausted retry budget.
+    pub retries: u32,
 }
 
 #[cfg(test)]
@@ -131,12 +143,20 @@ mod tests {
     fn reject_reasons_label_distinctly() {
         assert_eq!(RejectReason::QueueFull.label(), "queue_full");
         assert_eq!(RejectReason::DeadlineExpired.label(), "deadline_expired");
+        assert_eq!(RejectReason::Failed.label(), "failed");
         let rejected = RejectedRequest {
             id: 3,
             reason: RejectReason::DeadlineExpired,
+            retries: 0,
         };
         assert_eq!(rejected.id, 3);
         assert_eq!(rejected.reason, RejectReason::DeadlineExpired);
+        let failed = RejectedRequest {
+            id: 4,
+            reason: RejectReason::Failed,
+            retries: 2,
+        };
+        assert_eq!(failed.retries, 2, "failed requests carry retry metadata");
     }
 
     #[test]

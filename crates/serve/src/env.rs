@@ -7,8 +7,17 @@
 //! * `CENTAUR_SERVE_SLO_MS` — the per-request latency SLO in milliseconds
 //!   used by overload sweeps when no explicit SLO is passed (default 5 ms);
 //! * `CENTAUR_SERVE_QUEUE_DEPTH` — the admission gate's depth bound
-//!   (default: unbounded; overload sweeps size it from capacity × SLO).
+//!   (default: unbounded; overload sweeps size it from capacity × SLO);
+//! * `CENTAUR_SERVE_RETRY_LIMIT` — per-request retry budget under
+//!   supervision (default 2; `0` = fail on the first error);
+//! * `CENTAUR_SERVE_RESTART_BUDGET` — pool-wide replica-restart budget
+//!   under supervision (default 2; `0` = crashed replicas stay dead);
+//! * `CENTAUR_SERVE_FAULT_PLAN` — an explicit fault schedule overriding a
+//!   faulted sweep cell's seeded plan (format: comma-separated
+//!   `crash:replica:at_ms`, `transient:replica:at_ms`,
+//!   `stall:replica:at_ms:stall_ms`).
 
+use crate::fault::FaultPlan;
 use std::sync::OnceLock;
 
 /// Parses a `CENTAUR_SERVE_SLO_MS` value. Returns `None` for anything that
@@ -32,12 +41,54 @@ pub fn parse_serve_queue_depth(value: &str) -> Option<usize> {
 /// Accepted `CENTAUR_SERVE_QUEUE_DEPTH` values, for error messages.
 pub const SERVE_QUEUE_DEPTH_VALUES: &str = "a positive integer (e.g. 512, 4096)";
 
+/// Parses a `CENTAUR_SERVE_RETRY_LIMIT` value. Returns `None` for anything
+/// that is not a non-negative integer (see [`SERVE_RETRY_LIMIT_VALUES`]).
+/// Zero is valid: fail a request on its first error, no retries.
+pub fn parse_serve_retry_limit(value: &str) -> Option<u32> {
+    value.parse::<u32>().ok()
+}
+
+/// Accepted `CENTAUR_SERVE_RETRY_LIMIT` values, for error messages.
+pub const SERVE_RETRY_LIMIT_VALUES: &str = "a non-negative integer (e.g. 0, 2)";
+
+/// Parses a `CENTAUR_SERVE_RESTART_BUDGET` value. Returns `None` for
+/// anything that is not a non-negative integer (see
+/// [`SERVE_RESTART_BUDGET_VALUES`]). Zero is valid: crashed replicas stay
+/// dead.
+pub fn parse_serve_restart_budget(value: &str) -> Option<usize> {
+    value.parse::<usize>().ok()
+}
+
+/// Accepted `CENTAUR_SERVE_RESTART_BUDGET` values, for error messages.
+pub const SERVE_RESTART_BUDGET_VALUES: &str = "a non-negative integer (e.g. 0, 2)";
+
+/// Parses a `CENTAUR_SERVE_FAULT_PLAN` value (see
+/// [`SERVE_FAULT_PLAN_VALUES`]); delegates to [`FaultPlan::parse`].
+pub fn parse_serve_fault_plan(value: &str) -> Option<FaultPlan> {
+    FaultPlan::parse(value)
+}
+
+/// Accepted `CENTAUR_SERVE_FAULT_PLAN` values, for error messages.
+pub const SERVE_FAULT_PLAN_VALUES: &str = "comma-separated events: \
+     crash:<replica>:<at_ms>, transient:<replica>:<at_ms>, or \
+     stall:<replica>:<at_ms>:<stall_ms> (e.g. \"crash:0:50,transient:1:120\")";
+
 /// Built-in default SLO for overload sweeps, in milliseconds — tight enough
 /// that an unshedded backlog past the knee blows straight through it.
 pub const DEFAULT_SERVE_SLO_MS: f64 = 5.0;
 
+/// Built-in per-request retry budget under supervision: enough to ride out
+/// a crash plus one unlucky rebatch without letting a poison request spin.
+pub const DEFAULT_SERVE_RETRY_LIMIT: u32 = 2;
+
+/// Built-in pool-wide replica-restart budget under supervision.
+pub const DEFAULT_SERVE_RESTART_BUDGET: usize = 2;
+
 static ENV_SLO_MS: OnceLock<f64> = OnceLock::new();
 static ENV_QUEUE_DEPTH: OnceLock<Option<usize>> = OnceLock::new();
+static ENV_RETRY_LIMIT: OnceLock<u32> = OnceLock::new();
+static ENV_RESTART_BUDGET: OnceLock<usize> = OnceLock::new();
+static ENV_FAULT_PLAN: OnceLock<Option<FaultPlan>> = OnceLock::new();
 
 /// The SLO (milliseconds) overload sweeps use when the caller does not pass
 /// one explicitly: `CENTAUR_SERVE_SLO_MS` if set and valid, else
@@ -77,6 +128,65 @@ pub fn serve_queue_depth() -> Option<usize> {
     })
 }
 
+/// The per-request retry budget supervised sweeps use when the caller does
+/// not pass one explicitly: `CENTAUR_SERVE_RETRY_LIMIT` if set and valid,
+/// else [`DEFAULT_SERVE_RETRY_LIMIT`]. Malformed values warn once and fall
+/// back.
+pub fn serve_retry_limit() -> u32 {
+    *ENV_RETRY_LIMIT.get_or_init(|| match std::env::var("CENTAUR_SERVE_RETRY_LIMIT") {
+        Ok(value) => parse_serve_retry_limit(&value).unwrap_or_else(|| {
+            eprintln!(
+                "warning: invalid CENTAUR_SERVE_RETRY_LIMIT value {value:?}, \
+                 expected {SERVE_RETRY_LIMIT_VALUES}; \
+                 using the built-in default ({DEFAULT_SERVE_RETRY_LIMIT})"
+            );
+            DEFAULT_SERVE_RETRY_LIMIT
+        }),
+        Err(_) => DEFAULT_SERVE_RETRY_LIMIT,
+    })
+}
+
+/// The pool-wide restart budget supervised sweeps use when the caller does
+/// not pass one explicitly: `CENTAUR_SERVE_RESTART_BUDGET` if set and
+/// valid, else [`DEFAULT_SERVE_RESTART_BUDGET`]. Malformed values warn once
+/// and fall back.
+pub fn serve_restart_budget() -> usize {
+    *ENV_RESTART_BUDGET.get_or_init(|| match std::env::var("CENTAUR_SERVE_RESTART_BUDGET") {
+        Ok(value) => parse_serve_restart_budget(&value).unwrap_or_else(|| {
+            eprintln!(
+                "warning: invalid CENTAUR_SERVE_RESTART_BUDGET value {value:?}, \
+                     expected {SERVE_RESTART_BUDGET_VALUES}; \
+                     using the built-in default ({DEFAULT_SERVE_RESTART_BUDGET})"
+            );
+            DEFAULT_SERVE_RESTART_BUDGET
+        }),
+        Err(_) => DEFAULT_SERVE_RESTART_BUDGET,
+    })
+}
+
+/// The explicit fault plan overriding faulted sweep cells' seeded
+/// schedules: `CENTAUR_SERVE_FAULT_PLAN` if set and valid, else `None`
+/// (each faulted cell samples its own seeded plan). Malformed values warn
+/// once and fall back. Cloned per call — the plan is consumed per run.
+pub fn serve_fault_plan() -> Option<FaultPlan> {
+    ENV_FAULT_PLAN
+        .get_or_init(|| match std::env::var("CENTAUR_SERVE_FAULT_PLAN") {
+            Ok(value) => match parse_serve_fault_plan(&value) {
+                Some(plan) => Some(plan),
+                None => {
+                    eprintln!(
+                        "warning: invalid CENTAUR_SERVE_FAULT_PLAN value {value:?}, \
+                         expected {SERVE_FAULT_PLAN_VALUES}; \
+                         using each cell's seeded fault schedule"
+                    );
+                    None
+                }
+            },
+            Err(_) => None,
+        })
+        .clone()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,6 +214,40 @@ mod tests {
     }
 
     #[test]
+    fn retry_limit_parser_accepts_non_negative_integers_only() {
+        assert_eq!(parse_serve_retry_limit("0"), Some(0), "0 = no retries");
+        assert_eq!(parse_serve_retry_limit("2"), Some(2));
+        assert_eq!(parse_serve_retry_limit("-1"), None);
+        assert_eq!(parse_serve_retry_limit("2.5"), None);
+        assert_eq!(parse_serve_retry_limit("forever"), None);
+        assert_eq!(parse_serve_retry_limit(""), None);
+    }
+
+    #[test]
+    fn restart_budget_parser_accepts_non_negative_integers_only() {
+        assert_eq!(
+            parse_serve_restart_budget("0"),
+            Some(0),
+            "0 = crashed replicas stay dead"
+        );
+        assert_eq!(parse_serve_restart_budget("3"), Some(3));
+        assert_eq!(parse_serve_restart_budget("-2"), None);
+        assert_eq!(parse_serve_restart_budget("1.5"), None);
+        assert_eq!(parse_serve_restart_budget("many"), None);
+    }
+
+    #[test]
+    fn fault_plan_parser_delegates_to_the_documented_format() {
+        let plan = parse_serve_fault_plan("crash:0:50,transient:1:120").unwrap();
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.label(), "c1t1");
+        assert!(parse_serve_fault_plan("stall:0:10:5").is_some());
+        assert!(parse_serve_fault_plan("reboot:0:50").is_none());
+        assert!(parse_serve_fault_plan("crash:0").is_none());
+        assert!(parse_serve_fault_plan("").is_none());
+    }
+
+    #[test]
     fn accessors_fall_back_to_the_builtin_defaults() {
         // The OnceLocks read the env at most once per process; in the test
         // suite the variables are unset, so the accessors must return the
@@ -111,5 +255,8 @@ mod tests {
         assert_eq!(serve_slo_ms(), DEFAULT_SERVE_SLO_MS);
         assert_eq!(serve_slo_ms(), DEFAULT_SERVE_SLO_MS);
         assert_eq!(serve_queue_depth(), None);
+        assert_eq!(serve_retry_limit(), DEFAULT_SERVE_RETRY_LIMIT);
+        assert_eq!(serve_restart_budget(), DEFAULT_SERVE_RESTART_BUDGET);
+        assert_eq!(serve_fault_plan(), None);
     }
 }

@@ -1,0 +1,527 @@
+//! Deterministic fault injection for the serving layer.
+//!
+//! A [`FaultPlan`] schedules crash / stall / transient-error events against
+//! specific replicas at specific times into the replay. Each replica worker
+//! carries a [`FaultGuard`] — the per-replica slice of the plan — and polls
+//! it once per coalesced batch, *after* the batch has been popped and
+//! published as in-flight, so an injected crash takes a real in-flight
+//! batch down with it exactly like a production node loss would.
+//!
+//! Plans are either built explicitly ([`FaultPlan::new`]), sampled
+//! deterministically from a seeded [`FaultSpec`] via the workload crate's
+//! [`FaultScheduleSampler`](centaur_workload::FaultScheduleSampler)
+//! ([`FaultPlan::seeded`]), or parsed from the `CENTAUR_SERVE_FAULT_PLAN`
+//! environment knob ([`FaultPlan::parse`], format documented there).
+
+use centaur::CentaurError;
+use centaur_workload::FaultScheduleSampler;
+use std::time::Duration;
+
+/// What an injected fault does to the replica worker that polls it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The worker panics mid-batch (after publishing its in-flight batch) —
+    /// a process/node crash. The supervisor recovers the in-flight batch
+    /// and restarts the replica against the restart budget.
+    Crash,
+    /// The worker sleeps for `millis` while holding its batch — a GC pause,
+    /// a page-in storm, a slow NIC. No state is lost; the held requests age
+    /// (and may miss their deadlines), siblings absorb the load.
+    Stall {
+        /// Stall length in milliseconds.
+        millis: u64,
+    },
+    /// The current batch fails with a datapath error but the replica
+    /// survives — a parity error, a flaky link. The batch is requeued
+    /// against each request's retry budget.
+    Transient,
+}
+
+impl FaultKind {
+    /// Short label (`crash`, `stall`, `transient`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::Crash => "crash",
+            FaultKind::Stall { .. } => "stall",
+            FaultKind::Transient => "transient",
+        }
+    }
+}
+
+/// One scheduled fault: which replica, when (seconds from replay start),
+/// and what happens.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Index of the replica the fault targets (events targeting replicas
+    /// beyond the pool size never fire).
+    pub replica: usize,
+    /// Offset into the replay, seconds, at which the event becomes due. It
+    /// fires on the victim's first batch at or after this offset.
+    pub at_s: f64,
+    /// What the fault does.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of fault events for one serving run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults injected (the fault-free fast path).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Builds a plan from explicit events (sorted by time per replica).
+    pub fn new(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by(|a, b| a.at_s.partial_cmp(&b.at_s).expect("finite fault times"));
+        FaultPlan { events }
+    }
+
+    /// Samples a plan from a seeded [`FaultSpec`]: `spec.crashes` crash
+    /// events, `spec.stalls` stalls and `spec.transients` transient errors,
+    /// each at a deterministic mid-replay offset within `window_s` against
+    /// a deterministic victim in `0..replicas`.
+    pub fn seeded(spec: FaultSpec, replicas: usize, window_s: f64) -> Self {
+        let mut sampler = FaultScheduleSampler::new(spec.seed);
+        let mut events = Vec::with_capacity(spec.count());
+        let kinds = [
+            (spec.crashes, FaultKind::Crash),
+            (
+                spec.stalls,
+                FaultKind::Stall {
+                    millis: spec.stall_ms.max(1),
+                },
+            ),
+            (spec.transients, FaultKind::Transient),
+        ];
+        for (count, kind) in kinds {
+            for _ in 0..count {
+                events.push(FaultEvent {
+                    replica: sampler.replica(replicas),
+                    at_s: sampler.offset_s(window_s),
+                    kind,
+                });
+            }
+        }
+        FaultPlan::new(events)
+    }
+
+    /// Parses the `CENTAUR_SERVE_FAULT_PLAN` format: comma-separated
+    /// events, each `kind:replica:at_ms` with kind one of
+    /// `crash`/`transient`, or `stall:replica:at_ms:stall_ms`. Examples:
+    /// `crash:0:50`, `crash:0:50,stall:1:120:5,transient:0:200`.
+    ///
+    /// Returns `None` for anything malformed (unknown kind, missing or
+    /// non-numeric fields, negative times, zero-length stalls) so callers
+    /// can distinguish "unset" from "misspelled".
+    pub fn parse(value: &str) -> Option<FaultPlan> {
+        let mut events = Vec::new();
+        for part in value.split(',') {
+            let fields: Vec<&str> = part.trim().split(':').collect();
+            let kind = *fields.first()?;
+            let replica = fields.get(1)?.parse::<usize>().ok()?;
+            let at_ms = fields
+                .get(2)?
+                .parse::<f64>()
+                .ok()
+                .filter(|ms| ms.is_finite() && *ms >= 0.0)?;
+            let kind = match (kind.to_ascii_lowercase().as_str(), fields.len()) {
+                ("crash", 3) => FaultKind::Crash,
+                ("transient", 3) => FaultKind::Transient,
+                ("stall", 4) => FaultKind::Stall {
+                    millis: fields[3].parse::<u64>().ok().filter(|&ms| ms > 0)?,
+                },
+                _ => return None,
+            };
+            events.push(FaultEvent {
+                replica,
+                at_s: at_ms * 1e-3,
+                kind,
+            });
+        }
+        if events.is_empty() {
+            return None;
+        }
+        Some(FaultPlan::new(events))
+    }
+
+    /// No events scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The scheduled events, sorted by time.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// The per-replica guard a worker polls: the slice of this plan
+    /// targeting `replica`, in time order.
+    pub fn guard_for(&self, replica: usize) -> FaultGuard {
+        FaultGuard {
+            events: self
+                .events
+                .iter()
+                .filter(|e| e.replica == replica)
+                .map(|e| (e.at_s, e.kind))
+                .collect(),
+            next: 0,
+        }
+    }
+
+    /// Compact label for bench cells: `none`, or kind counts like `c1`,
+    /// `c1s1t2` (crashes, stalls, transients).
+    pub fn label(&self) -> String {
+        if self.events.is_empty() {
+            return "none".to_string();
+        }
+        let mut crashes = 0usize;
+        let mut stalls = 0usize;
+        let mut transients = 0usize;
+        for event in &self.events {
+            match event.kind {
+                FaultKind::Crash => crashes += 1,
+                FaultKind::Stall { .. } => stalls += 1,
+                FaultKind::Transient => transients += 1,
+            }
+        }
+        let mut label = String::new();
+        for (count, tag) in [(crashes, 'c'), (stalls, 's'), (transients, 't')] {
+            if count > 0 {
+                label.push(tag);
+                label.push_str(&count.to_string());
+            }
+        }
+        label
+    }
+}
+
+/// A compact, copyable description of a seeded fault plan — what a sweep
+/// cell carries so [`FaultPlan::seeded`] can materialize the schedule once
+/// the replay window and replica count are known.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Seed for the schedule sampler.
+    pub seed: u64,
+    /// Number of crash events.
+    pub crashes: usize,
+    /// Number of stall events.
+    pub stalls: usize,
+    /// Number of transient-error events.
+    pub transients: usize,
+    /// Stall length in milliseconds (applies to every stall event).
+    pub stall_ms: u64,
+}
+
+impl FaultSpec {
+    /// No faults.
+    pub fn none() -> Self {
+        FaultSpec {
+            seed: 0,
+            crashes: 0,
+            stalls: 0,
+            transients: 0,
+            stall_ms: 5,
+        }
+    }
+
+    /// A plan of `count` crashes (builder start; chain `with_*`).
+    pub fn crashes(count: usize) -> Self {
+        FaultSpec {
+            crashes: count,
+            ..FaultSpec::none()
+        }
+    }
+
+    /// Adds stall events.
+    pub fn with_stalls(mut self, count: usize) -> Self {
+        self.stalls = count;
+        self
+    }
+
+    /// Adds transient-error events.
+    pub fn with_transients(mut self, count: usize) -> Self {
+        self.transients = count;
+        self
+    }
+
+    /// Sets the stall length in milliseconds.
+    pub fn with_stall_ms(mut self, millis: u64) -> Self {
+        self.stall_ms = millis;
+        self
+    }
+
+    /// Sets the schedule seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Whether the spec schedules nothing.
+    pub fn is_none(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Total scheduled events.
+    pub fn count(&self) -> usize {
+        self.crashes + self.stalls + self.transients
+    }
+}
+
+/// Per-replica fault schedule a worker polls once per coalesced batch.
+/// Event state survives a replica restart (the guard lives in the
+/// supervisor, outside the crashing worker body), so a fired crash never
+/// re-fires against the restarted replica.
+#[derive(Debug, Clone)]
+pub struct FaultGuard {
+    events: Vec<(f64, FaultKind)>,
+    next: usize,
+}
+
+impl FaultGuard {
+    /// A guard with no events — the fault-free fast path (never allocates,
+    /// never fires).
+    pub fn none() -> Self {
+        FaultGuard {
+            events: Vec::new(),
+            next: 0,
+        }
+    }
+
+    /// Returns the next due event at `now_s`, if any, consuming it. At most
+    /// one event fires per poll; a backlog of overdue events drains one per
+    /// batch.
+    pub fn poll(&mut self, now_s: f64) -> Option<FaultKind> {
+        let &(at_s, kind) = self.events.get(self.next)?;
+        if now_s < at_s {
+            return None;
+        }
+        self.next += 1;
+        Some(kind)
+    }
+
+    /// Events not yet fired.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.next
+    }
+
+    /// Polls and *acts*: a due crash panics (the injected payload names the
+    /// replica and time — what the supervisor preserves and the harness
+    /// re-raises on unrecoverable failure), a due stall sleeps in place,
+    /// and a due transient returns a datapath error for the caller to
+    /// handle exactly like a real batch failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a [`FaultKind::Transient`] event is due.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a [`FaultKind::Crash`] event is due.
+    pub fn intercept(&mut self, replica: usize, now_s: f64) -> Result<(), CentaurError> {
+        match self.poll(now_s) {
+            None => Ok(()),
+            Some(FaultKind::Crash) => {
+                panic!("injected fault: replica {replica} crash at {now_s:.4} s into the replay")
+            }
+            Some(FaultKind::Stall { millis }) => {
+                std::thread::sleep(Duration::from_millis(millis));
+                Ok(())
+            }
+            Some(FaultKind::Transient) => Err(CentaurError::NotInitialised(
+                "injected transient datapath fault",
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_fires_each_event_once_in_time_order() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                replica: 0,
+                at_s: 0.2,
+                kind: FaultKind::Transient,
+            },
+            FaultEvent {
+                replica: 0,
+                at_s: 0.1,
+                kind: FaultKind::Crash,
+            },
+            FaultEvent {
+                replica: 1,
+                at_s: 0.05,
+                kind: FaultKind::Stall { millis: 3 },
+            },
+        ]);
+        let mut guard = plan.guard_for(0);
+        assert_eq!(
+            guard.remaining(),
+            2,
+            "guard holds only its replica's events"
+        );
+        assert_eq!(guard.poll(0.05), None, "nothing due yet");
+        assert_eq!(guard.poll(0.15), Some(FaultKind::Crash), "earliest first");
+        assert_eq!(guard.poll(0.15), None, "fired events never re-fire");
+        assert_eq!(guard.poll(0.5), Some(FaultKind::Transient));
+        assert_eq!(guard.poll(9.0), None, "guard exhausted");
+        assert_eq!(guard.remaining(), 0);
+
+        let mut other = plan.guard_for(1);
+        assert_eq!(other.poll(1.0), Some(FaultKind::Stall { millis: 3 }));
+        assert!(plan.guard_for(7).poll(99.0).is_none(), "absent replica");
+    }
+
+    #[test]
+    fn overdue_backlog_drains_one_event_per_poll() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                replica: 0,
+                at_s: 0.01,
+                kind: FaultKind::Transient,
+            },
+            FaultEvent {
+                replica: 0,
+                at_s: 0.02,
+                kind: FaultKind::Transient,
+            },
+        ]);
+        let mut guard = plan.guard_for(0);
+        assert_eq!(guard.poll(1.0), Some(FaultKind::Transient));
+        assert_eq!(guard.poll(1.0), Some(FaultKind::Transient));
+        assert_eq!(guard.poll(1.0), None);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_sized_by_the_spec() {
+        let spec = FaultSpec::crashes(2)
+            .with_stalls(1)
+            .with_transients(3)
+            .with_seed(9);
+        let a = FaultPlan::seeded(spec, 4, 2.0);
+        let b = FaultPlan::seeded(spec, 4, 2.0);
+        assert_eq!(a, b, "same spec, same plan");
+        assert_eq!(a.len(), 6);
+        assert_eq!(a.label(), "c2s1t3");
+        for event in a.events() {
+            assert!(event.replica < 4);
+            assert!(event.at_s >= 0.0 && event.at_s <= 2.0);
+        }
+        assert_ne!(
+            a,
+            FaultPlan::seeded(spec.with_seed(10), 4, 2.0),
+            "different seed, different schedule"
+        );
+    }
+
+    #[test]
+    fn parse_accepts_the_documented_format_only() {
+        let plan = FaultPlan::parse("crash:0:50,stall:1:120:5,transient:0:200").unwrap();
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.label(), "c1s1t1");
+        assert_eq!(
+            plan.events()[0],
+            FaultEvent {
+                replica: 0,
+                at_s: 0.05,
+                kind: FaultKind::Crash,
+            }
+        );
+        assert_eq!(
+            plan.events()[1],
+            FaultEvent {
+                replica: 1,
+                at_s: 0.12,
+                kind: FaultKind::Stall { millis: 5 },
+            }
+        );
+        // Case-insensitive kinds, whitespace tolerated around events.
+        assert!(FaultPlan::parse("CRASH:0:10, Transient:1:20").is_some());
+
+        for bad in [
+            "",
+            "crash",
+            "crash:0",
+            "crash:0:abc",
+            "crash:0:-5",
+            "crash:0:inf",
+            "crash:0:50:9",
+            "stall:0:50",
+            "stall:0:50:0",
+            "reboot:0:50",
+            "crash:0:50,,",
+            "crash:x:50",
+        ] {
+            assert!(FaultPlan::parse(bad).is_none(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn labels_and_specs_cover_the_empty_case() {
+        assert_eq!(FaultPlan::none().label(), "none");
+        assert!(FaultPlan::none().is_empty());
+        assert!(FaultSpec::none().is_none());
+        assert!(!FaultSpec::crashes(1).is_none());
+        assert_eq!(FaultPlan::seeded(FaultSpec::none(), 2, 1.0).len(), 0);
+    }
+
+    #[test]
+    fn intercept_translates_events_into_actions() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                replica: 0,
+                at_s: 0.0,
+                kind: FaultKind::Transient,
+            },
+            FaultEvent {
+                replica: 0,
+                at_s: 0.0,
+                kind: FaultKind::Stall { millis: 1 },
+            },
+        ]);
+        let mut guard = plan.guard_for(0);
+        assert!(
+            guard.intercept(0, 1.0).is_err(),
+            "transient becomes an error"
+        );
+        assert!(
+            guard.intercept(0, 1.0).is_ok(),
+            "stall sleeps and continues"
+        );
+        assert!(
+            guard.intercept(0, 1.0).is_ok(),
+            "exhausted guard is a no-op"
+        );
+    }
+
+    #[test]
+    fn injected_crash_panics_with_a_recognizable_payload() {
+        let plan = FaultPlan::new(vec![FaultEvent {
+            replica: 3,
+            at_s: 0.0,
+            kind: FaultKind::Crash,
+        }]);
+        let mut guard = plan.guard_for(3);
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = guard.intercept(3, 0.5);
+        }))
+        .expect_err("crash event must panic");
+        let message = payload
+            .downcast_ref::<String>()
+            .expect("payload is the formatted message");
+        assert!(message.contains("injected fault"), "{message}");
+        assert!(message.contains("replica 3"), "{message}");
+    }
+}

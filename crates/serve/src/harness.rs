@@ -3,17 +3,20 @@
 //! [`ArrivalQueue`], and the recorded per-request completions are digested
 //! into tail-latency and goodput-under-SLO reports.
 
+use crate::fault::{FaultGuard, FaultPlan, FaultSpec};
 use crate::policy::BatchPolicy;
 use crate::queue::{AdmissionConfig, ArrivalQueue, QueuedRequest};
 use crate::stage::ReplicaStage;
+use crate::supervisor::{supervise_replica, Supervision, SupervisorShared};
 use centaur::{CentaurConfig, CentaurError, CentaurRuntime};
 use centaur_dlrm::config::ModelConfig;
-use centaur_dlrm::{DlrmModel, InferenceRequest, InferenceResponse, RejectedRequest};
+use centaur_dlrm::{DlrmModel, InferenceRequest, InferenceResponse, RejectReason, RejectedRequest};
 use centaur_workload::{
     IndexDistribution, LatencySummary, QueryStream, RequestGenerator, TrafficShape,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// One served request's record: scheduled arrival, completion time and the
@@ -59,6 +62,12 @@ pub struct ServeOptions {
     pub admission_depth: Option<usize>,
     /// Shed already-dead requests at dequeue instead of serving them.
     pub shed_expired: bool,
+    /// Fault-tolerance budgets. `None` preserves the fail-stop contract: a
+    /// replica panic or datapath error aborts the whole run. `Some`
+    /// supervises the pool — crashed workers' batches are recovered and
+    /// requeued (original arrival stamps), replicas restart up to the
+    /// budget, and only unrecoverable states abort.
+    pub supervision: Option<Supervision>,
 }
 
 impl ServeOptions {
@@ -79,7 +88,14 @@ impl ServeOptions {
             slo: Some(slo),
             admission_depth: Some(admission_depth),
             shed_expired: true,
+            supervision: None,
         }
+    }
+
+    /// The same options with a supervised, fault-tolerant replica pool.
+    pub fn supervised(mut self, supervision: Supervision) -> Self {
+        self.supervision = Some(supervision);
+        self
     }
 
     /// The SLO in seconds, `f64::INFINITY` when none is set.
@@ -112,7 +128,16 @@ pub struct ServeOutcome {
     pub shed_admission: usize,
     /// Requests shed at dequeue because their deadline had passed.
     pub shed_expired: usize,
-    /// Per-request refusals for everything shed (wire-level, in shed order).
+    /// Requests permanently failed after exhausting their retry budget.
+    pub failed: usize,
+    /// Total re-serve attempts (requeues after crashes/datapath errors).
+    pub retries: usize,
+    /// Replica restarts the supervisor performed.
+    pub restarts: usize,
+    /// Replicas that died beyond the restart budget and stayed dead.
+    pub replicas_lost: usize,
+    /// Per-request refusals for everything shed or failed (wire-level, in
+    /// shed order).
     pub rejections: Vec<RejectedRequest>,
 }
 
@@ -156,9 +181,42 @@ impl ServeOutcome {
         self.completions.len() - self.within_slo()
     }
 
-    /// Total requests shed (admission gate + dequeue expiry).
+    /// Total requests shed (admission gate + dequeue expiry). Failures are
+    /// counted separately ([`failed`](Self::failed)): a shed is flow
+    /// control the server chose, a failure is work the server could not do.
     pub fn shed(&self) -> usize {
         self.shed_admission + self.shed_expired
+    }
+
+    /// Every request the run gave a terminal state: completed, shed or
+    /// failed. Equals the generated request count when the run finished
+    /// without aborting — the accounting invariant.
+    pub fn accounted(&self) -> usize {
+        self.completions.len() + self.shed() + self.failed
+    }
+
+    /// Availability under faults: of the requests the server *accepted*
+    /// (not shed by flow control), the fraction it actually answered —
+    /// `completed / (completed + failed)`. Sheds are deliberate load
+    /// shedding, not availability loss, so they stay out of the ratio; a
+    /// run with nothing accepted reports `1.0`.
+    pub fn availability(&self) -> f64 {
+        let accepted = self.completions.len() + self.failed;
+        if accepted == 0 {
+            1.0
+        } else {
+            self.completions.len() as f64 / accepted as f64
+        }
+    }
+
+    /// Requests refused for `reason` (admission sheds, deadline sheds, or
+    /// retry-budget failures).
+    pub fn reject_count(&self, reason: RejectReason) -> usize {
+        match reason {
+            RejectReason::QueueFull => self.shed_admission,
+            RejectReason::DeadlineExpired => self.shed_expired,
+            RejectReason::Failed => self.failed,
+        }
     }
 
     /// Goodput under the run's SLO: completions that met their deadline per
@@ -241,7 +299,9 @@ pub fn serve_replay(
 /// experiment promptly: the queue closes, the generator stops replaying the
 /// remaining schedule, and the failure — a panic's original payload
 /// included — is surfaced as soon as the workers unwind, not after the
-/// full arrival schedule has played out.
+/// full arrival schedule has played out. Set
+/// [`ServeOptions::supervision`] to trade that fail-stop contract for
+/// crash-tolerant supervision (see [`serve_replay_faulted`]).
 ///
 /// # Errors
 ///
@@ -253,11 +313,52 @@ pub fn serve_replay(
 ///
 /// Re-raises a replica worker's panic with its original payload.
 pub fn serve_replay_with(
+    replicas: Vec<CentaurRuntime>,
+    requests: &[InferenceRequest],
+    stream: &QueryStream,
+    policy: BatchPolicy,
+    options: ServeOptions,
+) -> Result<ServeOutcome, CentaurError> {
+    serve_replay_faulted(
+        replicas,
+        requests,
+        stream,
+        policy,
+        options,
+        &FaultPlan::none(),
+    )
+}
+
+/// [`serve_replay_with`] plus deterministic fault injection: each replica
+/// worker polls its slice of `plan` once per coalesced batch — crash events
+/// panic the worker mid-batch, stall events freeze it with its batch held,
+/// transient events fail the batch's serve attempt.
+///
+/// Without [`ServeOptions::supervision`] the injected faults hit the
+/// fail-stop path (a crash aborts the run) — the *unprotected* baseline.
+/// With supervision, the pool degrades gracefully: in-flight batches are
+/// recovered and requeued with their original arrival stamps against the
+/// per-request retry budget, crashed replicas restart (fresh shard clone)
+/// against the pool-wide restart budget, exhausted retries surface as
+/// [`RejectReason::Failed`] rejections, and only unrecoverable states —
+/// every replica dead — abort with the first crash's original panic
+/// payload.
+///
+/// # Errors
+///
+/// See [`serve_replay_with`]; under supervision, datapath errors are
+/// retried/failed per request instead of returned.
+///
+/// # Panics
+///
+/// Re-raises the first crash's payload when the run is unrecoverable.
+pub fn serve_replay_faulted(
     mut replicas: Vec<CentaurRuntime>,
     requests: &[InferenceRequest],
     stream: &QueryStream,
     policy: BatchPolicy,
     options: ServeOptions,
+    plan: &FaultPlan,
 ) -> Result<ServeOutcome, CentaurError> {
     if replicas.is_empty() {
         return Err(CentaurError::NotInitialised("serving replica pool"));
@@ -281,50 +382,116 @@ pub fn serve_replay_with(
     queue.reserve_shed(requests.len());
     let slo_s = options.slo_s();
     let abort = AtomicBool::new(false);
+    let mut outcome = match options.supervision {
+        None => serve_unsupervised(
+            &mut replicas,
+            requests,
+            stream,
+            policy,
+            &model_config,
+            &queue,
+            slo_s,
+            &abort,
+            plan,
+        )?,
+        Some(supervision) => serve_supervised(
+            replicas,
+            requests,
+            stream,
+            policy,
+            &model_config,
+            &queue,
+            slo_s,
+            &abort,
+            plan,
+            supervision,
+        ),
+    };
+    outcome.failed = queue.failed();
+    outcome.retries = queue.retries();
+    outcome.shed_admission = queue.shed_admission();
+    outcome.shed_expired = queue.shed_expired();
+    outcome.rejections = queue
+        .take_shed()
+        .into_iter()
+        .map(|(shed, reason)| RejectedRequest {
+            id: requests[shed.index].id,
+            reason,
+            retries: shed.retries,
+        })
+        .collect();
+    Ok(outcome)
+}
+
+/// The open-loop load generator, run on the calling thread: release each
+/// query at its scheduled offset (bursts of overdue queries release back to
+/// back). Sleeps are sliced so a failed worker's abort is observed within
+/// milliseconds, not at the end of the schedule.
+fn replay_arrivals(
+    queue: &ArrivalQueue,
+    stream: &QueryStream,
+    slo_s: f64,
+    abort: &AtomicBool,
+    start: Instant,
+) {
+    'replay: for (index, arrival_s) in stream.replay() {
+        let target = start + Duration::from_secs_f64(arrival_s);
+        loop {
+            if abort.load(Ordering::Relaxed) {
+                break 'replay;
+            }
+            let now = Instant::now();
+            if now >= target {
+                break;
+            }
+            std::thread::sleep((target - now).min(Duration::from_millis(5)));
+        }
+        let queued = QueuedRequest {
+            index,
+            arrival_s,
+            deadline_s: arrival_s + slo_s,
+            retries: 0,
+        };
+        if !queue.push(queued) && queue.is_closed() {
+            // A worker failed and closed the queue mid-run.
+            break 'replay;
+        }
+    }
+    queue.close();
+}
+
+/// The fail-stop serving path (pre-supervision contract): one guarded
+/// worker per replica; any panic or datapath error aborts the run.
+#[allow(clippy::too_many_arguments)]
+fn serve_unsupervised(
+    replicas: &mut [CentaurRuntime],
+    requests: &[InferenceRequest],
+    stream: &QueryStream,
+    policy: BatchPolicy,
+    model_config: &ModelConfig,
+    queue: &ArrivalQueue,
+    slo_s: f64,
+    abort: &AtomicBool,
+    plan: &FaultPlan,
+) -> Result<ServeOutcome, CentaurError> {
     let mut worker_results: Vec<WorkerResult> = Vec::new();
     std::thread::scope(|scope| {
         let start = queue.start();
-        let queue = &queue;
-        let abort = &abort;
         let handles: Vec<_> = replicas
             .iter_mut()
-            .map(|runtime| {
-                let stage = ReplicaStage::new(&model_config, policy.max_batch());
+            .enumerate()
+            .map(|(index, runtime)| {
+                let stage = ReplicaStage::new(model_config, policy.max_batch());
+                let guard = plan.guard_for(index);
                 scope.spawn(move || {
                     guard_worker(queue, abort, move || {
-                        worker_loop(queue, requests, runtime, stage, policy, start)
+                        worker_loop(queue, requests, runtime, stage, policy, start, guard, index)
                     })
                 })
             })
             .collect();
 
-        // Open-loop replay on this thread: release each query at its
-        // scheduled offset (bursts of overdue queries release back to
-        // back). Sleeps are sliced so a failed worker's abort is observed
-        // within milliseconds, not at the end of the schedule.
-        'replay: for (index, arrival_s) in stream.replay() {
-            let target = start + Duration::from_secs_f64(arrival_s);
-            loop {
-                if abort.load(Ordering::Relaxed) {
-                    break 'replay;
-                }
-                let now = Instant::now();
-                if now >= target {
-                    break;
-                }
-                std::thread::sleep((target - now).min(Duration::from_millis(5)));
-            }
-            let queued = QueuedRequest {
-                index,
-                arrival_s,
-                deadline_s: arrival_s + slo_s,
-            };
-            if !queue.push(queued) && queue.is_closed() {
-                // A worker failed and closed the queue mid-run.
-                break 'replay;
-            }
-        }
-        queue.close();
+        replay_arrivals(queue, stream, slo_s, abort, start);
 
         // The guard already catches panics inside the worker body, so the
         // thread result and the guard result collapse into one layer.
@@ -337,8 +504,12 @@ pub fn serve_replay_with(
         completions: Vec::with_capacity(requests.len()),
         batches: 0,
         slo_s,
-        shed_admission: queue.shed_admission(),
-        shed_expired: queue.shed_expired(),
+        shed_admission: 0,
+        shed_expired: 0,
+        failed: 0,
+        retries: 0,
+        restarts: 0,
+        replicas_lost: 0,
         rejections: Vec::new(),
     };
     let mut failure: Option<CentaurError> = None;
@@ -356,22 +527,90 @@ pub fn serve_replay_with(
     if let Some(error) = failure {
         return Err(error);
     }
-    outcome.rejections = queue
-        .take_shed()
-        .into_iter()
-        .map(|(shed, reason)| RejectedRequest {
-            id: requests[shed.index].id,
-            reason,
-        })
-        .collect();
     Ok(outcome)
 }
 
+/// The supervised serving path: one supervisor per replica recovers crashed
+/// workers' in-flight batches, restarts replicas against the pool-wide
+/// budget, and lets survivors absorb the load. Panics only on the
+/// unrecoverable path, re-raising the first crash's preserved payload.
+#[allow(clippy::too_many_arguments)]
+fn serve_supervised(
+    mut replicas: Vec<CentaurRuntime>,
+    requests: &[InferenceRequest],
+    stream: &QueryStream,
+    policy: BatchPolicy,
+    model_config: &ModelConfig,
+    queue: &ArrivalQueue,
+    slo_s: f64,
+    abort: &AtomicBool,
+    plan: &FaultPlan,
+    supervision: Supervision,
+) -> ServeOutcome {
+    let pool_size = replicas.len();
+    let shared = SupervisorShared::new(pool_size, requests.len());
+    // Restarts boot from a fresh shard clone, never from state a panic
+    // unwound through.
+    let template = Mutex::new(replicas[0].clone());
+    std::thread::scope(|scope| {
+        let start = queue.start();
+        let shared = &shared;
+        let template = &template;
+        for (index, runtime) in replicas.drain(..).enumerate() {
+            let guard = plan.guard_for(index);
+            scope.spawn(move || {
+                supervise_replica(
+                    queue,
+                    requests,
+                    runtime,
+                    template,
+                    model_config,
+                    policy,
+                    start,
+                    supervision,
+                    guard,
+                    shared,
+                    abort,
+                    index,
+                );
+            });
+        }
+        replay_arrivals(queue, stream, slo_s, abort, start);
+    });
+    if queue.is_aborted() {
+        // Unrecoverable: every replica died. Re-raise the first crash.
+        let payload = shared
+            .payload
+            .lock()
+            .expect("payload slot poisoned")
+            .take()
+            .unwrap_or_else(|| Box::new("supervised run aborted without a payload"));
+        std::panic::resume_unwind(payload);
+    }
+    let live = shared.live.load(Ordering::Acquire);
+    let completions =
+        std::mem::take(&mut *shared.completions.lock().expect("completions poisoned"));
+    ServeOutcome {
+        completions,
+        batches: shared.batches.load(Ordering::Relaxed),
+        slo_s,
+        shed_admission: 0,
+        shed_expired: 0,
+        failed: 0,
+        retries: 0,
+        restarts: shared.restarts.load(Ordering::Relaxed),
+        replicas_lost: pool_size - live,
+        rejections: Vec::new(),
+    }
+}
+
 /// Runs one worker body under a panic/failure guard: when the body panics
-/// or returns an error, the shared abort flag flips and the queue closes so
-/// the generator and sibling workers stop promptly instead of playing out
-/// the rest of the schedule. The panic payload (or error) is returned
-/// unaltered for the harness to surface.
+/// or returns an error, the shared abort flag flips and the queue
+/// abort-closes so the generator and sibling workers stop promptly instead
+/// of playing out the rest of the schedule (a plain close would leave
+/// siblings waiting on the dead worker's in-flight batch forever). The
+/// panic payload (or error) is returned unaltered for the harness to
+/// surface.
 fn guard_worker<F>(queue: &ArrivalQueue, abort: &AtomicBool, body: F) -> WorkerResult
 where
     F: FnOnce() -> Result<(Vec<Completion>, usize), CentaurError>,
@@ -379,14 +618,17 @@ where
     let result = catch_unwind(AssertUnwindSafe(body));
     if !matches!(result, Ok(Ok(_))) {
         abort.store(true, Ordering::Relaxed);
-        queue.close();
+        queue.close_abort();
     }
     result
 }
 
 /// One replica's serving loop: pop a coalesced batch, stage it, run the
 /// batched accelerator path, record completions. Runs until the queue is
-/// closed and drained.
+/// closed and drained. The fault guard injects this replica's scheduled
+/// faults with fail-stop consequences: a crash event's panic and a
+/// transient event's error both abort the run (the unprotected baseline).
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     queue: &ArrivalQueue,
     requests: &[InferenceRequest],
@@ -394,6 +636,8 @@ fn worker_loop(
     mut stage: ReplicaStage,
     policy: BatchPolicy,
     start: Instant,
+    mut guard: FaultGuard,
+    replica: usize,
 ) -> Result<(Vec<Completion>, usize), CentaurError> {
     let mut completions = Vec::new();
     let mut batches = 0usize;
@@ -403,6 +647,7 @@ fn worker_loop(
     let mut batch: Vec<QueuedRequest> = Vec::with_capacity(policy.max_batch());
     let mut staged: Vec<&InferenceRequest> = Vec::with_capacity(policy.max_batch());
     while queue.pop_batch(policy, &mut batch) {
+        guard.intercept(replica, start.elapsed().as_secs_f64())?;
         staged.clear();
         staged.extend(batch.iter().map(|q| &requests[q.index]));
         let probabilities = stage.run_batch(runtime, &staged)?;
@@ -416,6 +661,7 @@ fn worker_loop(
                 probability,
             });
         }
+        queue.complete(batch.len());
     }
     Ok((completions, batches))
 }
@@ -452,6 +698,18 @@ pub struct ServeReport {
     pub shed_expired: usize,
     /// Completions that arrived after their deadline.
     pub deadline_misses: usize,
+    /// Fault-plan label the cell ran under (`none`, `c1`, `c1s1t2`, …).
+    pub faults: String,
+    /// Requests permanently failed (retry budget exhausted).
+    pub failed: usize,
+    /// Availability: completed / (completed + failed).
+    pub availability: f64,
+    /// Replica restarts the supervisor performed.
+    pub restarts: usize,
+    /// Re-serve attempts after crashes/datapath errors.
+    pub retries: usize,
+    /// Replicas dead at the end of the run (beyond the restart budget).
+    pub replicas_lost: usize,
     /// End-to-end latency digest.
     pub latency: LatencySummary,
 }
@@ -473,6 +731,11 @@ pub struct ServeCell {
     pub replicas: usize,
     /// SLO/overload-protection options for the run.
     pub options: ServeOptions,
+    /// Seeded fault schedule injected into the run (none by default). The
+    /// concrete [`FaultPlan`] is materialized by [`run_serve_cell`] once
+    /// the replay window is known, unless `CENTAUR_SERVE_FAULT_PLAN`
+    /// overrides it.
+    pub faults: FaultSpec,
     /// Seed for the request set and the arrival schedule.
     pub seed: u64,
 }
@@ -494,6 +757,7 @@ impl ServeCell {
             policy,
             replicas,
             options: ServeOptions::default(),
+            faults: FaultSpec::none(),
             seed,
         }
     }
@@ -507,6 +771,12 @@ impl ServeCell {
     /// Same cell under different SLO/overload-protection options.
     pub fn with_options(mut self, options: ServeOptions) -> Self {
         self.options = options;
+        self
+    }
+
+    /// Same cell under a seeded fault schedule.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -533,10 +803,22 @@ pub fn run_serve_cell(
         cell.seed ^ 0xA11,
     );
     let pool = CentaurRuntime::replica_pool(model.clone(), accel_config, cell.replicas)?;
-    let outcome = serve_replay_with(pool, &requests, &stream, cell.policy, cell.options)?;
-    let latency = outcome
-        .latency_summary()
-        .ok_or(CentaurError::NotInitialised("no completions recorded"))?;
+    // A faulted cell materializes its seeded schedule over the expected
+    // replay window (mean arrival span at the offered load) unless the
+    // CENTAUR_SERVE_FAULT_PLAN knob pins an explicit plan.
+    let plan = if cell.faults.is_none() {
+        FaultPlan::none()
+    } else {
+        let window_s = cell.queries as f64 / cell.offered_qps.max(1e-9);
+        crate::env::serve_fault_plan()
+            .unwrap_or_else(|| FaultPlan::seeded(cell.faults, cell.replicas, window_s))
+    };
+    let outcome = serve_replay_faulted(pool, &requests, &stream, cell.policy, cell.options, &plan)?;
+    // An overload cell may legitimately shed *everything* (deep overload,
+    // every deadline blown before the workers catch up): that is a valid
+    // measurement — zero completions, zero goodput, an all-zero latency
+    // digest — not an error.
+    let latency = outcome.latency_summary().unwrap_or_default();
     Ok(ServeReport {
         offered_qps: cell.offered_qps,
         traffic: cell.shape.label().to_string(),
@@ -552,6 +834,12 @@ pub fn run_serve_cell(
         shed_admission: outcome.shed_admission,
         shed_expired: outcome.shed_expired,
         deadline_misses: outcome.deadline_misses(),
+        faults: plan.label(),
+        failed: outcome.failed,
+        availability: outcome.availability(),
+        restarts: outcome.restarts,
+        retries: outcome.retries,
+        replicas_lost: outcome.replicas_lost,
         latency,
     })
 }
@@ -688,6 +976,7 @@ mod tests {
             slo: Some(Duration::from_millis(250)),
             admission_depth: Some(1),
             shed_expired: true,
+            supervision: None,
         };
         let outcome =
             serve_replay_with(pool, &requests, &stream, BatchPolicy::Fifo, options).unwrap();
@@ -743,7 +1032,12 @@ mod tests {
             "payload survives for resume_unwind"
         );
         assert!(abort.load(Ordering::Relaxed), "abort flag flips");
-        assert!(queue.is_closed(), "queue closes so siblings drain and exit");
+        assert!(queue.is_closed(), "queue closes so the generator stops");
+        assert!(
+            queue.is_aborted(),
+            "abort-close so siblings are not left waiting on the dead \
+             worker's in-flight batch"
+        );
     }
 
     #[test]
@@ -814,6 +1108,97 @@ mod tests {
             report.goodput_qps <= report.achieved_qps + 1e-9,
             "goodput can never exceed throughput"
         );
+    }
+
+    #[test]
+    fn supervised_fault_free_run_matches_the_unsupervised_contract() {
+        let model = small_model();
+        let config = model.config().clone();
+        let requests = generate_requests(&config, IndexDistribution::Uniform, 17, 96);
+        let stream = QueryStream::generate(ArrivalProcess::Poisson { rate_qps: 30_000.0 }, 96, 5);
+        let pool = CentaurRuntime::replica_pool(model, CentaurConfig::harpv2(), 2).unwrap();
+        let options = ServeOptions::default().supervised(Supervision::default());
+        let outcome = serve_replay_with(
+            pool,
+            &requests,
+            &stream,
+            BatchPolicy::dynamic_wave(),
+            options,
+        )
+        .unwrap();
+        assert_eq!(outcome.completions.len(), 96, "every query served");
+        assert_eq!(outcome.accounted(), 96);
+        assert_eq!(outcome.failed, 0);
+        assert_eq!(outcome.retries, 0);
+        assert_eq!(outcome.restarts, 0);
+        assert_eq!(outcome.replicas_lost, 0);
+        assert_eq!(outcome.availability(), 1.0);
+        assert_eq!(outcome.reject_count(RejectReason::Failed), 0);
+        let mut ids: Vec<u64> = outcome.completions.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..96).collect::<Vec<u64>>(), "each served once");
+    }
+
+    #[test]
+    fn supervised_run_retries_poison_requests_and_fails_them_counted() {
+        let model = small_model();
+        let config = model.config().clone();
+        let mut requests = generate_requests(&config, IndexDistribution::Uniform, 23, 64);
+        // One poison request: its datapath error must burn only its own
+        // retry budget — co-riders complete, the run survives.
+        requests[10].sparse[0][0] = u32::MAX;
+        let stream = QueryStream::generate(ArrivalProcess::Poisson { rate_qps: 30_000.0 }, 64, 7);
+        let pool = CentaurRuntime::replica_pool(model, CentaurConfig::harpv2(), 2).unwrap();
+        let options = ServeOptions::default().supervised(Supervision::new(1, 2));
+        let outcome = serve_replay_with(
+            pool,
+            &requests,
+            &stream,
+            BatchPolicy::dynamic_wave(),
+            options,
+        )
+        .unwrap();
+        assert_eq!(outcome.completions.len(), 63, "only the poison fails");
+        assert_eq!(outcome.failed, 1);
+        assert_eq!(outcome.accounted(), 64, "accounting invariant holds");
+        assert!(
+            outcome.retries >= 1,
+            "the poison was retried before failing"
+        );
+        assert_eq!(outcome.restarts, 0, "datapath errors are not crashes");
+        assert!(outcome.availability() < 1.0 && outcome.availability() > 0.98);
+        let rejection = outcome
+            .rejections
+            .iter()
+            .find(|r| r.reason == RejectReason::Failed)
+            .expect("the failed request is surfaced");
+        assert_eq!(rejection.id, requests[10].id);
+        assert_eq!(rejection.retries, 1, "exhausted budget rides the refusal");
+    }
+
+    #[test]
+    fn run_serve_cell_with_faults_reports_availability_columns() {
+        let model = small_model();
+        let cell = ServeCell::poisson(20_000.0, 128, BatchPolicy::dynamic_wave(), 2, 19)
+            .with_options(ServeOptions::default().supervised(Supervision::default()))
+            .with_faults(FaultSpec::none().with_transients(2).with_seed(3));
+        let report = run_serve_cell(
+            &model,
+            CentaurConfig::harpv2(),
+            IndexDistribution::Uniform,
+            cell,
+        )
+        .unwrap();
+        assert_eq!(report.faults, "t2");
+        assert_eq!(
+            report.completed + report.shed + report.failed,
+            128,
+            "accounting invariant in the report"
+        );
+        assert!(report.retries >= 1, "transients forced re-serves");
+        assert_eq!(report.failed, 0, "default retry budget absorbs transients");
+        assert_eq!(report.availability, 1.0);
+        assert_eq!(report.replicas_lost, 0);
     }
 
     #[test]

@@ -20,6 +20,13 @@
 //! * [`ReplicaStage`] — per-replica staging buffers that copy a coalesced
 //!   batch into batch-major form and run the accelerator's batched path,
 //!   zero heap allocations in steady state;
+//! * [`Supervision`] / [`FaultPlan`] — crash-tolerant serving: a
+//!   supervised replica pool recovers a crashed worker's in-flight batch
+//!   (requeued with its original arrival stamps against a bounded retry
+//!   budget), restarts the replica up to a pool-wide budget, and lets
+//!   survivors absorb the load; deterministic seeded fault plans inject
+//!   crash/stall/transient events so availability under faults is
+//!   measurable and reproducible;
 //! * [`serve_replay`] — replays a seeded
 //!   [`QueryStream`](centaur_workload::QueryStream) against a pool of
 //!   [`CentaurRuntime`](centaur::CentaurRuntime) replica shards (one worker
@@ -53,19 +60,28 @@
 #![warn(rust_2018_idioms)]
 
 pub mod env;
+pub mod fault;
 pub mod harness;
 pub mod policy;
 pub mod queue;
 pub mod stage;
+pub mod supervisor;
 
 pub use env::{
-    parse_serve_queue_depth, parse_serve_slo_ms, serve_queue_depth, serve_slo_ms,
-    DEFAULT_SERVE_SLO_MS, SERVE_QUEUE_DEPTH_VALUES, SERVE_SLO_MS_VALUES,
+    parse_serve_fault_plan, parse_serve_queue_depth, parse_serve_restart_budget,
+    parse_serve_retry_limit, parse_serve_slo_ms, serve_fault_plan, serve_queue_depth,
+    serve_restart_budget, serve_retry_limit, serve_slo_ms, DEFAULT_SERVE_RESTART_BUDGET,
+    DEFAULT_SERVE_RETRY_LIMIT, DEFAULT_SERVE_SLO_MS, SERVE_FAULT_PLAN_VALUES,
+    SERVE_QUEUE_DEPTH_VALUES, SERVE_RESTART_BUDGET_VALUES, SERVE_RETRY_LIMIT_VALUES,
+    SERVE_SLO_MS_VALUES,
 };
+pub use fault::{FaultEvent, FaultGuard, FaultKind, FaultPlan, FaultSpec};
 pub use harness::{
     calibrate_fifo_capacity_qps, generate_requests, run_serve_cell, serve_replay,
-    serve_replay_with, Completion, ServeCell, ServeOptions, ServeOutcome, ServeReport,
+    serve_replay_faulted, serve_replay_with, Completion, ServeCell, ServeOptions, ServeOutcome,
+    ServeReport,
 };
 pub use policy::BatchPolicy;
 pub use queue::{AdmissionConfig, ArrivalQueue, QueuedRequest};
 pub use stage::ReplicaStage;
+pub use supervisor::{requeue_or_fail, InFlightSlot, Supervision};

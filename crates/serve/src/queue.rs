@@ -35,6 +35,11 @@ pub struct QueuedRequest {
     /// Deadline offset in seconds from experiment start: the request is
     /// dead once the clock passes this. `f64::INFINITY` means no deadline.
     pub deadline_s: f64,
+    /// Times this request has been re-served after a replica crash or
+    /// datapath error. `0` on first enqueue; bumped by
+    /// [`ArrivalQueue::requeue`]. The original `arrival_s` stamp is kept
+    /// across retries — the open-loop latency clock never resets.
+    pub retries: u32,
 }
 
 impl QueuedRequest {
@@ -44,6 +49,7 @@ impl QueuedRequest {
             index,
             arrival_s,
             deadline_s: f64::INFINITY,
+            retries: 0,
         }
     }
 
@@ -53,7 +59,16 @@ impl QueuedRequest {
             index,
             arrival_s,
             deadline_s: arrival_s + slo_s,
+            retries: 0,
         }
+    }
+
+    /// This request, one retry later. Arrival and deadline stamps are
+    /// unchanged — a retried request is still judged against its original
+    /// schedule.
+    pub fn retry(mut self) -> Self {
+        self.retries += 1;
+        self
     }
 }
 
@@ -73,9 +88,21 @@ pub struct AdmissionConfig {
 struct QueueState {
     queue: VecDeque<QueuedRequest>,
     closed: bool,
+    aborted: bool,
+    in_flight: usize,
     shed_admission: usize,
     shed_expired: usize,
+    failed: usize,
+    retries: usize,
     shed_log: Vec<(QueuedRequest, RejectReason)>,
+}
+
+impl QueueState {
+    /// Whether every request the queue ever accepted has reached a terminal
+    /// state (served, shed, or failed) — nothing queued, nothing in flight.
+    fn drained(&self) -> bool {
+        self.queue.is_empty() && self.in_flight == 0
+    }
 }
 
 /// MPMC arrival queue (mutex + condvar; no external dependencies). The
@@ -103,8 +130,12 @@ impl ArrivalQueue {
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
                 closed: false,
+                aborted: false,
+                in_flight: 0,
                 shed_admission: 0,
                 shed_expired: 0,
+                failed: 0,
+                retries: 0,
                 shed_log: Vec::new(),
             }),
             nonempty: Condvar::new(),
@@ -149,9 +180,71 @@ impl ArrivalQueue {
         self.nonempty.notify_all();
     }
 
+    /// Closes the queue *and* abandons whatever it still holds: waiting
+    /// workers return immediately without draining. This is the
+    /// unrecoverable-failure path — the run is aborting, so serving the
+    /// tail would only delay the error.
+    pub fn close_abort(&self) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        state.closed = true;
+        state.aborted = true;
+        drop(state);
+        self.nonempty.notify_all();
+    }
+
     /// Whether [`close`](Self::close) has been called.
     pub fn is_closed(&self) -> bool {
         self.state.lock().expect("queue poisoned").closed
+    }
+
+    /// Whether [`close_abort`](Self::close_abort) has been called.
+    pub fn is_aborted(&self) -> bool {
+        self.state.lock().expect("queue poisoned").aborted
+    }
+
+    /// Marks `n` popped requests served. Every request a
+    /// [`pop_batch`](Self::pop_batch) hands out is **in flight** until the
+    /// worker accounts for it — [`complete`](Self::complete),
+    /// [`requeue`](Self::requeue) or [`fail`](Self::fail) — and the queue
+    /// does not report itself drained while anything is in flight, so a
+    /// crashed worker's batch can be recovered and requeued even after
+    /// `close()`.
+    pub fn complete(&self, n: usize) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        state.in_flight -= n;
+        let wake = state.closed && state.drained();
+        drop(state);
+        if wake {
+            self.nonempty.notify_all();
+        }
+    }
+
+    /// Returns one in-flight request to the queue for another serve attempt
+    /// (bump its retry count with [`QueuedRequest::retry`] first). Requeues
+    /// bypass the admission gate and succeed even after `close()` — the
+    /// request was already admitted once; recovery must not re-shed it.
+    pub fn requeue(&self, request: QueuedRequest) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        state.in_flight -= 1;
+        state.retries += 1;
+        state.queue.push_back(request);
+        drop(state);
+        self.nonempty.notify_one();
+    }
+
+    /// Marks one in-flight request permanently failed (retry budget
+    /// exhausted): counted, logged with [`RejectReason::Failed`], never
+    /// silent.
+    pub fn fail(&self, request: QueuedRequest) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        state.in_flight -= 1;
+        state.failed += 1;
+        state.shed_log.push((request, RejectReason::Failed));
+        let wake = state.closed && state.drained();
+        drop(state);
+        if wake {
+            self.nonempty.notify_all();
+        }
     }
 
     /// Queued-but-unserved requests right now.
@@ -167,6 +260,21 @@ impl ArrivalQueue {
     /// Requests shed at dequeue (deadline already passed) so far.
     pub fn shed_expired(&self) -> usize {
         self.state.lock().expect("queue poisoned").shed_expired
+    }
+
+    /// Requests permanently failed (retry budget exhausted) so far.
+    pub fn failed(&self) -> usize {
+        self.state.lock().expect("queue poisoned").failed
+    }
+
+    /// Total re-serve attempts ([`requeue`](Self::requeue) calls) so far.
+    pub fn retries(&self) -> usize {
+        self.state.lock().expect("queue poisoned").retries
+    }
+
+    /// Requests popped but not yet completed, requeued or failed.
+    pub fn in_flight(&self) -> usize {
+        self.state.lock().expect("queue poisoned").in_flight
     }
 
     /// Pre-grows the shed log so steady-state shedding never allocates.
@@ -191,8 +299,16 @@ impl ArrivalQueue {
     /// request's remaining slack drops to its `service_estimate`, so the
     /// batch dispatches partial rather than expiring what it already holds.
     /// With `shed_expired` set, already-dead requests are dropped (and
-    /// counted) instead of entering the batch. Returns `false` when the
-    /// queue is closed and fully drained (no batch was produced).
+    /// counted) instead of entering the batch.
+    ///
+    /// Every request handed out is **in flight** until the worker calls
+    /// [`complete`](Self::complete), [`requeue`](Self::requeue) or
+    /// [`fail`](Self::fail) for it. Returns `false` only when the queue is
+    /// closed *and* fully drained — nothing queued **and** nothing in
+    /// flight — so requests already queued (or recovered from a crashed
+    /// worker) at `close()` are still served or counted-shed, never
+    /// silently dropped; or immediately after
+    /// [`close_abort`](Self::close_abort), which abandons the drain.
     pub fn pop_batch(&self, policy: BatchPolicy, out: &mut Vec<QueuedRequest>) -> bool {
         out.clear();
         let max_batch = policy.max_batch();
@@ -200,6 +316,9 @@ impl ArrivalQueue {
         let mut state = self.state.lock().expect("queue poisoned");
         // Block until the batch opens with a live request.
         loop {
+            if state.aborted {
+                return false;
+            }
             let now_s = self.start.elapsed().as_secs_f64();
             let mut opened = false;
             while let Some(request) = state.queue.pop_front() {
@@ -210,6 +329,7 @@ impl ArrivalQueue {
                         .push((request, RejectReason::DeadlineExpired));
                     continue;
                 }
+                state.in_flight += 1;
                 out.push(request);
                 opened = true;
                 break;
@@ -217,7 +337,7 @@ impl ArrivalQueue {
             if opened {
                 break;
             }
-            if state.closed {
+            if state.closed && state.drained() {
                 return false;
             }
             state = self.nonempty.wait(state).expect("queue poisoned");
@@ -250,6 +370,7 @@ impl ArrivalQueue {
                                 .push((request, RejectReason::DeadlineExpired));
                             continue;
                         }
+                        state.in_flight += 1;
                         out.push(request);
                     }
                     None => break,
@@ -297,6 +418,7 @@ mod tests {
             index,
             arrival_s: 0.0,
             deadline_s: -1.0,
+            retries: 0,
         }
     }
 
@@ -340,8 +462,117 @@ mod tests {
         let mut batch = Vec::new();
         assert!(queue.pop_batch(BatchPolicy::Fifo, &mut batch));
         assert_eq!(batch.len(), 1);
+        queue.complete(1);
         assert!(!queue.pop_batch(BatchPolicy::Fifo, &mut batch));
         assert!(batch.is_empty());
+    }
+
+    /// Pins the drain-then-close contract: every request already queued
+    /// when `close()` fires is either handed to a worker or shed with a
+    /// counted reason — the queue never reports drained while anything it
+    /// accepted lacks a terminal state, and nothing is silently dropped.
+    #[test]
+    fn requests_queued_at_close_are_served_or_counted_never_dropped() {
+        let queue = ArrivalQueue::with_config(AdmissionConfig {
+            max_depth: None,
+            shed_expired: true,
+        });
+        let total = 6;
+        for i in 0..total {
+            let pushed = if i % 3 == 2 {
+                queue.push(dead_request(i))
+            } else {
+                queue.push(request(i))
+            };
+            assert!(pushed);
+        }
+        queue.close();
+        let policy = BatchPolicy::Dynamic {
+            max_batch: 3,
+            max_wait: Duration::from_millis(5),
+        };
+        let mut batch = Vec::new();
+        let mut served = 0;
+        while queue.pop_batch(policy, &mut batch) {
+            served += batch.len();
+            queue.complete(batch.len());
+        }
+        assert_eq!(
+            served + queue.shed_expired(),
+            total,
+            "every queued request is served or counted-shed at shutdown"
+        );
+        assert_eq!(queue.shed_expired(), 2);
+        assert_eq!(queue.depth(), 0);
+        assert_eq!(queue.in_flight(), 0);
+    }
+
+    #[test]
+    fn pop_waits_for_in_flight_work_and_serves_requeues_after_close() {
+        let queue = ArrivalQueue::new();
+        assert!(queue.push(request(0)));
+        let mut batch = Vec::new();
+        assert!(queue.pop_batch(BatchPolicy::Fifo, &mut batch));
+        let held = batch[0];
+        queue.close();
+        // The queue is closed and empty, but one request is in flight: a
+        // second consumer must wait for its terminal state, and a requeue
+        // must reach it even though the queue is closed.
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| {
+                let mut tail = Vec::new();
+                let served = queue.pop_batch(BatchPolicy::Fifo, &mut tail);
+                (served, tail)
+            });
+            std::thread::sleep(Duration::from_millis(10));
+            queue.requeue(held.retry());
+            let (served, tail) = waiter.join().unwrap();
+            assert!(served, "requeued request is re-served, not dropped");
+            assert_eq!(tail[0].index, 0);
+            assert_eq!(tail[0].retries, 1, "retry count rode along");
+            assert_eq!(
+                tail[0].arrival_s, held.arrival_s,
+                "original arrival stamp preserved across the retry"
+            );
+            queue.complete(1);
+        });
+        assert_eq!(queue.retries(), 1);
+        assert!(!queue.pop_batch(BatchPolicy::Fifo, &mut batch));
+    }
+
+    #[test]
+    fn fail_records_a_counted_rejection_and_drains_the_queue() {
+        let queue = ArrivalQueue::new();
+        assert!(queue.push(request(0)));
+        assert!(queue.push(request(1)));
+        queue.close();
+        let mut batch = Vec::new();
+        assert!(queue.pop_batch(BatchPolicy::Fifo, &mut batch));
+        queue.complete(1);
+        assert!(queue.pop_batch(BatchPolicy::Fifo, &mut batch));
+        queue.fail(batch[0].retry().retry());
+        assert_eq!(queue.failed(), 1);
+        assert!(!queue.pop_batch(BatchPolicy::Fifo, &mut batch), "drained");
+        let shed = queue.take_shed();
+        assert_eq!(shed.len(), 1);
+        assert_eq!(shed[0].0.index, 1);
+        assert_eq!(shed[0].0.retries, 2, "exhausted budget rides in the log");
+        assert_eq!(shed[0].1, RejectReason::Failed);
+    }
+
+    #[test]
+    fn close_abort_abandons_the_drain() {
+        let queue = ArrivalQueue::new();
+        assert!(queue.push(request(0)));
+        assert!(queue.push(request(1)));
+        queue.close_abort();
+        assert!(queue.is_closed());
+        assert!(queue.is_aborted());
+        let mut batch = Vec::new();
+        assert!(
+            !queue.pop_batch(BatchPolicy::Fifo, &mut batch),
+            "aborted queue stops workers immediately, tail unserved"
+        );
     }
 
     #[test]
@@ -404,6 +635,7 @@ mod tests {
         assert!(queue.pop_batch(policy, &mut batch));
         let served: Vec<usize> = batch.iter().map(|q| q.index).collect();
         assert_eq!(served, vec![1, 3], "only live requests reach the batch");
+        queue.complete(batch.len());
         assert_eq!(queue.shed_expired(), 2);
         assert_eq!(queue.shed_admission(), 0);
         let shed: Vec<(usize, RejectReason)> = queue
@@ -458,6 +690,7 @@ mod tests {
             index: 0,
             arrival_s: 0.0,
             deadline_s: 0.05,
+            retries: 0,
         };
         assert!(queue.push(lone));
         let policy = BatchPolicy::Deadline {

@@ -1,0 +1,413 @@
+//! The replica supervisor: crash-tolerant serving on top of the arrival
+//! queue's in-flight accounting.
+//!
+//! Pre-supervision, any replica-worker panic or datapath error aborted the
+//! whole replay (`guard_worker` flips the abort flag and closes the queue).
+//! Supervision replaces that all-or-nothing contract with the production
+//! one — node loss is routine, the pool degrades gracefully:
+//!
+//! * every batch a worker holds is **published** to an [`InFlightSlot`]
+//!   before it runs, so when the worker panics the supervisor recovers the
+//!   exact requests that went down with it;
+//! * recovered (and datapath-failed) requests are **requeued with their
+//!   original arrival stamps** against a bounded per-request retry budget —
+//!   exhausted budgets surface as [`RejectReason::Failed`] rejections,
+//!   never silently;
+//! * the crashed replica is **restarted** from a fresh shard clone, counted
+//!   against a pool-wide restart budget; a replica beyond the budget stays
+//!   dead and its siblings absorb the load through the existing
+//!   admission/deadline machinery;
+//! * only unrecoverable states abort: when the **last** live replica dies,
+//!   the run aborts with the *first* crash's original panic payload
+//!   preserved, exactly like the unsupervised path.
+//!
+//! The accounting invariant this module exists to uphold: every request the
+//! queue ever accepted ends in exactly one of completed / shed / failed.
+
+use crate::fault::FaultGuard;
+use crate::harness::Completion;
+use crate::policy::BatchPolicy;
+use crate::queue::{ArrivalQueue, QueuedRequest};
+use crate::stage::ReplicaStage;
+use centaur::CentaurRuntime;
+use centaur_dlrm::config::ModelConfig;
+use centaur_dlrm::InferenceRequest;
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Fault-tolerance budgets for a supervised replica pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Supervision {
+    /// Times one request may be re-served after a replica crash or
+    /// datapath error before it is failed ([`RejectReason::Failed`]).
+    ///
+    /// [`RejectReason::Failed`]: centaur_dlrm::RejectReason::Failed
+    pub retry_limit: u32,
+    /// Replica restarts the pool may spend across the whole run. A crash
+    /// beyond this budget leaves the replica dead; when the *last* replica
+    /// dies the run aborts with the first crash's panic payload.
+    pub restart_budget: usize,
+}
+
+impl Default for Supervision {
+    fn default() -> Self {
+        Supervision {
+            retry_limit: 2,
+            restart_budget: 2,
+        }
+    }
+}
+
+impl Supervision {
+    /// Supervision with the given budgets.
+    pub fn new(retry_limit: u32, restart_budget: usize) -> Self {
+        Supervision {
+            retry_limit,
+            restart_budget,
+        }
+    }
+}
+
+/// The crash-recovery handoff slot: a worker publishes each batch here
+/// *before* running it, so the supervisor can recover exactly the requests
+/// that were in flight when the worker panicked. Publish/clear reuse one
+/// pre-reserved buffer — the fault-free steady state allocates nothing.
+#[derive(Debug)]
+pub struct InFlightSlot {
+    slot: Mutex<Vec<QueuedRequest>>,
+}
+
+impl InFlightSlot {
+    /// An empty slot pre-reserved for batches up to `capacity`.
+    pub fn new(capacity: usize) -> Self {
+        InFlightSlot {
+            slot: Mutex::new(Vec::with_capacity(capacity)),
+        }
+    }
+
+    /// Records `batch` as the worker's current in-flight work.
+    pub fn publish(&self, batch: &[QueuedRequest]) {
+        let mut slot = self.slot.lock().expect("in-flight slot poisoned");
+        slot.clear();
+        slot.extend_from_slice(batch);
+    }
+
+    /// Marks the current batch fully accounted (served/requeued/failed).
+    pub fn clear(&self) {
+        self.slot.lock().expect("in-flight slot poisoned").clear();
+    }
+
+    /// Takes whatever was in flight — the crash-recovery path. The slot
+    /// mutex is never poisoned by a worker panic: workers only hold the
+    /// lock inside [`publish`](Self::publish)/[`clear`](Self::clear), which
+    /// cannot unwind mid-critical-section.
+    pub fn recover(&self) -> Vec<QueuedRequest> {
+        std::mem::take(&mut *self.slot.lock().expect("in-flight slot poisoned"))
+    }
+}
+
+/// Routes one failed serve attempt: requeue for another try while the
+/// request has retry budget left (original arrival stamp preserved —
+/// [`QueuedRequest::retry`] bumps only the count), otherwise fail it
+/// permanently with a counted [`RejectReason::Failed`] rejection.
+///
+/// [`RejectReason::Failed`]: centaur_dlrm::RejectReason::Failed
+pub fn requeue_or_fail(queue: &ArrivalQueue, request: QueuedRequest, retry_limit: u32) {
+    if request.retries < retry_limit {
+        queue.requeue(request.retry());
+    } else {
+        queue.fail(request);
+    }
+}
+
+/// State shared between the harness and every supervised replica: recorded
+/// completions, pool-wide budgets and the first crash's preserved payload.
+pub(crate) struct SupervisorShared {
+    /// Completions from every replica (pre-reserved to the request count so
+    /// the recording path never allocates).
+    pub completions: Mutex<Vec<Completion>>,
+    /// Accelerator batches dispatched across the pool.
+    pub batches: AtomicUsize,
+    /// Restarts consumed from the pool-wide budget.
+    pub restarts: AtomicUsize,
+    /// Replicas still alive (dead = crashed beyond the restart budget).
+    pub live: AtomicUsize,
+    /// The first crash's original panic payload, preserved for
+    /// `resume_unwind` should the run become unrecoverable.
+    pub payload: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl SupervisorShared {
+    pub fn new(replicas: usize, requests: usize) -> Self {
+        SupervisorShared {
+            completions: Mutex::new(Vec::with_capacity(requests)),
+            batches: AtomicUsize::new(0),
+            restarts: AtomicUsize::new(0),
+            live: AtomicUsize::new(replicas),
+            payload: Mutex::new(None),
+        }
+    }
+
+    /// Claims one restart from the pool-wide budget; `false` once spent.
+    pub fn try_consume_restart(&self, budget: usize) -> bool {
+        let mut used = self.restarts.load(Ordering::Relaxed);
+        loop {
+            if used >= budget {
+                return false;
+            }
+            match self.restarts.compare_exchange(
+                used,
+                used + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => used = actual,
+            }
+        }
+    }
+
+    /// Records a replica death (preserving the first payload) and returns
+    /// `true` when it was the last live replica — the unrecoverable state.
+    pub fn replica_died(&self, payload: Box<dyn Any + Send>) -> bool {
+        let mut slot = self.payload.lock().expect("payload slot poisoned");
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+        drop(slot);
+        self.live.fetch_sub(1, Ordering::AcqRel) == 1
+    }
+}
+
+/// One supervised replica: runs [`supervised_worker_loop`] under a panic
+/// guard, and on a crash recovers the in-flight batch (requeue against the
+/// retry budget), then restarts the replica from a fresh clone of
+/// `template` while the pool-wide restart budget lasts. A replica beyond
+/// the budget stays dead; the death of the *last* replica flips the abort
+/// flag and abandons the queue so the harness can re-raise the preserved
+/// panic payload.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn supervise_replica(
+    queue: &ArrivalQueue,
+    requests: &[InferenceRequest],
+    mut runtime: CentaurRuntime,
+    template: &Mutex<CentaurRuntime>,
+    model_config: &ModelConfig,
+    policy: BatchPolicy,
+    start: Instant,
+    supervision: Supervision,
+    mut guard: FaultGuard,
+    shared: &SupervisorShared,
+    abort: &AtomicBool,
+    replica: usize,
+) {
+    let inflight = InFlightSlot::new(policy.max_batch());
+    loop {
+        let mut stage = ReplicaStage::new(model_config, policy.max_batch());
+        let crashed = catch_unwind(AssertUnwindSafe(|| {
+            supervised_worker_loop(
+                queue,
+                requests,
+                &mut runtime,
+                &mut stage,
+                policy,
+                start,
+                supervision.retry_limit,
+                &mut guard,
+                &inflight,
+                shared,
+                replica,
+            )
+        }));
+        let payload = match crashed {
+            Ok(()) => return, // queue drained (or aborted); clean exit
+            Err(payload) => payload,
+        };
+        // Crash recovery: the published batch went down with the worker —
+        // requeue it (original arrival stamps) against the retry budget.
+        for request in inflight.recover() {
+            requeue_or_fail(queue, request, supervision.retry_limit);
+        }
+        if shared.try_consume_restart(supervision.restart_budget) {
+            // Fresh shard clone: never reuse state a panic unwound through.
+            runtime = template.lock().expect("template poisoned").clone();
+            continue;
+        }
+        // Beyond the restart budget: this replica stays dead. Survivors
+        // absorb the load; only the last death is unrecoverable.
+        if shared.replica_died(payload) {
+            abort.store(true, Ordering::Relaxed);
+            queue.close_abort();
+        }
+        return;
+    }
+}
+
+/// One supervised replica's serving loop. Differences from the unsupervised
+/// loop: every batch is published in-flight before anything can fail, the
+/// fault guard is polled once per batch (crash events panic here, inside
+/// the supervisor's catch), injected transients and real datapath errors
+/// requeue work against the retry budget instead of killing the run, and a
+/// failing batch is re-served request-by-request so one poison request
+/// cannot burn its co-riders' budgets.
+#[allow(clippy::too_many_arguments)]
+fn supervised_worker_loop(
+    queue: &ArrivalQueue,
+    requests: &[InferenceRequest],
+    runtime: &mut CentaurRuntime,
+    stage: &mut ReplicaStage,
+    policy: BatchPolicy,
+    start: Instant,
+    retry_limit: u32,
+    guard: &mut FaultGuard,
+    inflight: &InFlightSlot,
+    shared: &SupervisorShared,
+    replica: usize,
+) {
+    let mut batch: Vec<QueuedRequest> = Vec::with_capacity(policy.max_batch());
+    let mut staged: Vec<&InferenceRequest> = Vec::with_capacity(policy.max_batch());
+    while queue.pop_batch(policy, &mut batch) {
+        inflight.publish(&batch);
+        let now_s = start.elapsed().as_secs_f64();
+        if guard.intercept(replica, now_s).is_err() {
+            // Injected transient: the whole batch's attempt failed, the
+            // replica survives. Retry or fail each rider.
+            for &request in &batch {
+                requeue_or_fail(queue, request, retry_limit);
+            }
+            inflight.clear();
+            continue;
+        }
+        staged.clear();
+        staged.extend(batch.iter().map(|q| &requests[q.index]));
+        match stage.run_batch(runtime, &staged) {
+            Ok(probabilities) => {
+                record(shared, requests, &batch, probabilities, start);
+                queue.complete(batch.len());
+                inflight.clear();
+            }
+            Err(_) if batch.len() == 1 => {
+                requeue_or_fail(queue, batch[0], retry_limit);
+                inflight.clear();
+            }
+            Err(_) => {
+                // Poison isolation: one bad request failed the whole batch.
+                // Re-serve request-by-request so the innocent co-riders
+                // complete now and only the poison burns its retry budget.
+                for i in 0..batch.len() {
+                    let request = batch[i];
+                    match stage.run_batch(runtime, &staged[i..=i]) {
+                        Ok(probabilities) => {
+                            record(shared, requests, &batch[i..=i], probabilities, start);
+                            queue.complete(1);
+                        }
+                        Err(_) => requeue_or_fail(queue, request, retry_limit),
+                    }
+                }
+                inflight.clear();
+            }
+        }
+    }
+}
+
+/// Records one served batch's completions into the shared log (pre-reserved
+/// — no allocation) and counts the dispatch.
+fn record(
+    shared: &SupervisorShared,
+    requests: &[InferenceRequest],
+    batch: &[QueuedRequest],
+    probabilities: &[f32],
+    start: Instant,
+) {
+    let completed_s = start.elapsed().as_secs_f64();
+    let mut completions = shared.completions.lock().expect("completions poisoned");
+    for (queued, &probability) in batch.iter().zip(probabilities) {
+        completions.push(Completion {
+            id: requests[queued.index].id,
+            arrival_s: queued.arrival_s,
+            completed_s,
+            probability,
+        });
+    }
+    drop(completions);
+    shared.batches.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_flight_slot_publishes_and_recovers_the_exact_batch() {
+        let slot = InFlightSlot::new(4);
+        let batch = [
+            QueuedRequest::new(3, 0.001),
+            QueuedRequest::new(4, 0.002).retry(),
+        ];
+        slot.publish(&batch);
+        let recovered = slot.recover();
+        assert_eq!(recovered.len(), 2);
+        assert_eq!(recovered[0].index, 3);
+        assert_eq!(recovered[1].retries, 1, "retry metadata survives recovery");
+        assert!(slot.recover().is_empty(), "recovery drains the slot");
+        slot.publish(&batch);
+        slot.clear();
+        assert!(
+            slot.recover().is_empty(),
+            "cleared batches are not recovered"
+        );
+    }
+
+    #[test]
+    fn requeue_or_fail_respects_the_retry_budget() {
+        let queue = ArrivalQueue::new();
+        let mut batch = Vec::new();
+        // Budget 1: first failure requeues, second fails permanently.
+        assert!(queue.push(QueuedRequest::new(0, 0.0)));
+        assert!(queue.pop_batch(BatchPolicy::Fifo, &mut batch));
+        requeue_or_fail(&queue, batch[0], 1);
+        assert_eq!(queue.depth(), 1, "first failure requeues");
+        assert!(queue.pop_batch(BatchPolicy::Fifo, &mut batch));
+        assert_eq!(batch[0].retries, 1);
+        requeue_or_fail(&queue, batch[0], 1);
+        assert_eq!(queue.depth(), 0, "budget exhausted");
+        assert_eq!(queue.failed(), 1);
+        // Budget 0 fails immediately.
+        assert!(queue.push(QueuedRequest::new(1, 0.0)));
+        assert!(queue.pop_batch(BatchPolicy::Fifo, &mut batch));
+        requeue_or_fail(&queue, batch[0], 0);
+        assert_eq!(queue.failed(), 2);
+    }
+
+    #[test]
+    fn restart_budget_is_pool_wide_and_exact() {
+        let shared = SupervisorShared::new(2, 0);
+        assert!(shared.try_consume_restart(2));
+        assert!(shared.try_consume_restart(2));
+        assert!(!shared.try_consume_restart(2), "budget of 2 allows 2");
+        assert_eq!(shared.restarts.load(Ordering::Relaxed), 2);
+        assert!(!SupervisorShared::new(1, 0).try_consume_restart(0));
+    }
+
+    #[test]
+    fn last_replica_death_is_flagged_and_first_payload_kept() {
+        let shared = SupervisorShared::new(2, 0);
+        assert!(
+            !shared.replica_died(Box::new("first crash")),
+            "one of two deaths is survivable"
+        );
+        assert!(
+            shared.replica_died(Box::new("second crash")),
+            "last death is unrecoverable"
+        );
+        let payload = shared.payload.lock().unwrap().take().unwrap();
+        assert_eq!(
+            payload.downcast_ref::<&str>().copied(),
+            Some("first crash"),
+            "the first crash's payload is the one preserved"
+        );
+    }
+}

@@ -427,7 +427,7 @@ impl QueryStream {
 /// seconds: the helper serving experiments use to turn raw recorded
 /// latencies into the p50/p95/p99 numbers the paper-adjacent serving
 /// studies (RecNMP, MicroRec) report.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct LatencySummary {
     /// Number of latencies summarized.
     pub count: usize,

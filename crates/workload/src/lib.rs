@@ -29,8 +29,10 @@
 
 pub mod arrival;
 pub mod distribution;
+pub mod fault;
 pub mod generator;
 
 pub use arrival::{ArrivalProcess, ArrivalSampler, LatencySummary, QueryStream, TrafficShape};
 pub use distribution::IndexDistribution;
+pub use fault::FaultScheduleSampler;
 pub use generator::{FunctionalBatch, RequestGenerator};

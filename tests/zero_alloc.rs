@@ -351,6 +351,7 @@ fn steady_state_inference_paths_do_not_allocate() {
                 index: i,
                 arrival_s: 0.0,
                 deadline_s,
+                retries: 0,
             });
         }
         // The pop sheds the four dead requests and batches the four live
@@ -358,6 +359,8 @@ fn steady_state_inference_paths_do_not_allocate() {
         assert!(queue.pop_batch(policy, &mut shed_batch));
         assert_eq!(shed_batch.len(), 4);
         assert_eq!(queue.depth(), 0);
+        // Settle the in-flight accounting the pop opened.
+        queue.complete(shed_batch.len());
     };
     overload_round(); // warm-up: grow the ring buffer to its high-water mark
     let allocs = allocations_during(|| {
@@ -373,4 +376,67 @@ fn steady_state_inference_paths_do_not_allocate() {
     // `allocations_during` may run a variable number of rounds).
     assert!(queue.shed_admission() >= 2 * 11);
     assert_eq!(queue.shed_expired(), 2 * queue.shed_admission());
+
+    // --- Supervised serving steady state ------------------------------------
+    // The fault-tolerant path in its fault-free steady state: publishing
+    // each batch to the crash-recovery slot, polling the fault guard,
+    // staging + batched inference, recording completions into a
+    // pre-reserved log, and settling the queue's in-flight accounting.
+    // Supervision must cost nothing on the heap when nothing is failing —
+    // crash recovery may allocate, every batch served must not.
+    use centaur_serve::{Completion, FaultGuard, InFlightSlot};
+    let supervised_queue = ArrivalQueue::new();
+    let spolicy = BatchPolicy::Dynamic {
+        max_batch: batch,
+        max_wait: Duration::ZERO,
+    };
+    let slot = InFlightSlot::new(batch);
+    let mut fault_guard = FaultGuard::none();
+    let mut served_batch: Vec<QueuedRequest> = Vec::with_capacity(batch);
+    let mut served_staged: Vec<&centaur_dlrm::InferenceRequest> = Vec::with_capacity(batch);
+    let mut completion_log: Vec<Completion> = Vec::with_capacity(batch);
+    let mut supervised_round = |completion_log: &mut Vec<Completion>| {
+        for i in 0..batch {
+            assert!(supervised_queue.push(QueuedRequest {
+                index: i,
+                arrival_s: 0.0,
+                deadline_s: f64::INFINITY,
+                retries: 0,
+            }));
+        }
+        assert!(supervised_queue.pop_batch(spolicy, &mut served_batch));
+        assert_eq!(served_batch.len(), batch);
+        slot.publish(&served_batch);
+        fault_guard
+            .intercept(0, 0.0)
+            .expect("an empty guard injects nothing");
+        served_staged.clear();
+        served_staged.extend(served_batch.iter().map(|q| &requests[q.index]));
+        let probabilities = serve_stage.run_batch(&mut runtime, &served_staged).unwrap();
+        completion_log.clear();
+        for (queued, &probability) in served_batch.iter().zip(probabilities) {
+            completion_log.push(Completion {
+                id: requests[queued.index].id,
+                arrival_s: queued.arrival_s,
+                completed_s: 0.0,
+                probability,
+            });
+        }
+        supervised_queue.complete(served_batch.len());
+        slot.clear();
+    };
+    supervised_round(&mut completion_log); // warm-up: queue ring + buffers
+    assert_eq!(completion_log.len(), batch);
+    assert_eq!(completion_log[0].probability, warm_batch[0]);
+    let allocs = allocations_during(|| {
+        for _ in 0..10 {
+            supervised_round(&mut completion_log);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "supervised serving path allocated in fault-free steady state"
+    );
+    assert_eq!(supervised_queue.in_flight(), 0);
+    assert_eq!(supervised_queue.failed(), 0);
 }
