@@ -5,7 +5,7 @@
 //! Writes the machine-readable `BENCH_serve.json` tracked for the
 //! performance trajectory.
 //!
-//! Three sweeps share the document:
+//! Four sweeps share the document:
 //!
 //! 1. the **latency sweep** — offered QPS × batching policy × replica
 //!    count under stationary Poisson arrivals, loads anchored on a measured
@@ -23,14 +23,29 @@
 //!    recovered and requeued with their original arrival stamps, replicas
 //!    restart against a pool-wide budget, and each cell reports
 //!    availability (completed / accepted), restarts, retries and
-//!    per-reason rejections.
+//!    per-reason rejections;
+//! 4. the **isolation sweep** — a multi-tenant mix (default a light
+//!    DLRM(1) tenant at 0.7 share and a heavy DLRM(6) tenant at 0.3)
+//!    served by **isolated** per-tenant pools (own EDF queue, own SLO /
+//!    admission / supervision / fault budgets) versus one
+//!    **shared-everything** pool (single FIFO queue, pooled replicas,
+//!    merged budgets), under a fault-free baseline and a stressed cell
+//!    that pins the heavy tenant at 2× its pooled capacity with
+//!    heavy-tailed arrivals and a crash plan targeting its pool — the
+//!    light tenant's availability and p99 should not move when pools are
+//!    isolated, and measurably degrade when everything is shared.
 //!
 //! The SLO defaults to 5 ms and reads `CENTAUR_SERVE_SLO_MS`; the admission
 //! depth defaults to one SLO's worth of work at capacity and reads
 //! `CENTAUR_SERVE_QUEUE_DEPTH`. The supervision budgets read
 //! `CENTAUR_SERVE_RETRY_LIMIT` / `CENTAUR_SERVE_RESTART_BUDGET` (defaults
 //! 2 / 2), and `CENTAUR_SERVE_FAULT_PLAN` pins an explicit fault schedule
-//! on every faulted cell in place of the seeded ones.
+//! on every faulted cell in place of the seeded ones. The tenant mix reads
+//! `CENTAUR_SERVE_MIX` (`model:share` pairs summing to 1) and per-tenant
+//! SLOs read `CENTAUR_SERVE_MIX_SLO_MS` (one positive millisecond value
+//! per tenant; default scales the base SLO by each model's relative
+//! per-sample cost and by the tenant count, since co-located pools
+//! time-share the host).
 //!
 //! `CRITERION_QUICK=1` shrinks the offered windows to a smoke run (used by
 //! CI, where the numbers only need to exist, not to be stable).
@@ -248,6 +263,51 @@ fn main() {
     table.print();
 
     reports.extend(availability);
+
+    // Isolation sweep: the multi-tenant mix, isolated per-tenant pools
+    // versus one shared-everything pool, fault-free baseline versus heavy
+    // tenant stressed (2× its pooled capacity, heavy-tailed arrivals, crash
+    // plan on its pool). Rows group [baseline isolated, baseline shared,
+    // stressed isolated, stressed shared], one row per tenant.
+    println!("isolation sweep: multi-tenant mix, isolated vs shared pools");
+    let isolation = runner.serve_isolation_sweep(65_536, overload_duration_s, overload_max_queries);
+    let scenarios = ["baseline", "baseline", "stressed", "stressed"];
+    let tenants_per_cell = isolation.len() / 4;
+
+    let mut table = TextTable::new(
+        "Cross-pool isolation, per-tenant SLOs (measured, supervised pools)",
+        &[
+            "Scenario",
+            "Tenant",
+            "Pool",
+            "Traffic",
+            "Faults",
+            "Offered qps",
+            "Availability",
+            "Goodput qps",
+            "Shed",
+            "Failed",
+            "p99 ms",
+        ],
+    );
+    for (i, r) in isolation.iter().enumerate() {
+        table.add_row(vec![
+            scenarios[(i / tenants_per_cell).min(3)].to_string(),
+            r.tenant.clone(),
+            r.pool.clone(),
+            r.traffic.clone(),
+            r.faults.clone(),
+            format!("{:.0}", r.offered_qps),
+            format!("{:.4}", r.availability),
+            format!("{:.0}", r.goodput_qps),
+            r.shed.to_string(),
+            r.failed.to_string(),
+            format!("{:.3}", r.latency.p99_s * 1e3),
+        ]);
+    }
+    table.print();
+
+    reports.extend(isolation);
     let json = ExperimentRunner::bench_serve_json(model.label(), capacity, &reports);
     let path = "BENCH_serve.json";
     match std::fs::write(path, &json) {

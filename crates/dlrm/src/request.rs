@@ -51,6 +51,17 @@ impl InferenceRequest {
     pub fn lookups(&self) -> usize {
         self.sparse.iter().map(Vec::len).sum()
     }
+
+    /// The same request re-stamped with a different caller-assigned id.
+    ///
+    /// Multi-tenant harnesses merge per-tenant request streams into one
+    /// shared pool and need ids that are unique (and dense) across the merged
+    /// stream, not just within each tenant's own stream.
+    #[must_use]
+    pub fn with_id(mut self, id: u64) -> Self {
+        self.id = id;
+        self
+    }
 }
 
 /// The served answer to one [`InferenceRequest`].
@@ -126,6 +137,16 @@ mod tests {
         let request = request_for(&config);
         assert!(request.check_shape(&config).is_ok());
         assert_eq!(request.lookups(), 2 * config.num_tables);
+    }
+
+    #[test]
+    fn with_id_restamps_only_the_id() {
+        let config = PaperModel::Dlrm1.config();
+        let request = request_for(&config);
+        let dense = request.dense.clone();
+        let restamped = request.with_id(99);
+        assert_eq!(restamped.id, 99);
+        assert_eq!(restamped.dense, dense, "payload is untouched");
     }
 
     #[test]

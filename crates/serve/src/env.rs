@@ -15,9 +15,15 @@
 //! * `CENTAUR_SERVE_FAULT_PLAN` — an explicit fault schedule overriding a
 //!   faulted sweep cell's seeded plan (format: comma-separated
 //!   `crash:replica:at_ms`, `transient:replica:at_ms`,
-//!   `stall:replica:at_ms:stall_ms`).
+//!   `stall:replica:at_ms:stall_ms`);
+//! * `CENTAUR_SERVE_MIX` — the tenant mix the isolation sweep serves
+//!   (format: comma-separated `model:share`, e.g. `dlrm1:0.7,dlrm6:0.3`;
+//!   shares must sum to 1);
+//! * `CENTAUR_SERVE_MIX_SLO_MS` — per-tenant SLOs for the mix, one positive
+//!   millisecond value per tenant in mix order (e.g. `2,10`).
 
 use crate::fault::FaultPlan;
+use centaur_dlrm::PaperModel;
 use std::sync::OnceLock;
 
 /// Parses a `CENTAUR_SERVE_SLO_MS` value. Returns `None` for anything that
@@ -73,6 +79,59 @@ pub const SERVE_FAULT_PLAN_VALUES: &str = "comma-separated events: \
      crash:<replica>:<at_ms>, transient:<replica>:<at_ms>, or \
      stall:<replica>:<at_ms>:<stall_ms> (e.g. \"crash:0:50,transient:1:120\")";
 
+/// Parses a `CENTAUR_SERVE_MIX` value: comma-separated `model:share`
+/// tenants whose shares sum to 1 (see [`SERVE_MIX_VALUES`]). Model names
+/// are the paper's six, case-insensitive (`dlrm1` … `dlrm6`). Returns
+/// `None` for unknown models, non-positive or non-finite shares, shares
+/// that do not sum to 1, or an empty list.
+pub fn parse_serve_mix(value: &str) -> Option<Vec<(PaperModel, f64)>> {
+    let mut tenants = Vec::new();
+    for part in value.split(',') {
+        let (model, share) = part.trim().split_once(':')?;
+        let model = match model.to_ascii_lowercase().as_str() {
+            "dlrm1" => PaperModel::Dlrm1,
+            "dlrm2" => PaperModel::Dlrm2,
+            "dlrm3" => PaperModel::Dlrm3,
+            "dlrm4" => PaperModel::Dlrm4,
+            "dlrm5" => PaperModel::Dlrm5,
+            "dlrm6" => PaperModel::Dlrm6,
+            _ => return None,
+        };
+        let share = share
+            .parse::<f64>()
+            .ok()
+            .filter(|&s| s.is_finite() && s > 0.0 && s <= 1.0)?;
+        tenants.push((model, share));
+    }
+    if tenants.is_empty() {
+        return None;
+    }
+    let total: f64 = tenants.iter().map(|(_, share)| share).sum();
+    if (total - 1.0).abs() > 1e-6 {
+        return None;
+    }
+    Some(tenants)
+}
+
+/// Accepted `CENTAUR_SERVE_MIX` values, for error messages.
+pub const SERVE_MIX_VALUES: &str = "comma-separated model:share tenants with \
+     shares summing to 1, models dlrm1..dlrm6 (e.g. \"dlrm1:0.7,dlrm6:0.3\")";
+
+/// Parses a `CENTAUR_SERVE_MIX_SLO_MS` value: a comma-separated list of
+/// strictly positive finite millisecond values, one per tenant in mix order
+/// (see [`SERVE_MIX_SLO_MS_VALUES`]).
+pub fn parse_serve_mix_slo_ms(value: &str) -> Option<Vec<f64>> {
+    let slos: Option<Vec<f64>> = value
+        .split(',')
+        .map(|part| parse_serve_slo_ms(part.trim()))
+        .collect();
+    slos.filter(|slos| !slos.is_empty())
+}
+
+/// Accepted `CENTAUR_SERVE_MIX_SLO_MS` values, for error messages.
+pub const SERVE_MIX_SLO_MS_VALUES: &str =
+    "a comma-separated list of positive milliseconds, one per tenant (e.g. \"2,10\")";
+
 /// Built-in default SLO for overload sweeps, in milliseconds — tight enough
 /// that an unshedded backlog past the knee blows straight through it.
 pub const DEFAULT_SERVE_SLO_MS: f64 = 5.0;
@@ -89,6 +148,8 @@ static ENV_QUEUE_DEPTH: OnceLock<Option<usize>> = OnceLock::new();
 static ENV_RETRY_LIMIT: OnceLock<u32> = OnceLock::new();
 static ENV_RESTART_BUDGET: OnceLock<usize> = OnceLock::new();
 static ENV_FAULT_PLAN: OnceLock<Option<FaultPlan>> = OnceLock::new();
+static ENV_MIX: OnceLock<Option<Vec<(PaperModel, f64)>>> = OnceLock::new();
+static ENV_MIX_SLO_MS: OnceLock<Option<Vec<f64>>> = OnceLock::new();
 
 /// The SLO (milliseconds) overload sweeps use when the caller does not pass
 /// one explicitly: `CENTAUR_SERVE_SLO_MS` if set and valid, else
@@ -187,6 +248,49 @@ pub fn serve_fault_plan() -> Option<FaultPlan> {
         .clone()
 }
 
+/// The tenant mix the isolation sweep serves when `CENTAUR_SERVE_MIX` is
+/// set and valid, else `None` (the sweep uses its built-in light/heavy
+/// mix). Malformed values warn once and fall back. Cloned per call.
+pub fn serve_mix() -> Option<Vec<(PaperModel, f64)>> {
+    ENV_MIX
+        .get_or_init(|| match std::env::var("CENTAUR_SERVE_MIX") {
+            Ok(value) => match parse_serve_mix(&value) {
+                Some(mix) => Some(mix),
+                None => {
+                    eprintln!(
+                        "warning: invalid CENTAUR_SERVE_MIX value {value:?}, \
+                         expected {SERVE_MIX_VALUES}; using the built-in mix"
+                    );
+                    None
+                }
+            },
+            Err(_) => None,
+        })
+        .clone()
+}
+
+/// Per-tenant SLOs (milliseconds, mix order) when `CENTAUR_SERVE_MIX_SLO_MS`
+/// is set and valid, else `None` (the sweep uses its built-in per-tenant
+/// SLOs). Malformed values warn once and fall back. Cloned per call.
+pub fn serve_mix_slo_ms() -> Option<Vec<f64>> {
+    ENV_MIX_SLO_MS
+        .get_or_init(|| match std::env::var("CENTAUR_SERVE_MIX_SLO_MS") {
+            Ok(value) => match parse_serve_mix_slo_ms(&value) {
+                Some(slos) => Some(slos),
+                None => {
+                    eprintln!(
+                        "warning: invalid CENTAUR_SERVE_MIX_SLO_MS value {value:?}, \
+                         expected {SERVE_MIX_SLO_MS_VALUES}; \
+                         using the built-in per-tenant SLOs"
+                    );
+                    None
+                }
+            },
+            Err(_) => None,
+        })
+        .clone()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,6 +352,51 @@ mod tests {
     }
 
     #[test]
+    fn mix_parser_accepts_complete_known_model_mixes_only() {
+        assert_eq!(
+            parse_serve_mix("dlrm1:0.7,dlrm6:0.3"),
+            Some(vec![(PaperModel::Dlrm1, 0.7), (PaperModel::Dlrm6, 0.3)])
+        );
+        assert_eq!(
+            parse_serve_mix(" DLRM2:0.5 , dlrm4:0.5 "),
+            Some(vec![(PaperModel::Dlrm2, 0.5), (PaperModel::Dlrm4, 0.5)]),
+            "case-insensitive names, whitespace tolerated"
+        );
+        assert_eq!(
+            parse_serve_mix("dlrm1:1"),
+            Some(vec![(PaperModel::Dlrm1, 1.0)]),
+            "a single full-share tenant is a valid mix"
+        );
+        for bad in [
+            "",
+            "dlrm1",
+            "dlrm1:0.5",            // shares must sum to 1
+            "dlrm1:0.7,dlrm6:0.4",  // over 1
+            "dlrm7:1",              // unknown model
+            "dlrm1:0,dlrm6:1",      // zero share
+            "dlrm1:-0.5,dlrm6:1.5", // negative / over-1 shares
+            "dlrm1:inf",
+            "dlrm1:0.5,:0.5",
+        ] {
+            assert_eq!(parse_serve_mix(bad), None, "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn mix_slo_parser_accepts_positive_millisecond_lists_only() {
+        assert_eq!(parse_serve_mix_slo_ms("2,10"), Some(vec![2.0, 10.0]));
+        assert_eq!(parse_serve_mix_slo_ms("5"), Some(vec![5.0]));
+        assert_eq!(
+            parse_serve_mix_slo_ms(" 2.5 , 7 "),
+            Some(vec![2.5, 7.0]),
+            "whitespace tolerated"
+        );
+        for bad in ["", "2,", "2,0", "2,-1", "2,inf", "fast,10"] {
+            assert_eq!(parse_serve_mix_slo_ms(bad), None, "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
     fn accessors_fall_back_to_the_builtin_defaults() {
         // The OnceLocks read the env at most once per process; in the test
         // suite the variables are unset, so the accessors must return the
@@ -258,5 +407,7 @@ mod tests {
         assert_eq!(serve_retry_limit(), DEFAULT_SERVE_RETRY_LIMIT);
         assert_eq!(serve_restart_budget(), DEFAULT_SERVE_RESTART_BUDGET);
         assert_eq!(serve_fault_plan(), None);
+        assert_eq!(serve_mix(), None);
+        assert_eq!(serve_mix_slo_ms(), None);
     }
 }

@@ -270,6 +270,26 @@ impl FaultSpec {
         self.count() == 0
     }
 
+    /// Combines two specs into the schedule a *shared* pool experiences:
+    /// event counts sum, the stall length is the longer of the two, and the
+    /// seed is the first non-empty spec's. In a shared multi-tenant pool a
+    /// fault "targeting" one tenant hits a replica every tenant depends on —
+    /// merging the per-tenant specs is what makes that concrete.
+    #[must_use]
+    pub fn merge(self, other: FaultSpec) -> Self {
+        FaultSpec {
+            seed: if self.is_none() {
+                other.seed
+            } else {
+                self.seed
+            },
+            crashes: self.crashes + other.crashes,
+            stalls: self.stalls + other.stalls,
+            transients: self.transients + other.transients,
+            stall_ms: self.stall_ms.max(other.stall_ms),
+        }
+    }
+
     /// Total scheduled events.
     pub fn count(&self) -> usize {
         self.crashes + self.stalls + self.transients
@@ -466,6 +486,26 @@ mod tests {
         ] {
             assert!(FaultPlan::parse(bad).is_none(), "{bad:?} must not parse");
         }
+    }
+
+    #[test]
+    fn merged_specs_sum_counts_and_keep_the_first_seed() {
+        let a = FaultSpec::crashes(1).with_stalls(2).with_seed(7);
+        let b = FaultSpec::crashes(2)
+            .with_transients(3)
+            .with_stall_ms(9)
+            .with_seed(11);
+        let merged = a.merge(b);
+        assert_eq!(merged.crashes, 3);
+        assert_eq!(merged.stalls, 2);
+        assert_eq!(merged.transients, 3);
+        assert_eq!(merged.stall_ms, 9, "longer stall wins");
+        assert_eq!(merged.seed, 7, "first non-empty spec's seed");
+        assert_eq!(
+            FaultSpec::none().merge(b).seed,
+            11,
+            "an empty left side defers to the right seed"
+        );
     }
 
     #[test]

@@ -5,7 +5,8 @@
 
 use crate::fault::{FaultGuard, FaultPlan, FaultSpec};
 use crate::policy::BatchPolicy;
-use crate::queue::{AdmissionConfig, ArrivalQueue, QueuedRequest};
+use crate::queue::{AdmissionConfig, ArrivalQueue, DequeueOrder, QueuedRequest};
+use crate::server::{BatchServer, SoloServer};
 use crate::stage::ReplicaStage;
 use crate::supervisor::{supervise_replica, Supervision, SupervisorShared};
 use centaur::{CentaurConfig, CentaurError, CentaurRuntime};
@@ -15,7 +16,7 @@ use centaur_workload::{
     IndexDistribution, LatencySummary, QueryStream, RequestGenerator, TrafficShape,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -68,6 +69,9 @@ pub struct ServeOptions {
     /// requeued (original arrival stamps), replicas restart up to the
     /// budget, and only unrecoverable states abort.
     pub supervision: Option<Supervision>,
+    /// Dequeue order for the backlog: FIFO (default) or
+    /// earliest-deadline-first.
+    pub order: DequeueOrder,
 }
 
 impl ServeOptions {
@@ -88,7 +92,7 @@ impl ServeOptions {
             slo: Some(slo),
             admission_depth: Some(admission_depth),
             shed_expired: true,
-            supervision: None,
+            ..ServeOptions::default()
         }
     }
 
@@ -98,22 +102,29 @@ impl ServeOptions {
         self
     }
 
+    /// The same options under a different dequeue order.
+    pub fn with_order(mut self, order: DequeueOrder) -> Self {
+        self.order = order;
+        self
+    }
+
     /// The SLO in seconds, `f64::INFINITY` when none is set.
     pub fn slo_s(&self) -> f64 {
         self.slo.map_or(f64::INFINITY, |slo| slo.as_secs_f64())
     }
 
-    fn admission(&self) -> AdmissionConfig {
+    pub(crate) fn admission(&self) -> AdmissionConfig {
         AdmissionConfig {
             max_depth: self.admission_depth,
             shed_expired: self.shed_expired,
+            order: self.order,
         }
     }
 }
 
 /// What one replica worker hands back: its completions and batch count, or
 /// the datapath error that stopped it — wrapped in the panic-guard's result.
-type WorkerResult = std::thread::Result<Result<(Vec<Completion>, usize), CentaurError>>;
+pub(crate) type WorkerResult = std::thread::Result<Result<(Vec<Completion>, usize), CentaurError>>;
 
 /// Everything recorded by one serving run.
 #[derive(Debug, Clone)]
@@ -353,7 +364,7 @@ pub fn serve_replay_with(
 ///
 /// Re-raises the first crash's payload when the run is unrecoverable.
 pub fn serve_replay_faulted(
-    mut replicas: Vec<CentaurRuntime>,
+    replicas: Vec<CentaurRuntime>,
     requests: &[InferenceRequest],
     stream: &QueryStream,
     policy: BatchPolicy,
@@ -384,22 +395,13 @@ pub fn serve_replay_faulted(
     let abort = AtomicBool::new(false);
     let mut outcome = match options.supervision {
         None => serve_unsupervised(
-            &mut replicas,
-            requests,
-            stream,
-            policy,
-            &model_config,
-            &queue,
-            slo_s,
-            &abort,
-            plan,
+            replicas, requests, stream, policy, &queue, slo_s, &abort, plan,
         )?,
         Some(supervision) => serve_supervised(
             replicas,
             requests,
             stream,
             policy,
-            &model_config,
             &queue,
             slo_s,
             &abort,
@@ -423,16 +425,24 @@ pub fn serve_replay_faulted(
     Ok(outcome)
 }
 
-/// The open-loop load generator, run on the calling thread: release each
-/// query at its scheduled offset (bursts of overdue queries release back to
-/// back). Sleeps are sliced so a failed worker's abort is observed within
-/// milliseconds, not at the end of the schedule.
-fn replay_arrivals(
+/// The open-loop load generator: release each query at its scheduled offset
+/// (bursts of overdue queries release back to back). Sleeps are sliced so a
+/// failed worker's abort is observed within milliseconds, not at the end of
+/// the schedule.
+///
+/// Several generators can feed one queue (a multi-tenant shared pool):
+/// `index_offset` shifts this stream's indices into the merged request set,
+/// and the queue closes only when the *last* generator finishes —
+/// `generators_left` counts down across them.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn replay_arrivals(
     queue: &ArrivalQueue,
     stream: &QueryStream,
     slo_s: f64,
     abort: &AtomicBool,
     start: Instant,
+    index_offset: usize,
+    generators_left: &AtomicUsize,
 ) {
     'replay: for (index, arrival_s) in stream.replay() {
         let target = start + Duration::from_secs_f64(arrival_s);
@@ -447,7 +457,7 @@ fn replay_arrivals(
             std::thread::sleep((target - now).min(Duration::from_millis(5)));
         }
         let queued = QueuedRequest {
-            index,
+            index: index + index_offset,
             arrival_s,
             deadline_s: arrival_s + slo_s,
             retries: 0,
@@ -457,41 +467,46 @@ fn replay_arrivals(
             break 'replay;
         }
     }
-    queue.close();
+    if generators_left.fetch_sub(1, Ordering::AcqRel) == 1 {
+        queue.close();
+    }
 }
 
 /// The fail-stop serving path (pre-supervision contract): one guarded
 /// worker per replica; any panic or datapath error aborts the run.
 #[allow(clippy::too_many_arguments)]
 fn serve_unsupervised(
-    replicas: &mut [CentaurRuntime],
+    mut replicas: Vec<CentaurRuntime>,
     requests: &[InferenceRequest],
     stream: &QueryStream,
     policy: BatchPolicy,
-    model_config: &ModelConfig,
     queue: &ArrivalQueue,
     slo_s: f64,
     abort: &AtomicBool,
     plan: &FaultPlan,
 ) -> Result<ServeOutcome, CentaurError> {
     let mut worker_results: Vec<WorkerResult> = Vec::new();
+    // Align the deadline clock with the replay start (setup between queue
+    // construction and here must not eat into the schedule).
+    queue.restart_clock();
     std::thread::scope(|scope| {
         let start = queue.start();
         let handles: Vec<_> = replicas
-            .iter_mut()
+            .drain(..)
             .enumerate()
             .map(|(index, runtime)| {
-                let stage = ReplicaStage::new(model_config, policy.max_batch());
+                let server = SoloServer::new(runtime, requests, policy.max_batch());
                 let guard = plan.guard_for(index);
                 scope.spawn(move || {
                     guard_worker(queue, abort, move || {
-                        worker_loop(queue, requests, runtime, stage, policy, start, guard, index)
+                        worker_loop(queue, server, policy, start, guard, index)
                     })
                 })
             })
             .collect();
 
-        replay_arrivals(queue, stream, slo_s, abort, start);
+        let generators = AtomicUsize::new(1);
+        replay_arrivals(queue, stream, slo_s, abort, start, 0, &generators);
 
         // The guard already catches panics inside the worker body, so the
         // thread result and the guard result collapse into one layer.
@@ -535,12 +550,11 @@ fn serve_unsupervised(
 /// budget, and lets survivors absorb the load. Panics only on the
 /// unrecoverable path, re-raising the first crash's preserved payload.
 #[allow(clippy::too_many_arguments)]
-fn serve_supervised(
+fn serve_supervised<'a>(
     mut replicas: Vec<CentaurRuntime>,
-    requests: &[InferenceRequest],
+    requests: &'a [InferenceRequest],
     stream: &QueryStream,
     policy: BatchPolicy,
-    model_config: &ModelConfig,
     queue: &ArrivalQueue,
     slo_s: f64,
     abort: &AtomicBool,
@@ -552,19 +566,34 @@ fn serve_supervised(
     // Restarts boot from a fresh shard clone, never from state a panic
     // unwound through.
     let template = Mutex::new(replicas[0].clone());
+    let max_batch = policy.max_batch();
+    let respawn = {
+        let template = &template;
+        move || {
+            SoloServer::new(
+                template.lock().expect("template poisoned").clone(),
+                requests,
+                max_batch,
+            )
+        }
+    };
+    // The template clone above is proportional to model size (hundreds of
+    // milliseconds for 64K-row tables) and ran *after* the queue captured
+    // its construction-time clock; restart the deadline clock here so the
+    // replay schedule is measured from when the replay actually begins.
+    queue.restart_clock();
     std::thread::scope(|scope| {
         let start = queue.start();
         let shared = &shared;
-        let template = &template;
+        let respawn: &(dyn Fn() -> SoloServer<'a> + Sync) = &respawn;
         for (index, runtime) in replicas.drain(..).enumerate() {
             let guard = plan.guard_for(index);
+            let server = SoloServer::new(runtime, requests, max_batch);
             scope.spawn(move || {
                 supervise_replica(
                     queue,
-                    requests,
-                    runtime,
-                    template,
-                    model_config,
+                    server,
+                    respawn,
                     policy,
                     start,
                     supervision,
@@ -575,7 +604,8 @@ fn serve_supervised(
                 );
             });
         }
-        replay_arrivals(queue, stream, slo_s, abort, start);
+        let generators = AtomicUsize::new(1);
+        replay_arrivals(queue, stream, slo_s, abort, start, 0, &generators);
     });
     if queue.is_aborted() {
         // Unrecoverable: every replica died. Re-raise the first crash.
@@ -611,7 +641,7 @@ fn serve_supervised(
 /// siblings waiting on the dead worker's in-flight batch forever). The
 /// panic payload (or error) is returned unaltered for the harness to
 /// surface.
-fn guard_worker<F>(queue: &ArrivalQueue, abort: &AtomicBool, body: F) -> WorkerResult
+pub(crate) fn guard_worker<F>(queue: &ArrivalQueue, abort: &AtomicBool, body: F) -> WorkerResult
 where
     F: FnOnce() -> Result<(Vec<Completion>, usize), CentaurError>,
 {
@@ -623,17 +653,14 @@ where
     result
 }
 
-/// One replica's serving loop: pop a coalesced batch, stage it, run the
-/// batched accelerator path, record completions. Runs until the queue is
-/// closed and drained. The fault guard injects this replica's scheduled
-/// faults with fail-stop consequences: a crash event's panic and a
-/// transient event's error both abort the run (the unprotected baseline).
-#[allow(clippy::too_many_arguments)]
-fn worker_loop(
+/// One replica's serving loop: pop a coalesced batch, serve it through the
+/// replica's [`BatchServer`] backend, record completions. Runs until the
+/// queue is closed and drained. The fault guard injects this replica's
+/// scheduled faults with fail-stop consequences: a crash event's panic and
+/// a transient event's error both abort the run (the unprotected baseline).
+pub(crate) fn worker_loop<S: BatchServer>(
     queue: &ArrivalQueue,
-    requests: &[InferenceRequest],
-    runtime: &mut CentaurRuntime,
-    mut stage: ReplicaStage,
+    mut server: S,
     policy: BatchPolicy,
     start: Instant,
     mut guard: FaultGuard,
@@ -641,21 +668,19 @@ fn worker_loop(
 ) -> Result<(Vec<Completion>, usize), CentaurError> {
     let mut completions = Vec::new();
     let mut batches = 0usize;
-    // Reused across iterations: the queue's pop buffer and the staged
-    // request refs — the steady-state loop allocates nothing once these
-    // reach their high-water marks.
+    // Reused across iterations: the queue's pop buffer and the probability
+    // scratch — the steady-state loop allocates nothing once these reach
+    // their high-water marks.
     let mut batch: Vec<QueuedRequest> = Vec::with_capacity(policy.max_batch());
-    let mut staged: Vec<&InferenceRequest> = Vec::with_capacity(policy.max_batch());
+    let mut probabilities: Vec<f32> = Vec::with_capacity(policy.max_batch());
     while queue.pop_batch(policy, &mut batch) {
         guard.intercept(replica, start.elapsed().as_secs_f64())?;
-        staged.clear();
-        staged.extend(batch.iter().map(|q| &requests[q.index]));
-        let probabilities = stage.run_batch(runtime, &staged)?;
+        server.serve_batch(&batch, &mut probabilities)?;
         let completed_s = start.elapsed().as_secs_f64();
         batches += 1;
-        for (queued, &probability) in batch.iter().zip(probabilities) {
+        for (queued, &probability) in batch.iter().zip(&probabilities) {
             completions.push(Completion {
-                id: requests[queued.index].id,
+                id: server.request_id(queued.index),
                 arrival_s: queued.arrival_s,
                 completed_s,
                 probability,
@@ -669,6 +694,12 @@ fn worker_loop(
 /// One cell of a serving sweep, digested for reporting.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeReport {
+    /// Which tenant this row accounts for: `-` for single-model cells, the
+    /// tenant's name for multi-tenant mix rows.
+    pub tenant: String,
+    /// Pool topology the row was measured under: `single` for single-model
+    /// cells, `isolated` / `shared` for multi-tenant mix rows.
+    pub pool: String,
     /// Offered load in queries per second.
     pub offered_qps: f64,
     /// Traffic-shape label (`poisson`, `bursty`, `onoff`).
@@ -820,6 +851,8 @@ pub fn run_serve_cell(
     // digest — not an error.
     let latency = outcome.latency_summary().unwrap_or_default();
     Ok(ServeReport {
+        tenant: "-".to_string(),
+        pool: "single".to_string(),
         offered_qps: cell.offered_qps,
         traffic: cell.shape.label().to_string(),
         policy: cell.policy.label(),
@@ -976,7 +1009,7 @@ mod tests {
             slo: Some(Duration::from_millis(250)),
             admission_depth: Some(1),
             shed_expired: true,
-            supervision: None,
+            ..ServeOptions::default()
         };
         let outcome =
             serve_replay_with(pool, &requests, &stream, BatchPolicy::Fifo, options).unwrap();

@@ -62,18 +62,20 @@
 pub mod env;
 pub mod fault;
 pub mod harness;
+pub mod mix;
 pub mod policy;
 pub mod queue;
+pub mod server;
 pub mod stage;
 pub mod supervisor;
 
 pub use env::{
-    parse_serve_fault_plan, parse_serve_queue_depth, parse_serve_restart_budget,
-    parse_serve_retry_limit, parse_serve_slo_ms, serve_fault_plan, serve_queue_depth,
-    serve_restart_budget, serve_retry_limit, serve_slo_ms, DEFAULT_SERVE_RESTART_BUDGET,
-    DEFAULT_SERVE_RETRY_LIMIT, DEFAULT_SERVE_SLO_MS, SERVE_FAULT_PLAN_VALUES,
-    SERVE_QUEUE_DEPTH_VALUES, SERVE_RESTART_BUDGET_VALUES, SERVE_RETRY_LIMIT_VALUES,
-    SERVE_SLO_MS_VALUES,
+    parse_serve_fault_plan, parse_serve_mix, parse_serve_mix_slo_ms, parse_serve_queue_depth,
+    parse_serve_restart_budget, parse_serve_retry_limit, parse_serve_slo_ms, serve_fault_plan,
+    serve_mix, serve_mix_slo_ms, serve_queue_depth, serve_restart_budget, serve_retry_limit,
+    serve_slo_ms, DEFAULT_SERVE_RESTART_BUDGET, DEFAULT_SERVE_RETRY_LIMIT, DEFAULT_SERVE_SLO_MS,
+    SERVE_FAULT_PLAN_VALUES, SERVE_MIX_SLO_MS_VALUES, SERVE_MIX_VALUES, SERVE_QUEUE_DEPTH_VALUES,
+    SERVE_RESTART_BUDGET_VALUES, SERVE_RETRY_LIMIT_VALUES, SERVE_SLO_MS_VALUES,
 };
 pub use fault::{FaultEvent, FaultGuard, FaultKind, FaultPlan, FaultSpec};
 pub use harness::{
@@ -81,7 +83,9 @@ pub use harness::{
     serve_replay_faulted, serve_replay_with, Completion, ServeCell, ServeOptions, ServeOutcome,
     ServeReport,
 };
-pub use policy::BatchPolicy;
-pub use queue::{AdmissionConfig, ArrivalQueue, QueuedRequest};
+pub use mix::{run_mix_cell, MixServer, PoolMode, TenantSpec};
+pub use policy::{relative_sample_cost, scaled_service_estimate, BatchPolicy};
+pub use queue::{AdmissionConfig, ArrivalQueue, DequeueOrder, QueuedRequest};
+pub use server::{BatchServer, SoloServer};
 pub use stage::ReplicaStage;
 pub use supervisor::{requeue_or_fail, InFlightSlot, Supervision};

@@ -1,5 +1,6 @@
 //! Batching policies for the serving layer.
 
+use centaur_dlrm::ModelConfig;
 use std::time::Duration;
 
 /// How queued requests are coalesced into accelerator batches.
@@ -94,8 +95,11 @@ impl BatchPolicy {
     }
 
     /// Short label for bench/report output: `fifo`, `dynamic64w1ms`,
-    /// `deadline64w1ms`, … — the hold-open window is part of the label so
-    /// bench cells differing only in `max_wait` stay distinguishable.
+    /// `deadline64w1ms e400us`, … — the hold-open window is part of the
+    /// label so bench cells differing only in `max_wait` stay
+    /// distinguishable, and a deadline policy's label encodes its
+    /// `service_estimate` so per-tenant calibrated policies stay
+    /// distinguishable too.
     pub fn label(&self) -> String {
         match *self {
             BatchPolicy::Fifo => "fifo".to_string(),
@@ -106,10 +110,40 @@ impl BatchPolicy {
             BatchPolicy::Deadline {
                 max_batch,
                 max_wait,
-                ..
-            } => format!("deadline{max_batch}w{}", wait_label(max_wait)),
+                service_estimate,
+            } => format!(
+                "deadline{max_batch}w{}e{}",
+                wait_label(max_wait),
+                wait_label(service_estimate)
+            ),
         }
     }
+}
+
+/// Relative per-sample serving cost of a model configuration: dense MLP
+/// flops plus the bytes its sparse gathers, index streams and dense
+/// activations move. Dimensionally a mix of flops and bytes, which is fine —
+/// it is only ever used as a *ratio* between two configs on the same
+/// hardware, where both terms scale the same way with model size.
+pub fn relative_sample_cost(config: &ModelConfig) -> f64 {
+    (config.dense_flops_per_sample()
+        + config.gathered_bytes_per_sample()
+        + config.index_bytes_per_sample()
+        + config.dense_bytes_per_sample()) as f64
+}
+
+/// Calibrates a per-tenant `service_estimate` from a measured base: scales
+/// `base` (measured for `base_config`, e.g. the capacity-probe model) by the
+/// relative per-sample cost of `config`. A DLRM(6) batch costs ~6× a DLRM(1)
+/// batch, so one shared constant either over-holds the light tenant's
+/// batches or under-protects the heavy tenant's deadlines.
+pub fn scaled_service_estimate(
+    base: Duration,
+    base_config: &ModelConfig,
+    config: &ModelConfig,
+) -> Duration {
+    let ratio = relative_sample_cost(config) / relative_sample_cost(base_config);
+    Duration::from_secs_f64(base.as_secs_f64() * ratio)
 }
 
 /// Compact duration label: whole milliseconds as `1ms`, sub-millisecond
@@ -161,7 +195,35 @@ mod tests {
         assert_eq!(p.dispatch_slack(), Some(est));
         assert_eq!(
             p.label(),
-            format!("deadline{}w1ms", centaur::BATCH_WAVE_SAMPLES)
+            format!("deadline{}w1mse400us", centaur::BATCH_WAVE_SAMPLES),
+            "label encodes the service estimate"
+        );
+        let p2 = BatchPolicy::deadline_wave(Duration::from_millis(2));
+        assert_eq!(
+            p2.label(),
+            format!("deadline{}w1mse2ms", centaur::BATCH_WAVE_SAMPLES),
+            "differently calibrated tenants get distinguishable labels"
+        );
+    }
+
+    #[test]
+    fn service_estimates_scale_with_model_cost() {
+        use centaur_dlrm::PaperModel;
+        let light = PaperModel::Dlrm1.config();
+        let heavy = PaperModel::Dlrm6.config();
+        let ratio = relative_sample_cost(&heavy) / relative_sample_cost(&light);
+        assert!(
+            (5.0..9.0).contains(&ratio),
+            "a DLRM(6) sample costs ~6x a DLRM(1) sample, got {ratio:.2}x"
+        );
+        let base = Duration::from_micros(500);
+        let scaled = scaled_service_estimate(base, &light, &heavy);
+        let expected = base.as_secs_f64() * ratio;
+        assert!((scaled.as_secs_f64() - expected).abs() < 1e-9);
+        assert_eq!(
+            scaled_service_estimate(base, &light, &light),
+            base,
+            "same config scales by exactly 1"
         );
     }
 }

@@ -18,7 +18,8 @@
 
 use crate::policy::BatchPolicy;
 use centaur_dlrm::RejectReason;
-use std::collections::VecDeque;
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -72,9 +73,32 @@ impl QueuedRequest {
     }
 }
 
+/// The order [`ArrivalQueue::pop_batch`] hands out backlogged requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DequeueOrder {
+    /// Arrival order — the pre-EDF behaviour and the default.
+    #[default]
+    Fifo,
+    /// Earliest-deadline-first: the backlog is a min-heap on `deadline_s`,
+    /// ties broken by enqueue order, no-deadline (`INFINITY`) requests last.
+    /// Under mixed-urgency backlog this serves the most perishable work
+    /// first instead of letting it expire behind patient arrivals.
+    Edf,
+}
+
+impl DequeueOrder {
+    /// Short label for report output (`fifo`, `edf`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            DequeueOrder::Fifo => "fifo",
+            DequeueOrder::Edf => "edf",
+        }
+    }
+}
+
 /// Overload-protection knobs for an [`ArrivalQueue`]. The default is fully
-/// permissive (unbounded depth, no shedding) — exactly the pre-admission
-/// behaviour.
+/// permissive (unbounded depth, no shedding, FIFO order) — exactly the
+/// pre-admission behaviour.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct AdmissionConfig {
     /// Refuse new requests while the queue already holds this many.
@@ -82,11 +106,106 @@ pub struct AdmissionConfig {
     pub max_depth: Option<usize>,
     /// Drop already-dead requests at dequeue instead of serving them.
     pub shed_expired: bool,
+    /// Dequeue order for the backlog.
+    pub order: DequeueOrder,
+}
+
+/// One heap entry in an EDF backlog. Ordered by deadline (via `total_cmp`,
+/// so `INFINITY` deadlines sort last), then by enqueue sequence so equal
+/// deadlines keep their arrival order and the heap order is total.
+#[derive(Debug, Clone, Copy)]
+struct EdfEntry {
+    deadline_s: f64,
+    seq: u64,
+    request: QueuedRequest,
+}
+
+impl PartialEq for EdfEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for EdfEntry {}
+
+impl PartialOrd for EdfEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EdfEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.deadline_s
+            .total_cmp(&other.deadline_s)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// The queued-but-unserved requests, in whichever order the queue was
+/// configured to dispatch. Both shapes reuse their buffers at steady state —
+/// pushes into drained capacity never allocate.
+#[derive(Debug)]
+enum Backlog {
+    Fifo(VecDeque<QueuedRequest>),
+    Edf {
+        heap: BinaryHeap<Reverse<EdfEntry>>,
+        /// Monotonic enqueue counter for deterministic tie-breaks. Requeued
+        /// requests take a fresh sequence number (they re-enter the heap
+        /// now) while keeping their original arrival/deadline stamps.
+        seq: u64,
+    },
+}
+
+impl Backlog {
+    fn new(order: DequeueOrder) -> Self {
+        match order {
+            DequeueOrder::Fifo => Backlog::Fifo(VecDeque::new()),
+            DequeueOrder::Edf => Backlog::Edf {
+                heap: BinaryHeap::new(),
+                seq: 0,
+            },
+        }
+    }
+
+    fn push(&mut self, request: QueuedRequest) {
+        match self {
+            Backlog::Fifo(queue) => queue.push_back(request),
+            Backlog::Edf { heap, seq } => {
+                heap.push(Reverse(EdfEntry {
+                    deadline_s: request.deadline_s,
+                    seq: *seq,
+                    request,
+                }));
+                *seq += 1;
+            }
+        }
+    }
+
+    /// The next request to dispatch: oldest arrival (FIFO) or earliest
+    /// deadline (EDF).
+    fn pop_next(&mut self) -> Option<QueuedRequest> {
+        match self {
+            Backlog::Fifo(queue) => queue.pop_front(),
+            Backlog::Edf { heap, .. } => heap.pop().map(|Reverse(entry)| entry.request),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Backlog::Fifo(queue) => queue.len(),
+            Backlog::Edf { heap, .. } => heap.len(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 #[derive(Debug)]
 struct QueueState {
-    queue: VecDeque<QueuedRequest>,
+    backlog: Backlog,
     closed: bool,
     aborted: bool,
     in_flight: usize,
@@ -101,7 +220,7 @@ impl QueueState {
     /// Whether every request the queue ever accepted has reached a terminal
     /// state (served, shed, or failed) — nothing queued, nothing in flight.
     fn drained(&self) -> bool {
-        self.queue.is_empty() && self.in_flight == 0
+        self.backlog.is_empty() && self.in_flight == 0
     }
 }
 
@@ -113,7 +232,7 @@ pub struct ArrivalQueue {
     state: Mutex<QueueState>,
     nonempty: Condvar,
     config: AdmissionConfig,
-    start: Instant,
+    start: Mutex<Instant>,
 }
 
 impl ArrivalQueue {
@@ -128,7 +247,7 @@ impl ArrivalQueue {
     pub fn with_config(config: AdmissionConfig) -> Self {
         ArrivalQueue {
             state: Mutex::new(QueueState {
-                queue: VecDeque::new(),
+                backlog: Backlog::new(config.order),
                 closed: false,
                 aborted: false,
                 in_flight: 0,
@@ -140,14 +259,26 @@ impl ArrivalQueue {
             }),
             nonempty: Condvar::new(),
             config,
-            start: Instant::now(),
+            start: Mutex::new(Instant::now()),
         }
     }
 
     /// The instant the queue's deadline clock started — the experiment
     /// start every `arrival_s`/`deadline_s` offset is measured from.
     pub fn start(&self) -> Instant {
-        self.start
+        *self.start.lock().expect("queue clock poisoned")
+    }
+
+    /// Restarts the deadline clock at `Instant::now()`. Harnesses call this
+    /// after expensive pre-replay setup (replica construction, respawn
+    /// template clones) and immediately before spawning the arrival
+    /// generator, so that `arrival_s`/`deadline_s` offsets are measured
+    /// from the moment the replay actually starts — not from queue
+    /// construction, which may predate it by the full setup cost. Must not
+    /// be called once requests are in the queue: stamps already issued
+    /// against the old clock would be reinterpreted against the new one.
+    pub fn restart_clock(&self) {
+        *self.start.lock().expect("queue clock poisoned") = Instant::now();
     }
 
     /// Enqueues one arrived request and wakes a waiting worker. Returns
@@ -161,13 +292,13 @@ impl ArrivalQueue {
             return false;
         }
         if let Some(depth) = self.config.max_depth {
-            if state.queue.len() >= depth {
+            if state.backlog.len() >= depth {
                 state.shed_admission += 1;
                 state.shed_log.push((request, RejectReason::QueueFull));
                 return false;
             }
         }
-        state.queue.push_back(request);
+        state.backlog.push(request);
         drop(state);
         self.nonempty.notify_one();
         true
@@ -227,7 +358,7 @@ impl ArrivalQueue {
         let mut state = self.state.lock().expect("queue poisoned");
         state.in_flight -= 1;
         state.retries += 1;
-        state.queue.push_back(request);
+        state.backlog.push(request);
         drop(state);
         self.nonempty.notify_one();
     }
@@ -249,7 +380,12 @@ impl ArrivalQueue {
 
     /// Queued-but-unserved requests right now.
     pub fn depth(&self) -> usize {
-        self.state.lock().expect("queue poisoned").queue.len()
+        self.state.lock().expect("queue poisoned").backlog.len()
+    }
+
+    /// The dequeue order this queue was configured with.
+    pub fn order(&self) -> DequeueOrder {
+        self.config.order
     }
 
     /// Requests shed at the admission gate so far.
@@ -313,15 +449,16 @@ impl ArrivalQueue {
         out.clear();
         let max_batch = policy.max_batch();
         let shed = self.config.shed_expired;
+        let start = self.start();
         let mut state = self.state.lock().expect("queue poisoned");
         // Block until the batch opens with a live request.
         loop {
             if state.aborted {
                 return false;
             }
-            let now_s = self.start.elapsed().as_secs_f64();
+            let now_s = start.elapsed().as_secs_f64();
             let mut opened = false;
-            while let Some(request) = state.queue.pop_front() {
+            while let Some(request) = state.backlog.pop_next() {
                 if shed && request.deadline_s < now_s {
                     state.shed_expired += 1;
                     state
@@ -343,25 +480,26 @@ impl ArrivalQueue {
             state = self.nonempty.wait(state).expect("queue poisoned");
         }
         // Hold-open deadline: the policy's max_wait, tightened for a
-        // deadline-aware policy by when the oldest held request must
-        // dispatch to finish inside its SLO. (Queue order is arrival
-        // order, so with a uniform SLO the first request held has the
-        // earliest deadline.)
+        // deadline-aware policy by when the most urgent held request must
+        // dispatch to finish inside its SLO. Under EDF the first request
+        // popped has the earliest deadline by construction; under FIFO the
+        // same holds because queue order is arrival order and each queue
+        // serves one tenant's uniform SLO.
         let mut hold_until = Instant::now() + policy.max_wait();
         if let Some(slack) = policy.dispatch_slack() {
             let oldest_deadline_s = out[0].deadline_s;
             if oldest_deadline_s.is_finite() {
                 let dispatch_by_s = (oldest_deadline_s - slack.as_secs_f64()).max(0.0);
-                let dispatch_by = self.start + Duration::from_secs_f64(dispatch_by_s);
+                let dispatch_by = start + Duration::from_secs_f64(dispatch_by_s);
                 hold_until = hold_until.min(dispatch_by);
             }
         }
         // Fill the open batch: drain whatever is queued, then wait out the
         // remainder of the hold-open window for co-riders.
         loop {
-            let now_s = self.start.elapsed().as_secs_f64();
+            let now_s = start.elapsed().as_secs_f64();
             while out.len() < max_batch {
-                match state.queue.pop_front() {
+                match state.backlog.pop_next() {
                     Some(request) => {
                         if shed && request.deadline_s < now_s {
                             state.shed_expired += 1;
@@ -388,7 +526,7 @@ impl ArrivalQueue {
                 .wait_timeout(state, hold_until - now)
                 .expect("queue poisoned");
             state = next;
-            if timeout.timed_out() && state.queue.is_empty() {
+            if timeout.timed_out() && state.backlog.is_empty() {
                 break;
             }
         }
@@ -476,6 +614,7 @@ mod tests {
         let queue = ArrivalQueue::with_config(AdmissionConfig {
             max_depth: None,
             shed_expired: true,
+            order: DequeueOrder::Fifo,
         });
         let total = 6;
         for i in 0..total {
@@ -591,6 +730,7 @@ mod tests {
         let queue = ArrivalQueue::with_config(AdmissionConfig {
             max_depth: Some(2),
             shed_expired: false,
+            order: DequeueOrder::Fifo,
         });
         assert!(queue.push(request(0)));
         assert!(queue.push(request(1)));
@@ -621,6 +761,7 @@ mod tests {
         let queue = ArrivalQueue::with_config(AdmissionConfig {
             max_depth: None,
             shed_expired: true,
+            order: DequeueOrder::Fifo,
         });
         assert!(queue.push(dead_request(0)));
         assert!(queue.push(request(1)));
@@ -658,6 +799,7 @@ mod tests {
         let queue = ArrivalQueue::with_config(AdmissionConfig {
             max_depth: None,
             shed_expired: true,
+            order: DequeueOrder::Fifo,
         });
         assert!(queue.push(dead_request(0)));
         assert!(queue.push(dead_request(1)));
@@ -707,6 +849,78 @@ mod tests {
             waited < Duration::from_secs(2),
             "batch dispatched by the deadline, not after max_wait ({waited:?})"
         );
+    }
+
+    fn edf_queue() -> ArrivalQueue {
+        ArrivalQueue::with_config(AdmissionConfig {
+            max_depth: None,
+            shed_expired: false,
+            order: DequeueOrder::Edf,
+        })
+    }
+
+    /// Pins the EDF heap order: batches come out in non-decreasing deadline
+    /// order regardless of arrival order, equal deadlines keep arrival
+    /// order, and no-deadline requests sort last.
+    #[test]
+    fn edf_pops_in_deadline_order_not_arrival_order() {
+        let queue = edf_queue();
+        let deadlines = [0.9, 0.3, f64::INFINITY, 0.3, 0.1];
+        for (i, &deadline_s) in deadlines.iter().enumerate() {
+            assert!(queue.push(QueuedRequest {
+                index: i,
+                arrival_s: 0.0,
+                deadline_s,
+                retries: 0,
+            }));
+        }
+        queue.close();
+        let policy = BatchPolicy::Dynamic {
+            max_batch: 8,
+            max_wait: Duration::from_millis(5),
+        };
+        let mut batch = Vec::new();
+        assert!(queue.pop_batch(policy, &mut batch));
+        let order: Vec<usize> = batch.iter().map(|q| q.index).collect();
+        assert_eq!(
+            order,
+            vec![4, 1, 3, 0, 2],
+            "earliest deadline first; 0.3-tie keeps arrival order (1 before 3); INFINITY last"
+        );
+        queue.complete(batch.len());
+    }
+
+    #[test]
+    fn edf_requeue_resorts_by_deadline_and_keeps_stamps() {
+        let queue = edf_queue();
+        // A patient request queued first, an urgent one second.
+        assert!(queue.push(QueuedRequest::with_slo(0, 0.0, 60.0)));
+        let mut batch = Vec::new();
+        assert!(queue.pop_batch(BatchPolicy::Fifo, &mut batch));
+        let held = batch[0];
+        assert!(queue.push(QueuedRequest::with_slo(1, 0.0, 1.0)));
+        // Requeueing the patient request must not jump it ahead of the
+        // urgent one: it takes a fresh heap sequence but its original
+        // arrival/deadline stamps, so EDF re-sorts it behind index 1.
+        queue.requeue(held.retry());
+        assert!(queue.pop_batch(BatchPolicy::Fifo, &mut batch));
+        assert_eq!(batch[0].index, 1, "urgent request still dispatches first");
+        queue.complete(1);
+        assert!(queue.pop_batch(BatchPolicy::Fifo, &mut batch));
+        assert_eq!(batch[0].index, 0);
+        assert_eq!(batch[0].retries, 1);
+        assert_eq!(batch[0].arrival_s, 0.0, "stamps survive the requeue");
+        assert_eq!(batch[0].deadline_s, 60.0);
+        queue.complete(1);
+    }
+
+    #[test]
+    fn dequeue_orders_label_distinctly() {
+        assert_eq!(DequeueOrder::Fifo.label(), "fifo");
+        assert_eq!(DequeueOrder::Edf.label(), "edf");
+        assert_eq!(DequeueOrder::default(), DequeueOrder::Fifo);
+        assert_eq!(edf_queue().order(), DequeueOrder::Edf);
+        assert_eq!(ArrivalQueue::new().order(), DequeueOrder::Fifo);
     }
 
     #[test]

@@ -28,10 +28,7 @@ use crate::fault::FaultGuard;
 use crate::harness::Completion;
 use crate::policy::BatchPolicy;
 use crate::queue::{ArrivalQueue, QueuedRequest};
-use crate::stage::ReplicaStage;
-use centaur::CentaurRuntime;
-use centaur_dlrm::config::ModelConfig;
-use centaur_dlrm::InferenceRequest;
+use crate::server::BatchServer;
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -184,18 +181,16 @@ impl SupervisorShared {
 
 /// One supervised replica: runs [`supervised_worker_loop`] under a panic
 /// guard, and on a crash recovers the in-flight batch (requeue against the
-/// retry budget), then restarts the replica from a fresh clone of
-/// `template` while the pool-wide restart budget lasts. A replica beyond
-/// the budget stays dead; the death of the *last* replica flips the abort
-/// flag and abandons the queue so the harness can re-raise the preserved
-/// panic payload.
+/// retry budget), then restarts the replica with a fresh `respawn()`-built
+/// backend while the pool-wide restart budget lasts. A replica beyond the
+/// budget stays dead; the death of the *last* replica flips the abort flag
+/// and abandons the queue so the harness can re-raise the preserved panic
+/// payload.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn supervise_replica(
+pub(crate) fn supervise_replica<S: BatchServer>(
     queue: &ArrivalQueue,
-    requests: &[InferenceRequest],
-    mut runtime: CentaurRuntime,
-    template: &Mutex<CentaurRuntime>,
-    model_config: &ModelConfig,
+    mut server: S,
+    respawn: &(dyn Fn() -> S + Sync),
     policy: BatchPolicy,
     start: Instant,
     supervision: Supervision,
@@ -206,13 +201,10 @@ pub(crate) fn supervise_replica(
 ) {
     let inflight = InFlightSlot::new(policy.max_batch());
     loop {
-        let mut stage = ReplicaStage::new(model_config, policy.max_batch());
         let crashed = catch_unwind(AssertUnwindSafe(|| {
             supervised_worker_loop(
                 queue,
-                requests,
-                &mut runtime,
-                &mut stage,
+                &mut server,
                 policy,
                 start,
                 supervision.retry_limit,
@@ -232,8 +224,9 @@ pub(crate) fn supervise_replica(
             requeue_or_fail(queue, request, supervision.retry_limit);
         }
         if shared.try_consume_restart(supervision.restart_budget) {
-            // Fresh shard clone: never reuse state a panic unwound through.
-            runtime = template.lock().expect("template poisoned").clone();
+            // Fresh backend (shard clone + staging buffers): never reuse
+            // state a panic unwound through.
+            server = respawn();
             continue;
         }
         // Beyond the restart budget: this replica stays dead. Survivors
@@ -254,11 +247,9 @@ pub(crate) fn supervise_replica(
 /// failing batch is re-served request-by-request so one poison request
 /// cannot burn its co-riders' budgets.
 #[allow(clippy::too_many_arguments)]
-fn supervised_worker_loop(
+fn supervised_worker_loop<S: BatchServer>(
     queue: &ArrivalQueue,
-    requests: &[InferenceRequest],
-    runtime: &mut CentaurRuntime,
-    stage: &mut ReplicaStage,
+    server: &mut S,
     policy: BatchPolicy,
     start: Instant,
     retry_limit: u32,
@@ -268,7 +259,7 @@ fn supervised_worker_loop(
     replica: usize,
 ) {
     let mut batch: Vec<QueuedRequest> = Vec::with_capacity(policy.max_batch());
-    let mut staged: Vec<&InferenceRequest> = Vec::with_capacity(policy.max_batch());
+    let mut probabilities: Vec<f32> = Vec::with_capacity(policy.max_batch());
     while queue.pop_batch(policy, &mut batch) {
         inflight.publish(&batch);
         let now_s = start.elapsed().as_secs_f64();
@@ -281,11 +272,9 @@ fn supervised_worker_loop(
             inflight.clear();
             continue;
         }
-        staged.clear();
-        staged.extend(batch.iter().map(|q| &requests[q.index]));
-        match stage.run_batch(runtime, &staged) {
-            Ok(probabilities) => {
-                record(shared, requests, &batch, probabilities, start);
+        match server.serve_batch(&batch, &mut probabilities) {
+            Ok(()) => {
+                record(shared, &*server, &batch, &probabilities, start);
                 queue.complete(batch.len());
                 inflight.clear();
             }
@@ -299,9 +288,9 @@ fn supervised_worker_loop(
                 // complete now and only the poison burns its retry budget.
                 for i in 0..batch.len() {
                     let request = batch[i];
-                    match stage.run_batch(runtime, &staged[i..=i]) {
-                        Ok(probabilities) => {
-                            record(shared, requests, &batch[i..=i], probabilities, start);
+                    match server.serve_batch(&batch[i..=i], &mut probabilities) {
+                        Ok(()) => {
+                            record(shared, &*server, &batch[i..=i], &probabilities, start);
                             queue.complete(1);
                         }
                         Err(_) => requeue_or_fail(queue, request, retry_limit),
@@ -315,9 +304,9 @@ fn supervised_worker_loop(
 
 /// Records one served batch's completions into the shared log (pre-reserved
 /// — no allocation) and counts the dispatch.
-fn record(
+fn record<S: BatchServer>(
     shared: &SupervisorShared,
-    requests: &[InferenceRequest],
+    server: &S,
     batch: &[QueuedRequest],
     probabilities: &[f32],
     start: Instant,
@@ -326,7 +315,7 @@ fn record(
     let mut completions = shared.completions.lock().expect("completions poisoned");
     for (queued, &probability) in batch.iter().zip(probabilities) {
         completions.push(Completion {
-            id: requests[queued.index].id,
+            id: server.request_id(queued.index),
             arrival_s: queued.arrival_s,
             completed_s,
             probability,

@@ -50,6 +50,21 @@ pub enum ArrivalProcess {
         /// Off-window length, seconds.
         off_s: f64,
     },
+    /// Two-branch hyperexponential (H2) renewal arrivals: each
+    /// inter-arrival gap independently draws the fast branch (rate
+    /// `rate_fast_qps`) with probability `p_fast`, else the slow branch —
+    /// a heavy-tailed gap distribution (squared coefficient of variation
+    /// above 1, versus exactly 1 for Poisson) that clumps arrivals harder
+    /// than MMPP-2's two-rate modulation while staying memoryless between
+    /// gaps (no modulation state to carry).
+    HyperExp {
+        /// Probability an inter-arrival gap draws the fast branch.
+        p_fast: f64,
+        /// Fast-branch rate in queries per second.
+        rate_fast_qps: f64,
+        /// Slow-branch rate in queries per second.
+        rate_slow_qps: f64,
+    },
 }
 
 impl ArrivalProcess {
@@ -71,6 +86,15 @@ impl ArrivalProcess {
                 on_s,
                 off_s,
             } => rate_on_qps * on_s / (on_s + off_s),
+            ArrivalProcess::HyperExp {
+                p_fast,
+                rate_fast_qps,
+                rate_slow_qps,
+            } => {
+                // Mean gap is the probability-weighted branch means.
+                let mean_gap = p_fast / rate_fast_qps + (1.0 - p_fast) / rate_slow_qps;
+                1.0 / mean_gap
+            }
         }
     }
 
@@ -81,6 +105,7 @@ impl ArrivalProcess {
             ArrivalProcess::Uniform { .. } => "uniform",
             ArrivalProcess::Mmpp2 { .. } => "mmpp2",
             ArrivalProcess::OnOff { .. } => "onoff",
+            ArrivalProcess::HyperExp { .. } => "hyperexp",
         }
     }
 
@@ -96,9 +121,25 @@ impl ArrivalProcess {
     pub fn next_gap_seconds(&self, rng: &mut StdRng) -> f64 {
         let rate = self.rate_qps();
         assert!(rate > 0.0, "arrival rate must be positive");
-        match self {
+        match *self {
             ArrivalProcess::Poisson { .. } => exp_gap(rng, rate),
             ArrivalProcess::Uniform { .. } => 1.0 / rate,
+            ArrivalProcess::HyperExp {
+                p_fast,
+                rate_fast_qps,
+                rate_slow_qps,
+            } => {
+                // Each gap is an independent two-branch mixture draw — no
+                // state carries between arrivals, so the renewal process
+                // samples through the same path as Poisson/Uniform.
+                let branch: f64 = rng.gen_range(0.0..1.0);
+                let branch_rate = if branch < p_fast {
+                    rate_fast_qps
+                } else {
+                    rate_slow_qps
+                };
+                exp_gap(rng, branch_rate)
+            }
             ArrivalProcess::Mmpp2 { .. } | ArrivalProcess::OnOff { .. } => panic!(
                 "modulated arrival processes are stateful; sample them through ArrivalSampler"
             ),
@@ -140,6 +181,22 @@ impl ArrivalProcess {
             } => {
                 assert!(rate_on_qps > 0.0, "on-window rate must be positive");
                 assert!(on_s > 0.0 && off_s > 0.0, "on/off windows must be positive");
+            }
+            ArrivalProcess::HyperExp {
+                p_fast,
+                rate_fast_qps,
+                rate_slow_qps,
+            } => {
+                assert!(
+                    rate_fast_qps > 0.0 && rate_slow_qps > 0.0,
+                    "hyperexponential branch rates must be positive"
+                );
+                assert!(
+                    p_fast > 0.0 && p_fast < 1.0,
+                    "hyperexponential branch probability must be in (0, 1); \
+                     a degenerate branch is a plain Poisson stream and should \
+                     be written as one"
+                );
             }
         }
     }
@@ -202,7 +259,9 @@ impl ArrivalSampler {
     /// start (strictly non-decreasing).
     pub fn next_arrival_s(&mut self) -> f64 {
         match self.process {
-            ArrivalProcess::Poisson { .. } | ArrivalProcess::Uniform { .. } => {
+            ArrivalProcess::Poisson { .. }
+            | ArrivalProcess::Uniform { .. }
+            | ArrivalProcess::HyperExp { .. } => {
                 self.t += self.process.next_gap_seconds(&mut self.rng);
             }
             ArrivalProcess::Mmpp2 {
@@ -289,15 +348,26 @@ pub enum TrafficShape {
     /// On-off square wave: 50 ms on at 2× the mean rate, 50 ms silent —
     /// the diurnal/batch-ingest shape compressed to bench timescales.
     OnOff,
+    /// Heavy-tailed hyperexponential renewal arrivals with a squared
+    /// coefficient of variation of [`HEAVY_TAIL_CV2`] (balanced-means H2
+    /// parameterization) — burstier than the MMPP-2 preset at the gap
+    /// level: most gaps are short clumps, a few are long silences, with
+    /// the long-run mean rate preserved exactly.
+    HeavyTail,
 }
+
+/// Squared coefficient of variation of the [`TrafficShape::HeavyTail`]
+/// gap distribution (Poisson gaps have CV² = 1).
+pub const HEAVY_TAIL_CV2: f64 = 9.0;
 
 impl TrafficShape {
     /// Every preset, in sweep order.
-    pub fn all() -> [TrafficShape; 3] {
+    pub fn all() -> [TrafficShape; 4] {
         [
             TrafficShape::Poisson,
             TrafficShape::Bursty,
             TrafficShape::OnOff,
+            TrafficShape::HeavyTail,
         ]
     }
 
@@ -316,6 +386,19 @@ impl TrafficShape {
                 on_s: 0.05,
                 off_s: 0.05,
             },
+            TrafficShape::HeavyTail => {
+                // Balanced-means H2 at CV² = c: each branch contributes half
+                // the mean gap. p = ½(1 + √((c−1)/(c+1))), branch rates
+                // 2pλ and 2(1−p)λ — the standard two-moment fit, mean gap
+                // exactly 1/λ by construction.
+                let c = HEAVY_TAIL_CV2;
+                let p_fast = 0.5 * (1.0 + ((c - 1.0) / (c + 1.0)).sqrt());
+                ArrivalProcess::HyperExp {
+                    p_fast,
+                    rate_fast_qps: 2.0 * p_fast * mean_qps,
+                    rate_slow_qps: 2.0 * (1.0 - p_fast) * mean_qps,
+                }
+            }
         }
     }
 
@@ -325,6 +408,7 @@ impl TrafficShape {
             TrafficShape::Poisson => "poisson",
             TrafficShape::Bursty => "bursty",
             TrafficShape::OnOff => "onoff",
+            TrafficShape::HeavyTail => "heavytail",
         }
     }
 }
@@ -743,9 +827,98 @@ mod tests {
         assert_eq!(TrafficShape::Poisson.label(), "poisson");
         assert_eq!(TrafficShape::Bursty.label(), "bursty");
         assert_eq!(TrafficShape::OnOff.label(), "onoff");
+        assert_eq!(TrafficShape::HeavyTail.label(), "heavytail");
         assert_eq!(TrafficShape::Bursty.process(1.0).label(), "mmpp2");
         assert_eq!(TrafficShape::OnOff.process(1.0).label(), "onoff");
+        assert_eq!(TrafficShape::HeavyTail.process(1.0).label(), "hyperexp");
         assert_eq!(ArrivalProcess::Uniform { rate_qps: 1.0 }.label(), "uniform");
+    }
+
+    #[test]
+    fn heavy_tail_preset_is_mean_preserving_and_deterministic() {
+        let process = TrafficShape::HeavyTail.process(10_000.0);
+        assert!(
+            (process.rate_qps() - 10_000.0).abs() < 1e-9,
+            "balanced-means H2 must preserve the mean rate exactly"
+        );
+        let a = QueryStream::generate(process, 50_000, 21);
+        let b = QueryStream::generate(process, 50_000, 21);
+        assert_eq!(a, b, "heavy-tail stream must be seed-deterministic");
+        assert_ne!(a, QueryStream::generate(process, 50_000, 22));
+        assert!(a.arrivals_seconds().windows(2).all(|w| w[1] >= w[0]));
+        // Long stream: the measured rate converges on the configured mean.
+        let span = *a.arrivals_seconds().last().unwrap();
+        let measured = a.len() as f64 / span;
+        assert!(
+            (measured - 10_000.0).abs() / 10_000.0 < 0.08,
+            "measured mean rate {measured:.0} qps drifted from 10k"
+        );
+    }
+
+    #[test]
+    fn heavy_tail_gap_statistics_are_pinned() {
+        // Gap-level statistics: the H2 preset is built for CV² = 9, far
+        // above Poisson's 1. Sampling noise on a 200k-gap stream keeps the
+        // empirical CV² within a broad pinned band — drifting parameters
+        // (a wrong branch probability or unbalanced means) land far outside.
+        let cv2 = |process: ArrivalProcess| {
+            let stream = QueryStream::generate(process, 200_000, 7);
+            let a = stream.arrivals_seconds();
+            let gaps: Vec<f64> = a.windows(2).map(|w| w[1] - w[0]).collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+            var / (mean * mean)
+        };
+        let poisson = cv2(TrafficShape::Poisson.process(20_000.0));
+        let heavy = cv2(TrafficShape::HeavyTail.process(20_000.0));
+        assert!(
+            (0.9..1.1).contains(&poisson),
+            "Poisson gap CV² must sit near 1, got {poisson:.2}"
+        );
+        assert!(
+            (6.0..12.0).contains(&heavy),
+            "heavy-tail gap CV² must sit near {HEAVY_TAIL_CV2}, got {heavy:.2}"
+        );
+        // Window-count dispersion (the MMPP-2 test's instrument): a heavy-
+        // tailed renewal stream overdisperses counts well past Poisson too.
+        let dispersion = |process: ArrivalProcess| {
+            let stream = QueryStream::generate(process, 200_000, 7);
+            let window_s = 0.025;
+            let span = *stream.arrivals_seconds().last().unwrap();
+            let windows = (span / window_s).floor() as usize;
+            let mut counts = vec![0usize; windows];
+            for &t in stream.arrivals_seconds() {
+                let w = (t / window_s) as usize;
+                if w < windows {
+                    counts[w] += 1;
+                }
+            }
+            let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+            let var = counts
+                .iter()
+                .map(|&c| (c as f64 - mean).powi(2))
+                .sum::<f64>()
+                / counts.len() as f64;
+            var / mean
+        };
+        let heavy_dispersion = dispersion(TrafficShape::HeavyTail.process(20_000.0));
+        assert!(
+            heavy_dispersion > 3.0,
+            "heavy-tail window counts must overdisperse, got {heavy_dispersion:.2}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "branch probability")]
+    fn hyperexp_rejects_degenerate_branch_probability() {
+        ArrivalSampler::new(
+            ArrivalProcess::HyperExp {
+                p_fast: 1.0,
+                rate_fast_qps: 10.0,
+                rate_slow_qps: 1.0,
+            },
+            0,
+        );
     }
 
     #[test]

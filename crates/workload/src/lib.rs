@@ -31,8 +31,12 @@ pub mod arrival;
 pub mod distribution;
 pub mod fault;
 pub mod generator;
+pub mod mix;
 
-pub use arrival::{ArrivalProcess, ArrivalSampler, LatencySummary, QueryStream, TrafficShape};
+pub use arrival::{
+    ArrivalProcess, ArrivalSampler, LatencySummary, QueryStream, TrafficShape, HEAVY_TAIL_CV2,
+};
 pub use distribution::IndexDistribution;
 pub use fault::FaultScheduleSampler;
 pub use generator::{FunctionalBatch, RequestGenerator};
+pub use mix::{ModelMix, TenantTraffic};

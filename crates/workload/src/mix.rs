@@ -1,0 +1,181 @@
+//! Multi-tenant traffic mixes: how a total offered load splits across
+//! co-located tenants.
+//!
+//! A production recommendation fleet rarely serves one model — a heavy
+//! ranking model and a light candidate-generation model share the host,
+//! each with its own traffic share and burst shape. [`TenantTraffic`]
+//! describes one tenant's slice of the total offered load (share × shape);
+//! [`ModelMix`] validates that a set of tenant slices forms a complete mix
+//! (positive shares summing to 1) and converts a total offered rate into
+//! per-tenant rates and query counts, so a serving sweep can drive N
+//! tenants whose combined load equals the swept total.
+
+use crate::arrival::{ArrivalProcess, TrafficShape};
+
+/// One tenant's slice of a total offered load: the fraction of queries that
+/// are this tenant's, and the burst shape its arrivals follow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantTraffic {
+    /// Fraction of the total offered load that is this tenant's, in (0, 1].
+    pub share: f64,
+    /// Traffic shape modulating this tenant's arrivals.
+    pub shape: TrafficShape,
+}
+
+impl TenantTraffic {
+    /// A tenant slice with the given share and shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `share` is in (0, 1] — a zero-share tenant offers no
+    /// traffic and should not be in the mix.
+    pub fn new(share: f64, shape: TrafficShape) -> Self {
+        assert!(
+            share > 0.0 && share <= 1.0,
+            "tenant traffic share must be in (0, 1], got {share}"
+        );
+        TenantTraffic { share, shape }
+    }
+
+    /// This tenant's long-run mean rate when the mix offers `total_qps`.
+    pub fn rate_qps(&self, total_qps: f64) -> f64 {
+        self.share * total_qps
+    }
+
+    /// This tenant's query count when the mix replays `total_queries`
+    /// (rounded, at least 1 — every tenant in the mix sends something).
+    pub fn queries(&self, total_queries: usize) -> usize {
+        ((self.share * total_queries as f64).round() as usize).max(1)
+    }
+
+    /// The concrete arrival process for this tenant at `total_qps` offered
+    /// across the whole mix.
+    pub fn process(&self, total_qps: f64) -> ArrivalProcess {
+        self.shape.process(self.rate_qps(total_qps))
+    }
+}
+
+/// A validated multi-tenant traffic mix: named tenant slices whose shares
+/// sum to 1 (within float tolerance), in declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelMix {
+    tenants: Vec<(String, TenantTraffic)>,
+}
+
+impl ModelMix {
+    /// Builds a mix from named tenant slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the mix is empty, any share is outside (0, 1], or the
+    /// shares do not sum to 1 within 1e-6 — a mix that under- or
+    /// over-subscribes the total load silently skews every per-tenant rate.
+    pub fn new(tenants: Vec<(String, TenantTraffic)>) -> Self {
+        assert!(
+            !tenants.is_empty(),
+            "a traffic mix needs at least one tenant"
+        );
+        let total: f64 = tenants.iter().map(|(_, t)| t.share).sum();
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "tenant shares must sum to 1, got {total}"
+        );
+        for (name, tenant) in &tenants {
+            assert!(
+                tenant.share > 0.0 && tenant.share <= 1.0,
+                "tenant {name:?} share must be in (0, 1], got {}",
+                tenant.share
+            );
+        }
+        ModelMix { tenants }
+    }
+
+    /// The named tenant slices, in declaration order.
+    pub fn tenants(&self) -> &[(String, TenantTraffic)] {
+        &self.tenants
+    }
+
+    /// Number of tenants in the mix.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Whether the mix holds no tenants (never true for a constructed mix).
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// Compact label for bench/report cells: `name:share` pairs joined with
+    /// `+`, e.g. `light:0.70+heavy:0.30`.
+    pub fn label(&self) -> String {
+        self.tenants
+            .iter()
+            .map(|(name, t)| format!("{name}:{:.2}", t.share))
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_traffic_splits_rates_and_counts() {
+        let light = TenantTraffic::new(0.7, TrafficShape::Poisson);
+        let heavy = TenantTraffic::new(0.3, TrafficShape::HeavyTail);
+        assert_eq!(light.rate_qps(10_000.0), 7_000.0);
+        assert_eq!(heavy.rate_qps(10_000.0), 3_000.0);
+        assert_eq!(light.queries(1_000), 700);
+        assert_eq!(heavy.queries(1_000), 300);
+        assert_eq!(heavy.queries(1), 1, "every tenant sends at least one");
+        assert_eq!(light.process(10_000.0).label(), "poisson");
+        assert_eq!(heavy.process(10_000.0).label(), "hyperexp");
+        assert!((heavy.process(10_000.0).rate_qps() - 3_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mix_validates_and_labels() {
+        let mix = ModelMix::new(vec![
+            (
+                "light".to_string(),
+                TenantTraffic::new(0.7, TrafficShape::Poisson),
+            ),
+            (
+                "heavy".to_string(),
+                TenantTraffic::new(0.3, TrafficShape::HeavyTail),
+            ),
+        ]);
+        assert_eq!(mix.len(), 2);
+        assert!(!mix.is_empty());
+        assert_eq!(mix.label(), "light:0.70+heavy:0.30");
+        assert_eq!(mix.tenants()[0].0, "light");
+    }
+
+    #[test]
+    #[should_panic(expected = "must sum to 1")]
+    fn mix_rejects_undersubscribed_shares() {
+        ModelMix::new(vec![
+            (
+                "a".to_string(),
+                TenantTraffic::new(0.5, TrafficShape::Poisson),
+            ),
+            (
+                "b".to_string(),
+                TenantTraffic::new(0.4, TrafficShape::Poisson),
+            ),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tenant")]
+    fn mix_rejects_the_empty_mix() {
+        ModelMix::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "share must be in (0, 1]")]
+    fn zero_share_tenants_are_rejected() {
+        TenantTraffic::new(0.0, TrafficShape::Poisson);
+    }
+}

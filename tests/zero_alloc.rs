@@ -330,11 +330,12 @@ fn steady_state_inference_paths_do_not_allocate() {
     // (one warm-up round + reserve_shed), sustained overload must not touch
     // the heap — shedding is exactly the path that runs hottest when the
     // server is drowning.
-    use centaur_serve::{AdmissionConfig, ArrivalQueue, BatchPolicy, QueuedRequest};
+    use centaur_serve::{AdmissionConfig, ArrivalQueue, BatchPolicy, DequeueOrder, QueuedRequest};
     use std::time::Duration;
     let queue = ArrivalQueue::with_config(AdmissionConfig {
         max_depth: Some(8),
         shed_expired: true,
+        order: DequeueOrder::Fifo,
     });
     queue.reserve_shed(256);
     let policy = BatchPolicy::Deadline {
@@ -439,4 +440,76 @@ fn steady_state_inference_paths_do_not_allocate() {
     );
     assert_eq!(supervised_queue.in_flight(), 0);
     assert_eq!(supervised_queue.failed(), 0);
+
+    // --- Multi-tenant EDF steady state --------------------------------------
+    // The isolated-pool dispatch path: an EDF-ordered arrival queue (binary
+    // heap backlog) feeding a `MixServer` that routes every queued request
+    // to its tenant's own engine and scatters the probabilities back into
+    // batch order. After warm-up has grown the heap, the per-tenant
+    // position scratch and the output buffer, sustained fault-free
+    // multi-tenant serving — push with interleaved per-tenant deadlines,
+    // EDF pop, route, batch-serve, complete — must not touch the heap.
+    use centaur_serve::{BatchServer, MixServer};
+    let tenant_b_model = DlrmModel::random(&config, 12).unwrap();
+    let mut mix_engines = vec![
+        centaur::CentaurRuntime::harpv2(model.clone()).unwrap(),
+        centaur::CentaurRuntime::harpv2(tenant_b_model).unwrap(),
+    ];
+    for engine in &mut mix_engines {
+        engine.set_backend(backend);
+    }
+    let tenant_of: Vec<usize> = (0..batch).map(|s| s % 2).collect();
+    let mut mix_server = MixServer::new(mix_engines, &requests, &tenant_of, batch);
+    let edf_queue = ArrivalQueue::with_config(AdmissionConfig {
+        max_depth: None,
+        shed_expired: false,
+        order: DequeueOrder::Edf,
+    });
+    let mut mix_out: Vec<f32> = Vec::with_capacity(batch);
+    let mut edf_batch: Vec<QueuedRequest> = Vec::with_capacity(batch);
+    let mut mix_round = |mix_out: &mut Vec<f32>, edf_batch: &mut Vec<QueuedRequest>| {
+        for i in 0..batch {
+            // Interleaved urgencies so the heap genuinely re-sorts the
+            // backlog every round instead of degenerating to FIFO.
+            assert!(edf_queue.push(QueuedRequest {
+                index: i,
+                arrival_s: 0.0,
+                deadline_s: ((batch - i) % 5) as f64,
+                retries: 0,
+            }));
+        }
+        assert!(edf_queue.pop_batch(spolicy, edf_batch));
+        assert_eq!(edf_batch.len(), batch);
+        for pair in edf_batch.windows(2) {
+            assert!(
+                pair[0].deadline_s <= pair[1].deadline_s,
+                "EDF pop must hand out non-decreasing deadlines"
+            );
+        }
+        mix_server.serve_batch(edf_batch, mix_out).unwrap();
+        edf_queue.complete(edf_batch.len());
+    };
+    mix_round(&mut mix_out, &mut edf_batch); // warm-up: heap, scratch, output
+                                             // Tenant 0 shares the solo model above, so its routed probabilities
+                                             // must match the solo batched results exactly.
+    for (position, queued) in edf_batch.iter().enumerate() {
+        if tenant_of[queued.index] == 0 {
+            assert_eq!(
+                mix_out[position], warm_batch[queued.index],
+                "mix routing diverged from the solo path for request {}",
+                queued.index
+            );
+        }
+    }
+    let allocs = allocations_during(|| {
+        for _ in 0..10 {
+            mix_round(&mut mix_out, &mut edf_batch);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "multi-tenant EDF serving path allocated in steady state"
+    );
+    assert_eq!(edf_queue.in_flight(), 0);
+    assert_eq!(edf_queue.failed(), 0);
 }
