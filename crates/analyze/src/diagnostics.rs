@@ -1,0 +1,223 @@
+//! Diagnostics, inline-suppression application, and the committed
+//! baseline file.
+//!
+//! The baseline exists so the tool can be adopted on a codebase with
+//! pre-existing findings and still gate *new* ones; this repo's policy
+//! (and committed state) is an **empty** baseline — every finding is
+//! either fixed or suppressed inline with a reason at the site.
+
+use crate::source::SourceFile;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One lint finding at a source location.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Stable rule name (`alloc-free-path`, `unsafe-audit`, ...).
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+impl Diagnostic {
+    /// The baseline-file form of this diagnostic. Deliberately excludes
+    /// the message so reworded diagnostics do not churn a baseline.
+    pub fn baseline_key(&self) -> String {
+        format!("{}\t{}:{}", self.rule, self.path, self.line)
+    }
+}
+
+/// Outcome of applying inline suppressions to a file's raw findings.
+pub struct Suppressed {
+    /// Findings that survived (not suppressed).
+    pub kept: Vec<Diagnostic>,
+    /// Count of findings silenced by a well-formed suppression.
+    pub suppressed: usize,
+}
+
+/// Applies a file's inline suppressions to its findings. A suppression
+/// covers its own line and the next line, for one rule. Malformed
+/// suppressions and suppressions that silence nothing are themselves
+/// reported (rule `suppression`) — a stale `allow` hides nothing and
+/// must be deleted, which keeps every committed suppression honest.
+pub fn apply_suppressions(file: &SourceFile, findings: Vec<Diagnostic>) -> Suppressed {
+    let mut used = vec![false; file.suppressions.len()];
+    let mut kept = Vec::new();
+    let mut suppressed = 0usize;
+    for d in findings {
+        let hit = file
+            .suppressions
+            .iter()
+            .enumerate()
+            .find(|(_, s)| s.rule == d.rule && (s.line == d.line || s.line + 1 == d.line));
+        match hit {
+            Some((i, _)) => {
+                used[i] = true;
+                suppressed += 1;
+            }
+            None => kept.push(d),
+        }
+    }
+    for (line, what) in &file.malformed_suppressions {
+        kept.push(Diagnostic {
+            path: file.path.clone(),
+            line: *line,
+            rule: "suppression",
+            message: what.clone(),
+        });
+    }
+    for (s, used) in file.suppressions.iter().zip(&used) {
+        if !used {
+            kept.push(Diagnostic {
+                path: file.path.clone(),
+                line: s.line,
+                rule: "suppression",
+                message: format!(
+                    "suppression for `{}` silences nothing on line {} or {} — delete it",
+                    s.rule,
+                    s.line,
+                    s.line + 1
+                ),
+            });
+        }
+    }
+    Suppressed { kept, suppressed }
+}
+
+/// The committed baseline: a set of `rule\tpath:line` keys. Lines starting
+/// with `#` and blank lines are ignored.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    keys: BTreeSet<String>,
+}
+
+impl Baseline {
+    pub fn parse(content: &str) -> Baseline {
+        Baseline {
+            keys: content
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(str::to_string)
+                .collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    pub fn contains(&self, d: &Diagnostic) -> bool {
+        self.keys.contains(&d.baseline_key())
+    }
+
+    /// Baseline entries that no longer correspond to any finding; these
+    /// are errors under `--deny` so the baseline always reflects reality.
+    pub fn stale<'a>(&'a self, findings: &[Diagnostic]) -> Vec<&'a str> {
+        let live: BTreeSet<String> = findings.iter().map(Diagnostic::baseline_key).collect();
+        self.keys
+            .iter()
+            .filter(|k| !live.contains(*k))
+            .map(String::as_str)
+            .collect()
+    }
+
+    /// Renders findings as baseline-file content.
+    pub fn render(findings: &[Diagnostic]) -> String {
+        let mut out = String::from(
+            "# centaur-analyze baseline — one `rule\\tpath:line` per finding.\n\
+             # Policy: keep this file EMPTY; fix findings or suppress inline\n\
+             # with `// lint: allow(<rule>) — <reason>` at the site.\n",
+        );
+        let keys: BTreeSet<String> = findings.iter().map(Diagnostic::baseline_key).collect();
+        for k in keys {
+            out.push_str(&k);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn diag(path: &str, line: u32, rule: &'static str) -> Diagnostic {
+        Diagnostic {
+            path: path.to_string(),
+            line,
+            rule,
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn suppression_covers_same_and_next_line_for_its_rule_only() {
+        let src = "\
+// lint: allow(alloc-free-path) — warm-up only\n\
+let x = 1;\n\
+let y = 2;\n";
+        let f = SourceFile::parse("a.rs", src);
+        let out = apply_suppressions(
+            &f,
+            vec![
+                diag("a.rs", 2, "alloc-free-path"), // covered (next line)
+                diag("a.rs", 3, "alloc-free-path"), // not covered
+                diag("a.rs", 2, "lock-discipline"), // wrong rule
+            ],
+        );
+        assert_eq!(out.suppressed, 1);
+        let rules: Vec<_> = out.kept.iter().map(|d| (d.rule, d.line)).collect();
+        assert_eq!(rules, [("alloc-free-path", 3), ("lock-discipline", 2)]);
+    }
+
+    #[test]
+    fn unused_and_malformed_suppressions_are_reported() {
+        let src = "let a = 1; // lint: allow(unsafe-audit) — nothing here to silence\n\
+                   let b = 2; // lint: allow(unsafe-audit)\n";
+        let f = SourceFile::parse("a.rs", src);
+        let out = apply_suppressions(&f, vec![]);
+        assert_eq!(out.suppressed, 0);
+        assert_eq!(out.kept.len(), 2);
+        assert!(out.kept.iter().all(|d| d.rule == "suppression"));
+        assert!(out
+            .kept
+            .iter()
+            .any(|d| d.message.contains("silences nothing")));
+        assert!(out
+            .kept
+            .iter()
+            .any(|d| d.message.contains("mandatory reason")));
+    }
+
+    #[test]
+    fn baseline_roundtrip_and_staleness() {
+        let d1 = diag("a.rs", 10, "unsafe-audit");
+        let d2 = diag("b.rs", 20, "lock-discipline");
+        let content = Baseline::render(&[d1.clone(), d2.clone()]);
+        let base = Baseline::parse(&content);
+        assert_eq!(base.len(), 2);
+        assert!(base.contains(&d1) && base.contains(&d2));
+        let stale = base.stale(&[d1]);
+        assert_eq!(stale, [d2.baseline_key().as_str()]);
+        assert!(Baseline::parse("# only comments\n\n").is_empty());
+    }
+}

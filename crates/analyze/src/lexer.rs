@@ -1,0 +1,524 @@
+//! A small Rust lexer, sufficient for lexical lints.
+//!
+//! The build environment has no registry access, so `syn` is out of reach;
+//! every lint in this crate works off this hand-rolled token stream
+//! instead. The lexer's one job is to never be confused about *what is
+//! code*: string literals (including raw strings with any `#` count and
+//! byte strings), char literals vs lifetimes, and nested block comments
+//! must all be classified correctly, or a `"unsafe"` inside a string would
+//! become a phantom lint site. It does **not** attempt full fidelity on
+//! numeric literals — lints never inspect numbers.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `Vec`, ...). Raw identifiers
+    /// (`r#type`) carry their unprefixed name.
+    Ident,
+    /// Numeric literal (loosely scanned; never inspected by lints).
+    Number,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`). The token
+    /// text is the *content* between the delimiters, escapes untouched.
+    Str,
+    /// Char or byte-char literal (`'a'`, `b'\n'`). Text is the content.
+    Char,
+    /// Lifetime (`'a`, `'static`). Text is the name without the quote.
+    Lifetime,
+    /// Any other single character of punctuation (`{`, `.`, `!`, ...).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    /// True when this token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True when this token is a punctuation character equal to `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// One comment (line or block), kept out of the token stream but retained
+/// for the SAFETY-proximity check and the suppression syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Line the comment starts on (1-based).
+    pub start_line: u32,
+    /// Line the comment ends on (== `start_line` for line comments).
+    pub end_line: u32,
+    /// Text after `//` (line) or between `/*` and `*/` (block), untrimmed.
+    pub text: String,
+}
+
+/// The result of lexing one file: code tokens and comments, separately.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes Rust source. Never fails: unterminated constructs consume to the
+/// end of input (the real compiler rejects such files long before this
+/// tool runs, so precise recovery is not worth the complexity).
+pub fn lex(source: &str) -> Lexed {
+    Lexer {
+        chars: source.char_indices().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    /// Consumes one char, tracking line numbers.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => {
+                    let text = self.string_literal();
+                    self.push(TokenKind::Str, text, line);
+                }
+                'r' if matches!(self.peek(1), Some('"') | Some('#')) && self.is_raw_string(1) => {
+                    self.bump(); // r
+                    let text = self.raw_string_literal();
+                    self.push(TokenKind::Str, text, line);
+                }
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump(); // b
+                    let text = self.string_literal();
+                    self.push(TokenKind::Str, text, line);
+                }
+                'b' if self.peek(1) == Some('r') && self.is_raw_string(2) => {
+                    self.bump(); // b
+                    self.bump(); // r
+                    let text = self.raw_string_literal();
+                    self.push(TokenKind::Str, text, line);
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump(); // b
+                    self.bump(); // '
+                    let text = self.char_literal_body();
+                    self.push(TokenKind::Char, text, line);
+                }
+                'r' if self.peek(1) == Some('#') && self.peek(2).is_some_and(is_ident_start) => {
+                    // Raw identifier r#type: token text is the bare name.
+                    self.bump(); // r
+                    self.bump(); // #
+                    let text = self.ident_body();
+                    self.push(TokenKind::Ident, text, line);
+                }
+                '\'' => self.quote(),
+                c if is_ident_start(c) => {
+                    let text = self.ident_body();
+                    self.push(TokenKind::Ident, text, line);
+                }
+                c if c.is_ascii_digit() => {
+                    let text = self.number_body();
+                    self.push(TokenKind::Number, text, line);
+                }
+                c => {
+                    self.bump();
+                    self.push(TokenKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// At an `r` (offset 0), is the run starting at `ahead` a raw-string
+    /// opener — zero or more `#` then `"`? Distinguishes `r"…"`/`r#"…"#`
+    /// from the raw identifier `r#type`.
+    fn is_raw_string(&self, ahead: usize) -> bool {
+        let mut i = ahead;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn line_comment(&mut self) {
+        let start_line = self.line;
+        self.bump(); // /
+        self.bump(); // /
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            start_line,
+            end_line: start_line,
+            text,
+        });
+    }
+
+    /// Block comment; nests, per the Rust grammar.
+    fn block_comment(&mut self) {
+        let start_line = self.line;
+        self.bump(); // /
+        self.bump(); // *
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment {
+            start_line,
+            end_line: self.line,
+            text,
+        });
+    }
+
+    /// Consumes a `"…"` literal (opening quote still pending); returns the
+    /// content with escape sequences left as-is.
+    fn string_literal(&mut self) -> String {
+        self.bump(); // opening "
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    // Keep the escape verbatim; \" must not close the string.
+                    text.push('\\');
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                '"' => break,
+                c => text.push(c),
+            }
+        }
+        text
+    }
+
+    /// Consumes `#…#"…"#…#` (the `r`/`br` prefix already consumed);
+    /// returns the content. No escapes exist in raw strings; the closing
+    /// delimiter is `"` followed by the same number of `#`s as the opener.
+    fn raw_string_literal(&mut self) -> String {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening "
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let closes = (0..hashes).all(|i| self.peek(i) == Some('#'));
+                if closes {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+            text.push(c);
+        }
+        text
+    }
+
+    /// A `'` was seen: char literal or lifetime? `'\…'` and `'x'` are
+    /// chars; `'ident` not followed by a closing quote is a lifetime.
+    fn quote(&mut self) {
+        let line = self.line;
+        self.bump(); // '
+        match self.peek(0) {
+            Some('\\') => {
+                let text = self.char_literal_body();
+                self.push(TokenKind::Char, text, line);
+            }
+            Some(c) if is_ident_start(c) && self.peek(1) != Some('\'') => {
+                let text = self.ident_body();
+                self.push(TokenKind::Lifetime, text, line);
+            }
+            Some(_) => {
+                let text = self.char_literal_body();
+                self.push(TokenKind::Char, text, line);
+            }
+            None => self.push(TokenKind::Punct, "'".to_string(), line),
+        }
+    }
+
+    /// Consumes a char-literal body up to and including the closing `'`
+    /// (opening quote already consumed). Handles `'\''`, `'\\'`, `'\u{…}'`.
+    fn char_literal_body(&mut self) -> String {
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    text.push('\\');
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                '\'' => break,
+                c => text.push(c),
+            }
+        }
+        text
+    }
+
+    fn ident_body(&mut self) -> String {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        text
+    }
+
+    /// Loose numeric scan: digits/letters/underscores, plus one `.` when
+    /// followed by a digit (so `0..n` stays three tokens). Exponent signs
+    /// split (`1e-5` → `1e`, `-`, `5`), which no lint cares about.
+    fn number_body(&mut self) -> String {
+        let mut text = String::new();
+        loop {
+            match self.peek(0) {
+                Some(c) if c.is_ascii_alphanumeric() || c == '_' => {
+                    text.push(c);
+                    self.bump();
+                }
+                Some('.') if self.peek(1).is_some_and(|d| d.is_ascii_digit()) => {
+                    text.push('.');
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        text
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn keywords_in_strings_are_not_tokens() {
+        let src = r#"let s = "unsafe { Vec::new() }"; let t = 1;"#;
+        let ids = idents(src);
+        assert_eq!(ids, ["let", "s", "let", "t"]);
+        let lexed = lex(src);
+        let strs: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, "unsafe { Vec::new() }");
+    }
+
+    #[test]
+    fn escaped_quote_does_not_close_a_string() {
+        let src = r#"let s = "a \" unsafe \" b"; unsafe {}"#;
+        let ids = idents(src);
+        assert_eq!(ids, ["let", "s", "unsafe"], "only the real unsafe survives");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_scan_to_the_matching_close() {
+        let src = r###"let s = r#"quote " and // not a comment"#; let x = 2;"###;
+        let lexed = lex(src);
+        let strs: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(strs, [r#"quote " and // not a comment"#]);
+        assert!(
+            lexed.comments.is_empty(),
+            "the // was inside the raw string"
+        );
+        assert_eq!(idents(src), ["let", "s", "let", "x"]);
+    }
+
+    #[test]
+    fn byte_and_byte_raw_strings_lex_as_strings() {
+        let src = r##"let a = b"bytes"; let b2 = br#"raw "bytes""#;"##;
+        let strs: Vec<_> = lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(strs, ["bytes", r#"raw "bytes""#]);
+    }
+
+    #[test]
+    fn nested_block_comments_do_not_leak_code() {
+        let src = "/* outer /* inner unsafe */ still comment */ fn f() {}";
+        let lexed = lex(src);
+        assert_eq!(idents(src), ["fn", "f"]);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("inner unsafe"));
+    }
+
+    #[test]
+    fn block_comment_line_span_is_recorded() {
+        let src = "/* one\ntwo\nthree */\nunsafe {}";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments[0].start_line, 1);
+        assert_eq!(lexed.comments[0].end_line, 3);
+        let unsafe_tok = lexed.tokens.iter().find(|t| t.is_ident("unsafe")).unwrap();
+        assert_eq!(unsafe_tok.line, 4);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_disambiguate() {
+        let src = "fn f<'a>(x: &'a str) { let q = '\\''; let c = '\"'; let n = '\\n'; }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, ["a", "a"]);
+        let chars: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(chars, [r"\'", "\"", r"\n"]);
+        // The '"' char literal must not have opened a string.
+        assert!(lexed.tokens.iter().all(|t| t.kind != TokenKind::Str));
+    }
+
+    #[test]
+    fn quote_char_in_literal_does_not_start_lifetime() {
+        let src = "let c = 'x'; let l: &'static str = s;";
+        let lexed = lex(src);
+        let kinds: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Char | TokenKind::Lifetime))
+            .map(|t| (t.kind, t.text.clone()))
+            .collect();
+        assert_eq!(
+            kinds,
+            [
+                (TokenKind::Char, "x".to_string()),
+                (TokenKind::Lifetime, "static".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_plain_idents() {
+        assert_eq!(idents("let r#type = 1;"), ["let", "type"]);
+    }
+
+    #[test]
+    fn line_comments_capture_text_and_line() {
+        let src = "let a = 1; // SAFETY: fine\nlet b = 2;";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].start_line, 1);
+        assert!(lexed.comments[0].text.contains("SAFETY: fine"));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_range_operators() {
+        let src = "for i in 0..n { x[i] = 1.5; }";
+        let lexed = lex(src);
+        let nums: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, ["0", "1.5"]);
+        let dots = lexed.tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2, "the .. survived as two punct tokens");
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let src = "let s = \"line one\nline two\";\nunsafe {}";
+        let lexed = lex(src);
+        let unsafe_tok = lexed.tokens.iter().find(|t| t.is_ident("unsafe")).unwrap();
+        assert_eq!(unsafe_tok.line, 3);
+    }
+}

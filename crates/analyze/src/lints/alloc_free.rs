@@ -1,0 +1,144 @@
+//! `alloc-free-path`: hot-path functions must not lexically allocate.
+//!
+//! The repo's zero-alloc steady-state invariant is enforced dynamically by
+//! the counting allocator in `tests/zero_alloc.rs` — but only on the paths
+//! that test happens to drive. This lint closes the gap lexically: any
+//! function following the hot-path naming conventions (`*_into`, `*_ws`,
+//! which includes `*_rows_into`) must not contain the well-known
+//! allocating constructs. Cold setup/error paths inside such functions
+//! that genuinely must allocate get an inline suppression with a reason.
+
+use super::{matches_seq, Pat};
+use crate::diagnostics::Diagnostic;
+use crate::source::SourceFile;
+
+/// The banned constructs, as token patterns with a display name.
+const BANNED: &[(&str, &[Pat])] = &[
+    (
+        "Vec::new",
+        &[Pat::Id("Vec"), Pat::P(':'), Pat::P(':'), Pat::Id("new")],
+    ),
+    ("vec![", &[Pat::Id("vec"), Pat::P('!')]),
+    (".to_vec()", &[Pat::P('.'), Pat::Id("to_vec")]),
+    (".collect()", &[Pat::P('.'), Pat::Id("collect")]),
+    ("format!", &[Pat::Id("format"), Pat::P('!')]),
+    (
+        "Box::new",
+        &[Pat::Id("Box"), Pat::P(':'), Pat::P(':'), Pat::Id("new")],
+    ),
+    (
+        "String::from",
+        &[Pat::Id("String"), Pat::P(':'), Pat::P(':'), Pat::Id("from")],
+    ),
+];
+
+/// Does this function name follow the hot-path conventions?
+pub fn is_hot_path_name(name: &str) -> bool {
+    name.ends_with("_into") || name.ends_with("_ws")
+}
+
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if file.is_test_path() {
+        return out;
+    }
+    for f in &file.functions {
+        if !is_hot_path_name(&f.name) || file.in_test_extent(f.line) {
+            continue;
+        }
+        let Some((lo, hi)) = f.body else { continue };
+        for i in lo + 1..hi {
+            for (name, pattern) in BANNED {
+                if matches_seq(&file.tokens, i, pattern) {
+                    out.push(Diagnostic {
+                        path: file.path.clone(),
+                        line: file.tokens[i].line,
+                        rule: "alloc-free-path",
+                        message: format!(
+                            "hot-path fn `{}` contains `{}` — `*_into`/`*_ws` \
+                             functions serve the zero-alloc steady state; move \
+                             the allocation to construction/workspace setup or \
+                             suppress with a reason",
+                            f.name, name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines_for(src: &str) -> Vec<(u32, String)> {
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        check(&f).into_iter().map(|d| (d.line, d.message)).collect()
+    }
+
+    #[test]
+    fn allocating_hot_path_fn_is_flagged_at_each_site() {
+        let src = "\
+fn reduce_rows_into(out: &mut [f32]) {\n\
+    let v = Vec::new();\n\
+    let w = vec![0.0; 4];\n\
+}\n\
+fn setup() { let v = Vec::new(); }\n";
+        let found = lines_for(src);
+        assert_eq!(found.len(), 2, "setup() is not a hot-path name: {found:?}");
+        assert_eq!(found[0].0, 2);
+        assert!(found[0].1.contains("Vec::new"));
+        assert_eq!(found[1].0, 3);
+        assert!(found[1].1.contains("vec!["));
+    }
+
+    #[test]
+    fn every_banned_construct_is_caught() {
+        for (snippet, label) in [
+            ("let v = Vec::new();", "Vec::new"),
+            ("let v = vec![1];", "vec!["),
+            ("let v = s.to_vec();", ".to_vec()"),
+            ("let v = it.collect::<Vec<_>>();", ".collect()"),
+            ("let s = format!(\"{x}\");", "format!"),
+            ("let b = Box::new(1);", "Box::new"),
+            ("let s = String::from(\"x\");", "String::from"),
+        ] {
+            let src = format!("fn forward_ws(x: u8) {{ {snippet} }}");
+            let found = lines_for(&src);
+            assert_eq!(found.len(), 1, "{label} missed in {snippet}");
+            assert!(
+                found[0].1.contains(label),
+                "{label} not named: {}",
+                found[0].1
+            );
+        }
+    }
+
+    #[test]
+    fn allocations_in_strings_comments_and_cold_fns_pass() {
+        let src = "\
+fn gemm_into(out: &mut [f32]) {\n\
+    // Vec::new() in a comment is fine\n\
+    let s = \"vec![not code] format!\";\n\
+    out[0] = 1.0;\n\
+}\n";
+        assert!(lines_for(src).is_empty());
+    }
+
+    #[test]
+    fn test_mods_and_test_paths_are_exempt() {
+        let src = "\
+#[cfg(test)]\n\
+mod tests {\n\
+    fn helper_into(x: u8) { let v = Vec::new(); }\n\
+}\n";
+        assert!(lines_for(src).is_empty());
+        let f = SourceFile::parse(
+            "crates/x/tests/it.rs",
+            "fn a_into() { let v = Vec::new(); }",
+        );
+        assert!(check(&f).is_empty());
+    }
+}

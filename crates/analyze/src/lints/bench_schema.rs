@@ -1,0 +1,307 @@
+//! `bench-schema`: the JSON column keys the bench crate writes into the
+//! committed `BENCH_*.json` trajectory files must match a declared
+//! schema, so those files stay append-compatible across PRs.
+//!
+//! The contract, enforced lexically over `crates/bench`:
+//!
+//! * every writer function named `bench_<x>_json` has a schema const
+//!   `BENCH_<X>_COLUMNS: &[&str]` (declared in `crates/bench/src/schema.rs`);
+//! * every `"key":` the writer emits is declared in that const (adding a
+//!   column means declaring it — a conscious, reviewed schema change);
+//! * every declared column is actually written (removing a column breaks
+//!   append-compatibility and must retire the declaration too);
+//! * every `BENCH_<x>.json` filename literal has a schema const at all —
+//!   a new trajectory file cannot ship schemaless.
+
+use crate::diagnostics::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+
+/// Declaration site of one `BENCH_<X>_COLUMNS` const: path, line, keys.
+type ConstDecl = (String, u32, Vec<String>);
+/// One `bench_<x>_json` writer: path, line, written (key, line) pairs.
+type WriterSites = (String, u32, Vec<(String, u32)>);
+
+/// Cross-file state over `crates/bench`.
+#[derive(Debug, Default)]
+pub struct BenchSchema {
+    /// `BENCH_<X>_COLUMNS` → declaration.
+    consts: BTreeMap<String, ConstDecl>,
+    /// `bench_<x>_json` → writer sites.
+    writers: BTreeMap<String, WriterSites>,
+    /// `BENCH_<x>.json` filename literals: (stem, path, line).
+    filenames: Vec<(String, String, u32)>,
+}
+
+/// Extracts `"key":` occurrences from one string-literal body (escapes
+/// `\"` resolved first, so ordinary format strings and raw strings both
+/// scan identically).
+pub fn json_keys_in(literal: &str) -> Vec<String> {
+    let mut unescaped = String::with_capacity(literal.len());
+    let mut chars = literal.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            if let Some(e) = chars.next() {
+                unescaped.push(e);
+            }
+        } else {
+            unescaped.push(c);
+        }
+    }
+    let bytes: Vec<char> = unescaped.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == '"' {
+            let start = i + 1;
+            let mut j = start;
+            while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == '_') {
+                j += 1;
+            }
+            if j > start && j < bytes.len() && bytes[j] == '"' {
+                let mut k = j + 1;
+                while k < bytes.len() && bytes[k].is_whitespace() {
+                    k += 1;
+                }
+                if k < bytes.len() && bytes[k] == ':' {
+                    out.push(bytes[start..j].iter().collect::<String>());
+                    i = k;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+impl BenchSchema {
+    pub fn check_file(&mut self, file: &SourceFile) {
+        if !file.path.contains("crates/bench/") {
+            return;
+        }
+        let tokens = &file.tokens;
+        // Schema consts.
+        for i in 0..tokens.len() {
+            if !tokens[i].is_ident("const") {
+                continue;
+            }
+            let Some(name) = tokens.get(i + 1).filter(|t| {
+                t.kind == TokenKind::Ident
+                    && t.text.starts_with("BENCH_")
+                    && t.text.ends_with("_COLUMNS")
+            }) else {
+                continue;
+            };
+            let mut keys = Vec::new();
+            for t in &tokens[i + 2..] {
+                if t.is_punct(';') {
+                    break;
+                }
+                if t.kind == TokenKind::Str {
+                    keys.push(t.text.clone());
+                }
+            }
+            self.consts
+                .insert(name.text.clone(), (file.path.clone(), tokens[i].line, keys));
+        }
+        // Writer functions.
+        for f in &file.functions {
+            if !(f.name.starts_with("bench_") && f.name.ends_with("_json")) {
+                continue;
+            }
+            let Some((lo, hi)) = f.body else { continue };
+            let mut written = Vec::new();
+            for t in &tokens[lo..=hi] {
+                if t.kind == TokenKind::Str {
+                    for key in json_keys_in(&t.text) {
+                        written.push((key, t.line));
+                    }
+                }
+            }
+            self.writers
+                .insert(f.name.clone(), (file.path.clone(), f.line, written));
+        }
+        // BENCH_<x>.json filename literals (anywhere in the crate).
+        for t in tokens {
+            if t.kind != TokenKind::Str {
+                continue;
+            }
+            let mut rest = t.text.as_str();
+            while let Some(pos) = rest.find("BENCH_") {
+                let tail = &rest[pos + "BENCH_".len()..];
+                if let Some(stem_len) = tail.find(".json") {
+                    let stem = &tail[..stem_len];
+                    if !stem.is_empty()
+                        && stem.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                    {
+                        self.filenames
+                            .push((stem.to_string(), file.path.clone(), t.line));
+                    }
+                }
+                rest = &rest[pos + "BENCH_".len()..];
+            }
+        }
+    }
+
+    pub fn finish(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for (fn_name, (path, line, written)) in &self.writers {
+            let stem = fn_name
+                .trim_start_matches("bench_")
+                .trim_end_matches("_json");
+            let const_name = format!("BENCH_{}_COLUMNS", stem.to_ascii_uppercase());
+            let Some((const_path, const_line, declared)) = self.consts.get(&const_name) else {
+                out.push(Diagnostic {
+                    path: path.clone(),
+                    line: *line,
+                    rule: "bench-schema",
+                    message: format!(
+                        "writer `{fn_name}` has no schema const `{const_name}` — \
+                         declare the column set in crates/bench/src/schema.rs"
+                    ),
+                });
+                continue;
+            };
+            for (key, key_line) in written {
+                if !declared.contains(key) {
+                    out.push(Diagnostic {
+                        path: path.clone(),
+                        line: *key_line,
+                        rule: "bench-schema",
+                        message: format!(
+                            "`{fn_name}` writes undeclared column `\"{key}\"` — \
+                             add it to `{const_name}` (new columns are a schema \
+                             change; keep trajectory files append-compatible)"
+                        ),
+                    });
+                }
+            }
+            for key in declared {
+                if !written.iter().any(|(k, _)| k == key) {
+                    out.push(Diagnostic {
+                        path: const_path.clone(),
+                        line: *const_line,
+                        rule: "bench-schema",
+                        message: format!(
+                            "declared column `\"{key}\"` is never written by \
+                             `{fn_name}` — dropping a column breaks \
+                             append-compatibility; retire it from \
+                             `{const_name}` deliberately"
+                        ),
+                    });
+                }
+            }
+        }
+        for (stem, path, line) in &self.filenames {
+            let const_name = format!("BENCH_{}_COLUMNS", stem.to_ascii_uppercase());
+            if !self.consts.contains_key(&const_name) {
+                out.push(Diagnostic {
+                    path: path.clone(),
+                    line: *line,
+                    rule: "bench-schema",
+                    message: format!(
+                        "`BENCH_{stem}.json` is referenced but no `{const_name}` \
+                         schema exists — every trajectory file needs a declared \
+                         column set"
+                    ),
+                });
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(files: &[(&str, &str)]) -> Vec<String> {
+        let mut schema = BenchSchema::default();
+        for (path, src) in files {
+            schema.check_file(&SourceFile::parse(path, src));
+        }
+        schema.finish().into_iter().map(|d| d.to_string()).collect()
+    }
+
+    const SCHEMA: (&str, &str) = (
+        "crates/bench/src/schema.rs",
+        r#"pub const BENCH_DEMO_COLUMNS: &[&str] = &["unit", "points", "qps"];"#,
+    );
+
+    #[test]
+    fn key_extraction_reads_escaped_and_raw_forms() {
+        assert_eq!(
+            json_keys_in(r#"{{\"unit\": \"s\", \"qps\": {:.1}}}"#),
+            ["unit", "qps"]
+        );
+        assert_eq!(
+            json_keys_in(r#"{"plain": 1, "with_ws"  : 2}"#),
+            ["plain", "with_ws"]
+        );
+        assert!(json_keys_in("no keys \"here\" at all").is_empty());
+    }
+
+    #[test]
+    fn matching_writer_and_schema_pass() {
+        let out = run(&[
+            SCHEMA,
+            (
+                "crates/bench/src/runner.rs",
+                r#"pub fn bench_demo_json() -> String { format!("{{\"unit\": \"s\", \"points\": [{{\"qps\": {:.1}}}]}}", 1.0) }"#,
+            ),
+        ]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn undeclared_written_column_is_flagged() {
+        let out = run(&[
+            SCHEMA,
+            (
+                "crates/bench/src/runner.rs",
+                r#"pub fn bench_demo_json() -> String { format!("{{\"unit\": 1, \"points\": [], \"qps\": 2, \"surprise\": 3}}") }"#,
+            ),
+        ]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].contains("undeclared column `\"surprise\"`"));
+    }
+
+    #[test]
+    fn declared_but_unwritten_column_is_flagged_at_the_const() {
+        let out = run(&[
+            SCHEMA,
+            (
+                "crates/bench/src/runner.rs",
+                r#"pub fn bench_demo_json() -> String { format!("{{\"unit\": 1, \"points\": []}}") }"#,
+            ),
+        ]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].contains("crates/bench/src/schema.rs:1"));
+        assert!(out[0].contains("`\"qps\"` is never written"));
+    }
+
+    #[test]
+    fn writer_without_schema_and_schemaless_filename_are_flagged() {
+        let out = run(&[(
+            "crates/bench/src/bin/bench_new.rs",
+            r#"pub fn bench_new_json() -> String { String::new() }
+               fn main() { std::fs::write("BENCH_new.json", bench_new_json()).unwrap(); }"#,
+        )]);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out[0].contains("has no schema const `BENCH_NEW_COLUMNS`"));
+        assert!(out[1].contains("no `BENCH_NEW_COLUMNS` schema exists"));
+    }
+
+    #[test]
+    fn files_outside_crates_bench_are_ignored() {
+        let out = run(&[(
+            "crates/serve/src/lib.rs",
+            r#"pub fn bench_rogue_json() -> String { format!("{{\"x\": 1}}") }"#,
+        )]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,493 @@
+//! `lock-discipline`: the lexical rules the supervisor and the EDF
+//! arrival queue depend on to stay deadlock-free.
+//!
+//! Three checks, all per-function and purely lexical:
+//!
+//! 1. **No nested `.lock()`** — acquiring any lock while a bound
+//!    `MutexGuard` is live in the same function (including two `.lock()`
+//!    calls in one statement) is the classic two-mutex deadlock shape.
+//! 2. **`Condvar::wait` inside a retry loop** — a bare `wait` outside a
+//!    `while`/`loop` is a missed-wakeup / spurious-wakeup bug.
+//! 3. **No foreign guard across a `wait`** — holding a *second* guard
+//!    while parking on a condvar blocks every other thread that needs it.
+//!
+//! A *bound guard* is recognised lexically: a `let` whose initializer is a
+//! `.lock()` call followed only by `.expect(..)`/`.unwrap()` adapters up
+//! to the statement end. A `.lock()` whose result keeps being adapted
+//! (`.lock().unwrap().take()`) is a temporary — the guard dies at the end
+//! of the statement — and registers no binding.
+
+use super::{matches_seq, Pat};
+use crate::diagnostics::Diagnostic;
+use crate::lexer::{Token, TokenKind};
+use crate::source::SourceFile;
+use std::collections::HashSet;
+
+#[derive(Debug)]
+struct Guard {
+    name: String,
+    /// Block-stack height the guard lives at; it dies when the stack
+    /// shrinks below this.
+    depth: usize,
+    line: u32,
+}
+
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if file.is_test_path() {
+        return out;
+    }
+    for f in &file.functions {
+        if file.in_test_extent(f.line) {
+            continue;
+        }
+        if let Some((lo, hi)) = f.body {
+            check_body(file, &f.name, lo, hi, &mut out);
+        }
+    }
+    out
+}
+
+fn check_body(file: &SourceFile, fn_name: &str, lo: usize, hi: usize, out: &mut Vec<Diagnostic>) {
+    let tokens = &file.tokens;
+    let mut stack: Vec<bool> = Vec::new(); // is_loop per open block
+    let mut pending_loop: Option<i32> = None;
+    let mut paren = 0i32;
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut handled_locks: HashSet<usize> = HashSet::new();
+    // (terminator token index, guard name, guard line)
+    let mut activations: Vec<(usize, String, u32)> = Vec::new();
+
+    let mut i = lo;
+    while i <= hi {
+        let t = &tokens[i];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => paren += 1,
+                ")" | "]" => paren -= 1,
+                "{" => {
+                    let is_loop = pending_loop == Some(paren);
+                    if is_loop {
+                        pending_loop = None;
+                    }
+                    stack.push(is_loop);
+                }
+                "}" => {
+                    stack.pop();
+                    guards.retain(|g| g.depth <= stack.len());
+                }
+                _ => {}
+            }
+        }
+        // Guard activations fire after the stack op on their terminator,
+        // so a condition-let guard is scoped to the block it opens.
+        if let Some(pos) = activations.iter().position(|(at, _, _)| *at == i) {
+            let (_, name, line) = activations.swap_remove(pos);
+            guards.push(Guard {
+                name,
+                depth: stack.len(),
+                line,
+            });
+        }
+        if t.is_ident("while") || t.is_ident("loop") || t.is_ident("for") {
+            pending_loop = Some(paren);
+        } else if t.is_ident("let") {
+            scan_let(
+                file,
+                fn_name,
+                i,
+                hi,
+                &guards,
+                &mut handled_locks,
+                &mut activations,
+                out,
+            );
+        } else if t.is_ident("drop")
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && tokens.get(i + 3).is_some_and(|t| t.is_punct(')'))
+        {
+            if let Some(name) = tokens.get(i + 2).filter(|t| t.kind == TokenKind::Ident) {
+                guards.retain(|g| g.name != name.text);
+            }
+        } else if is_lock_call(tokens, i) && !handled_locks.contains(&(i + 1)) {
+            if !guards.is_empty() {
+                out.push(nested_lock(file, fn_name, tokens[i].line, &guards));
+            }
+        } else if let Some(wait_kind) = wait_call(tokens, i) {
+            let line = tokens[i].line;
+            if !stack.iter().any(|&l| l) {
+                out.push(Diagnostic {
+                    path: file.path.clone(),
+                    line,
+                    rule: "lock-discipline",
+                    message: format!(
+                        "`{wait_kind}` in `{fn_name}` outside a `while`/`loop` — \
+                         condvar waits must re-check their predicate in a retry \
+                         loop (spurious wakeups, missed-state races)"
+                    ),
+                });
+            }
+            // First identifier inside the call is the waited guard.
+            let arg = tokens[i + 2..]
+                .iter()
+                .take_while(|t| !t.is_punct(')'))
+                .find(|t| t.kind == TokenKind::Ident)
+                .map(|t| t.text.clone())
+                .unwrap_or_default();
+            let foreign: Vec<&Guard> = guards.iter().filter(|g| g.name != arg).collect();
+            if !foreign.is_empty() {
+                let names: Vec<String> = foreign
+                    .iter()
+                    .map(|g| format!("`{}` (line {})", g.name, g.line))
+                    .collect();
+                out.push(Diagnostic {
+                    path: file.path.clone(),
+                    line,
+                    rule: "lock-discipline",
+                    message: format!(
+                        "`{wait_kind}` in `{fn_name}` parks while guard {} is \
+                         still held — every thread needing that lock blocks \
+                         until the wakeup",
+                        names.join(", ")
+                    ),
+                });
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Is token `i` the `.` of a `.lock(` call?
+fn is_lock_call(tokens: &[Token], i: usize) -> bool {
+    matches_seq(tokens, i, &[Pat::P('.'), Pat::Id("lock"), Pat::P('(')])
+}
+
+/// Is token `i` the `.` of a `.wait(`/`.wait_timeout(` call? Returns the
+/// method name.
+fn wait_call(tokens: &[Token], i: usize) -> Option<&'static str> {
+    ["wait_timeout", "wait"]
+        .into_iter()
+        .find(|name| matches_seq(tokens, i, &[Pat::P('.'), Pat::Id(name), Pat::P('(')]))
+}
+
+fn nested_lock(file: &SourceFile, fn_name: &str, line: u32, guards: &[Guard]) -> Diagnostic {
+    let held: Vec<String> = guards
+        .iter()
+        .map(|g| format!("`{}` (line {})", g.name, g.line))
+        .collect();
+    Diagnostic {
+        path: file.path.clone(),
+        line,
+        rule: "lock-discipline",
+        message: format!(
+            "`.lock()` in `{fn_name}` while guard {} is already held — \
+             nested acquisition is the two-mutex deadlock shape; drop the \
+             guard first or merge the critical sections",
+            held.join(", ")
+        ),
+    }
+}
+
+/// Scans one `let` statement starting at the `let` token: classifies its
+/// `.lock()` calls (emitting nested-lock findings now), marks them
+/// handled for the main walk, and registers a guard activation when the
+/// statement binds a `MutexGuard`.
+#[allow(clippy::too_many_arguments)]
+fn scan_let(
+    file: &SourceFile,
+    fn_name: &str,
+    let_idx: usize,
+    body_hi: usize,
+    guards: &[Guard],
+    handled_locks: &mut HashSet<usize>,
+    activations: &mut Vec<(usize, String, u32)>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let tokens = &file.tokens;
+    // `if let` / `while let` conditions terminate at `{` (Rust forbids
+    // bare struct literals there); a plain `let` terminates at `;`.
+    let is_condition = let_idx > 0
+        && tokens[let_idx - 1].kind == TokenKind::Ident
+        && matches!(tokens[let_idx - 1].text.as_str(), "if" | "while");
+
+    // Binding names: identifiers before `=` (or a `:` type annotation at
+    // pattern depth 0), minus pattern keywords and enum constructors.
+    let mut names: Vec<String> = Vec::new();
+    let mut j = let_idx + 1;
+    let mut depth = 0i32;
+    while j <= body_hi {
+        let t = &tokens[j];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "=" => break,
+                ":" if depth == 0 => break,
+                _ => {}
+            }
+        } else if t.kind == TokenKind::Ident && !matches!(t.text.as_str(), "mut" | "ref") {
+            // Skip enum-constructor names (`Ok(g)`, `Some(x)`): an ident
+            // immediately followed by `(` names the variant, not a binding.
+            if !tokens.get(j + 1).is_some_and(|n| n.is_punct('(')) {
+                names.push(t.text.clone());
+            }
+        }
+        j += 1;
+    }
+
+    // Statement extent: from `let` to the terminator, skipping matched
+    // brace groups (struct literals, closure bodies) inside it.
+    let mut k = let_idx + 1;
+    let mut rel_paren = 0i32;
+    let mut terminator = None;
+    while k <= body_hi {
+        let t = &tokens[k];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => rel_paren += 1,
+                ")" | "]" => rel_paren -= 1,
+                "{" if is_condition && rel_paren == 0 => {
+                    terminator = Some(k);
+                    break;
+                }
+                "{" => {
+                    k = crate::source::match_brace(tokens, k);
+                }
+                ";" if rel_paren == 0 => {
+                    terminator = Some(k);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        k += 1;
+    }
+    let Some(term) = terminator else { return };
+
+    // `.lock()` calls inside this statement.
+    let lock_dots: Vec<usize> = (let_idx..term)
+        .filter(|&i| is_lock_call(tokens, i))
+        .collect();
+    for &dot in &lock_dots {
+        handled_locks.insert(dot + 1);
+    }
+    if lock_dots.is_empty() {
+        return;
+    }
+    for (n, &dot) in lock_dots.iter().enumerate() {
+        if !guards.is_empty() {
+            out.push(nested_lock(file, fn_name, tokens[dot].line, guards));
+        } else if n > 0 {
+            out.push(Diagnostic {
+                path: file.path.clone(),
+                line: tokens[dot].line,
+                rule: "lock-discipline",
+                message: format!(
+                    "second `.lock()` in one statement in `{fn_name}` — both \
+                     guards are live until the statement ends (two-mutex \
+                     deadlock shape)"
+                ),
+            });
+        }
+    }
+
+    // Does the statement bind a guard? Follow the last `.lock(...)`
+    // through `.expect(..)`/`.unwrap()` adapters; a guard is bound only
+    // when that chain runs straight into the terminator.
+    let last_dot = *lock_dots.last().expect("non-empty");
+    let mut k = match_paren(tokens, last_dot + 2); // index of `)` closing lock(
+    loop {
+        let dot_adapter = tokens.get(k + 1).is_some_and(|t| t.is_punct('.'))
+            && tokens
+                .get(k + 2)
+                .is_some_and(|t| t.is_ident("expect") || t.is_ident("unwrap"))
+            && tokens.get(k + 3).is_some_and(|t| t.is_punct('('));
+        if dot_adapter {
+            k = match_paren(tokens, k + 3);
+        } else {
+            break;
+        }
+    }
+    let binds_guard = k + 1 == term;
+    if binds_guard {
+        if let Some(name) = names.first().filter(|n| *n != "_") {
+            activations.push((term, name.clone(), tokens[let_idx].line));
+        }
+    }
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn match_paren(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<(u32, String)> {
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        check(&f).into_iter().map(|d| (d.line, d.message)).collect()
+    }
+
+    #[test]
+    fn nested_lock_under_live_guard_is_flagged() {
+        let src = "\
+fn bad(&self) {\n\
+    let mut a = self.m1.lock().expect(\"m1\");\n\
+    let b = self.m2.lock().expect(\"m2\");\n\
+    a.push(*b);\n\
+}\n";
+        let found = run(src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].0, 3);
+        assert!(found[0].1.contains("`a` (line 2)"));
+    }
+
+    #[test]
+    fn sequential_temporaries_are_fine() {
+        // Each `.lock()` is a temporary (the chain continues past
+        // unwrap/expect or the value is extracted) — no guard outlives
+        // its own statement.
+        let src = "\
+fn ok(&self) -> usize {\n\
+    *self.count.lock().expect(\"poisoned\") += 1;\n\
+    let n = self.count.lock().expect(\"poisoned\").len();\n\
+    let t = self.slot.lock().unwrap().take();\n\
+    n\n\
+}\n";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn guard_scope_ends_with_its_block() {
+        let src = "\
+fn ok(&self) {\n\
+    {\n\
+        let g = self.m1.lock().unwrap();\n\
+        g.touch();\n\
+    }\n\
+    let h = self.m2.lock().unwrap();\n\
+    h.touch();\n\
+}\n";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn explicit_drop_releases_the_guard() {
+        let src = "\
+fn ok(&self) {\n\
+    let g = self.m1.lock().unwrap();\n\
+    drop(g);\n\
+    let h = self.m2.lock().unwrap();\n\
+    h.touch();\n\
+}\n";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn two_locks_in_one_statement_are_flagged() {
+        let src = "fn bad(&self) { let t = (self.a.lock().unwrap().v, self.b.lock().unwrap().v); }";
+        let found = run(src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].1.contains("second `.lock()` in one statement"));
+    }
+
+    #[test]
+    fn wait_outside_loop_is_flagged_inside_is_not() {
+        let bad = "\
+fn bad(&self) {\n\
+    let mut state = self.m.lock().unwrap();\n\
+    state = self.cv.wait(state).unwrap();\n\
+}\n";
+        let found = run(bad);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].1.contains("outside a `while`/`loop`"));
+
+        let good = "\
+fn good(&self) {\n\
+    let mut state = self.m.lock().unwrap();\n\
+    while !state.ready {\n\
+        state = self.cv.wait(state).unwrap();\n\
+    }\n\
+    loop {\n\
+        let (next, timed) = self.cv.wait_timeout(state, dur).unwrap();\n\
+        state = next;\n\
+        if timed.timed_out() { break; }\n\
+    }\n\
+}\n";
+        assert!(run(good).is_empty(), "{:?}", run(good));
+    }
+
+    #[test]
+    fn closure_brace_in_loop_condition_does_not_eat_the_loop_body() {
+        let src = "\
+fn good(&self) {\n\
+    let mut state = self.m.lock().unwrap();\n\
+    while state.items.iter().any(|x| { x.live }) {\n\
+        state = self.cv.wait(state).unwrap();\n\
+    }\n\
+}\n";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn foreign_guard_across_wait_is_flagged() {
+        let src = "\
+fn bad(&self) {\n\
+    let other = self.stats.lock().unwrap();\n\
+    let mut state = self.m.lock().unwrap();\n\
+    while !state.ready {\n\
+        state = self.cv.wait(state).unwrap();\n\
+    }\n\
+    other.touch();\n\
+}\n";
+        let found = run(src);
+        // line 3: nested lock under `other`; line 5: `other` held across wait.
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert!(found[0].1.contains("nested acquisition"));
+        assert!(found[1].1.contains("`other` (line 2)"));
+        assert!(found[1].1.contains("parks while guard"));
+    }
+
+    #[test]
+    fn if_let_condition_guard_is_scoped_to_its_block() {
+        let src = "\
+fn ok(&self) {\n\
+    if let Ok(g) = self.m1.lock() {\n\
+        g.touch();\n\
+    }\n\
+    let h = self.m2.lock().unwrap();\n\
+    h.touch();\n\
+}\n";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "\
+#[cfg(test)]\n\
+mod tests {\n\
+    fn t(&self) {\n\
+        let a = self.m1.lock().unwrap();\n\
+        let b = self.m2.lock().unwrap();\n\
+    }\n\
+}\n";
+        assert!(run(src).is_empty());
+    }
+}

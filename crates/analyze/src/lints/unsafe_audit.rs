@@ -1,0 +1,164 @@
+//! `unsafe-audit`: every `unsafe` site carries a `// SAFETY:` comment
+//! within the 3 preceding lines (or on its own line), stating the exact
+//! preconditions — alignment, bounds, cpuid — that make it sound.
+//!
+//! Also builds the workspace **unsafe inventory** (`--inventory`): one row
+//! per site with its kind, enclosing item, and documentation status, so a
+//! PR adding a fourth gather kernel shows up as a diff in reviewable
+//! state, not as an anonymous new `unsafe`.
+
+use super::next_ident;
+use crate::diagnostics::Diagnostic;
+use crate::source::SourceFile;
+
+/// How far above the `unsafe` token a `// SAFETY:` comment may sit.
+pub const SAFETY_WINDOW_LINES: u32 = 3;
+
+/// One `unsafe` occurrence in the workspace.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    pub path: String,
+    pub line: u32,
+    /// `unsafe fn` / `unsafe block` / `unsafe impl` / `unsafe trait`.
+    pub kind: String,
+    /// The named item this site belongs to (the fn itself for `unsafe
+    /// fn`, the enclosing fn for blocks), or `?` at module scope.
+    pub context: String,
+    pub documented: bool,
+}
+
+pub fn check(file: &SourceFile, inventory: &mut Vec<UnsafeSite>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, t) in file.tokens.iter().enumerate() {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let next = next_ident(&file.tokens, i + 1).map(|t| t.text.as_str());
+        let (kind, context) = match next {
+            Some("fn") => (
+                "unsafe fn",
+                next_ident(&file.tokens, i + 2)
+                    .map(|t| t.text.clone())
+                    .unwrap_or_else(|| "?".to_string()),
+            ),
+            Some("impl") => ("unsafe impl", enclosing(file, i)),
+            Some("trait") => ("unsafe trait", enclosing(file, i)),
+            _ => ("unsafe block", enclosing(file, i)),
+        };
+        let documented = file.has_safety_comment_near(t.line, SAFETY_WINDOW_LINES);
+        inventory.push(UnsafeSite {
+            path: file.path.clone(),
+            line: t.line,
+            kind: kind.to_string(),
+            context: context.clone(),
+            documented,
+        });
+        if !documented {
+            out.push(Diagnostic {
+                path: file.path.clone(),
+                line: t.line,
+                rule: "unsafe-audit",
+                message: format!(
+                    "{kind} in `{context}` has no `// SAFETY:` comment within \
+                     {SAFETY_WINDOW_LINES} lines — state the exact \
+                     alignment/bounds/cpuid preconditions that make it sound"
+                ),
+            });
+        }
+    }
+    out
+}
+
+fn enclosing(file: &SourceFile, idx: usize) -> String {
+    file.enclosing_fn(idx)
+        .map(|f| f.name.clone())
+        .unwrap_or_else(|| "?".to_string())
+}
+
+/// Renders the inventory as an aligned table for `--inventory`.
+pub fn render_inventory(sites: &[UnsafeSite]) -> String {
+    let documented = sites.iter().filter(|s| s.documented).count();
+    let mut out = format!(
+        "unsafe inventory: {} sites, {} documented\n",
+        sites.len(),
+        documented
+    );
+    for s in sites {
+        out.push_str(&format!(
+            "  {}:{} {} in `{}` [{}]\n",
+            s.path,
+            s.line,
+            s.kind,
+            s.context,
+            if s.documented {
+                "SAFETY ok"
+            } else {
+                "UNDOCUMENTED"
+            }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn documented_and_undocumented_sites_split_correctly() {
+        let src = "\
+fn caller() {\n\
+    // SAFETY: cpuid-guarded above, slices bounds-checked by the caller\n\
+    unsafe { fast() }\n\
+}\n\
+fn bare() {\n\
+    unsafe { fast() }\n\
+}\n\
+unsafe fn fast() {}\n";
+        let f = SourceFile::parse("crates/x/src/k.rs", src);
+        let mut inv = Vec::new();
+        let diags = check(&f, &mut inv);
+        assert_eq!(inv.len(), 3);
+        assert_eq!(diags.len(), 2);
+        assert_eq!(diags[0].line, 6);
+        assert!(diags[0].message.contains("unsafe block in `bare`"));
+        assert_eq!(diags[1].line, 8);
+        assert!(diags[1].message.contains("unsafe fn in `fast`"));
+        assert!(inv[0].documented && !inv[1].documented && !inv[2].documented);
+    }
+
+    #[test]
+    fn safety_window_is_exactly_three_lines() {
+        let src = "// SAFETY: four lines up is too far\n\n\n\nunsafe fn f() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        let mut inv = Vec::new();
+        assert_eq!(check(&f, &mut inv).len(), 1, "line 1 comment, site line 5");
+        let src = "// SAFETY: three lines up is in the window\n\n\nunsafe fn f() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        inv.clear();
+        assert!(check(&f, &mut inv).is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_strings_and_comments_is_not_a_site() {
+        let src = "fn f() { let s = \"unsafe\"; } // unsafe in prose\n";
+        let f = SourceFile::parse("x.rs", src);
+        let mut inv = Vec::new();
+        assert!(check(&f, &mut inv).is_empty());
+        assert!(inv.is_empty());
+    }
+
+    #[test]
+    fn inventory_renders_counts() {
+        let sites = vec![UnsafeSite {
+            path: "a.rs".into(),
+            line: 3,
+            kind: "unsafe block".into(),
+            context: "f".into(),
+            documented: true,
+        }];
+        let table = render_inventory(&sites);
+        assert!(table.contains("1 sites, 1 documented"));
+        assert!(table.contains("a.rs:3 unsafe block in `f` [SAFETY ok]"));
+    }
+}

@@ -1,0 +1,370 @@
+//! Per-file source model built on top of the lexer: function items with
+//! body extents, `#[cfg(test)] mod` extents, and inline lint suppressions.
+
+use crate::lexer::{lex, Comment, Token, TokenKind};
+
+/// One `fn` item found in a file.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index range of the body, **inclusive of both braces**.
+    /// `None` for bodiless declarations (trait methods, extern).
+    pub body: Option<(usize, usize)>,
+}
+
+/// An inline suppression: `// lint: allow(<rule>) — <reason>`.
+///
+/// The reason is mandatory; a reasonless `allow` is itself reported (rule
+/// `suppression`). A suppression covers diagnostics of its rule on the
+/// comment's own line and on the following line, so it can either trail
+/// the offending code or sit on its own line directly above it.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    pub rule: String,
+    pub reason: String,
+    pub line: u32,
+}
+
+/// One parsed source file plus everything the lints need to navigate it.
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+    pub functions: Vec<FnItem>,
+    /// Line ranges (inclusive) of `#[cfg(test)] mod … { … }` blocks.
+    pub test_extents: Vec<(u32, u32)>,
+    /// Well-formed suppressions, in file order.
+    pub suppressions: Vec<Suppression>,
+    /// Lines of `lint: allow` comments that failed to parse (no rule or no
+    /// reason), with a description of what is wrong.
+    pub malformed_suppressions: Vec<(u32, String)>,
+}
+
+impl SourceFile {
+    /// Lexes and indexes one file.
+    pub fn parse(path: &str, source: &str) -> SourceFile {
+        let lexed = lex(source);
+        let functions = find_functions(&lexed.tokens);
+        let test_extents = find_test_extents(&lexed.tokens);
+        let (suppressions, malformed_suppressions) = parse_suppressions(&lexed.comments);
+        SourceFile {
+            path: path.replace('\\', "/"),
+            tokens: lexed.tokens,
+            comments: lexed.comments,
+            functions,
+            test_extents,
+            suppressions,
+            malformed_suppressions,
+        }
+    }
+
+    /// Is this file test-only or example code by path convention?
+    /// Integration tests, benches, and examples are exercised dynamically
+    /// (counting allocator, property tests); the lexical invariants target
+    /// production `src/` code.
+    pub fn is_test_path(&self) -> bool {
+        ["/tests/", "/benches/", "/examples/"]
+            .iter()
+            .any(|d| self.path.contains(d))
+            || self.path.starts_with("tests/")
+            || self.path.starts_with("examples/")
+    }
+
+    /// Is `line` inside a `#[cfg(test)] mod` block?
+    pub fn in_test_extent(&self, line: u32) -> bool {
+        self.test_extents
+            .iter()
+            .any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+
+    /// Is there a `// SAFETY:` comment ending within `window` lines above
+    /// `line` (or on `line` itself)?
+    pub fn has_safety_comment_near(&self, line: u32, window: u32) -> bool {
+        self.comments.iter().enumerate().any(|(i, c)| {
+            if !c.text.contains("SAFETY:") {
+                return false;
+            }
+            // A `// SAFETY:` line usually heads a multi-line explanation;
+            // the contiguous run of comment lines below it is one block,
+            // and the *block* end must sit within the window.
+            let mut end = c.end_line;
+            for later in &self.comments[i + 1..] {
+                if later.start_line == end + 1 {
+                    end = later.end_line;
+                } else if later.start_line > end + 1 {
+                    break;
+                }
+            }
+            end <= line && end + window >= line
+        })
+    }
+
+    /// Name of the innermost function whose body contains token `idx`, if
+    /// any. Falls back to a function whose `fn` keyword token *starts* at
+    /// or before `idx` when `idx` sits in the signature.
+    pub fn enclosing_fn(&self, idx: usize) -> Option<&FnItem> {
+        self.functions
+            .iter()
+            .filter(|f| matches!(f.body, Some((lo, hi)) if (lo..=hi).contains(&idx)))
+            .max_by_key(|f| f.body.unwrap().0)
+    }
+}
+
+/// Scans the token stream for `fn` items and matches their body braces.
+fn find_functions(tokens: &[Token]) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_ident("fn") {
+            // `fn` is always followed by the item name (the `Fn` traits
+            // are distinct identifiers, and closures have no `fn` token).
+            if let Some(name_tok) = tokens.get(i + 1).filter(|t| t.kind == TokenKind::Ident) {
+                let line = tokens[i].line;
+                let name = name_tok.text.clone();
+                // The body is the first `{` at zero paren/bracket depth
+                // after the signature; a `;` first means no body. Rust
+                // forbids bare struct literals in signature positions, so
+                // this cannot misfire on a return-type expression.
+                let mut j = i + 2;
+                let mut depth = 0i32;
+                let mut body = None;
+                while let Some(t) = tokens.get(j) {
+                    if t.kind == TokenKind::Punct {
+                        match t.text.as_str() {
+                            "(" | "[" => depth += 1,
+                            ")" | "]" => depth -= 1,
+                            "{" if depth == 0 => {
+                                body = Some((j, match_brace(tokens, j)));
+                                break;
+                            }
+                            ";" if depth == 0 => break,
+                            _ => {}
+                        }
+                    }
+                    j += 1;
+                }
+                out.push(FnItem { name, line, body });
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Returns the index of the `}` matching the `{` at `open` (or the last
+/// token when unbalanced — the compiler rejects such files anyway).
+pub fn match_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Finds `#[cfg(test)]` attributes followed by a `mod` item and records the
+/// line extent of the mod's braces. Intervening attributes/doc comments
+/// between the cfg and the `mod` keyword are tolerated.
+fn find_test_extents(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 6 < tokens.len() {
+        let is_cfg_test = tokens[i].is_punct('#')
+            && tokens[i + 1].is_punct('[')
+            && tokens[i + 2].is_ident("cfg")
+            && tokens[i + 3].is_punct('(')
+            && tokens[i + 4].is_ident("test")
+            && tokens[i + 5].is_punct(')')
+            && tokens[i + 6].is_punct(']');
+        if is_cfg_test {
+            // Skip any further attributes, then require `mod name {`.
+            let mut j = i + 7;
+            while tokens.get(j).is_some_and(|t| t.is_punct('#'))
+                && tokens.get(j + 1).is_some_and(|t| t.is_punct('['))
+            {
+                // Skip to the matching `]`.
+                let mut depth = 0i32;
+                while let Some(t) = tokens.get(j) {
+                    match t.text.as_str() {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                j += 1;
+            }
+            if tokens.get(j).is_some_and(|t| t.is_ident("mod"))
+                && tokens
+                    .get(j + 1)
+                    .is_some_and(|t| t.kind == TokenKind::Ident)
+                && tokens.get(j + 2).is_some_and(|t| t.is_punct('{'))
+            {
+                let open = j + 2;
+                let close = match_brace(tokens, open);
+                out.push((tokens[i].line, tokens[close].line));
+                i = close;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parses `lint: allow(<rule>) — <reason>` comments. Accepts `—`, `--`,
+/// `-`, or `:` as the reason separator; the reason must be non-empty.
+fn parse_suppressions(comments: &[Comment]) -> (Vec<Suppression>, Vec<(u32, String)>) {
+    let mut ok = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix("lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            bad.push((
+                c.start_line,
+                "expected `allow(<rule>)` after `lint:`".to_string(),
+            ));
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            bad.push((c.start_line, "unclosed `allow(` in suppression".to_string()));
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        if rule.is_empty() {
+            bad.push((c.start_line, "empty rule name in `allow()`".to_string()));
+            continue;
+        }
+        let mut reason = rest[close + 1..].trim_start();
+        let mut had_separator = false;
+        for sep in ["—", "--", "-", ":"] {
+            if let Some(r) = reason.strip_prefix(sep) {
+                reason = r.trim_start();
+                had_separator = true;
+                break;
+            }
+        }
+        if !had_separator || reason.trim().is_empty() {
+            bad.push((
+                c.start_line,
+                format!(
+                    "suppression for `{rule}` is missing its mandatory reason \
+                     (write `// lint: allow({rule}) — <why this is sound>`)"
+                ),
+            ));
+            continue;
+        }
+        ok.push(Suppression {
+            rule,
+            reason: reason.trim().to_string(),
+            line: c.start_line,
+        });
+    }
+    (ok, bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn functions_and_bodies_are_found() {
+        let src = "fn a() { 1 } trait T { fn decl(&self); } impl T for U { fn decl(&self) { let x = || {}; } }";
+        let f = SourceFile::parse("x.rs", src);
+        let names: Vec<_> = f.functions.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["a", "decl", "decl"]);
+        assert!(f.functions[0].body.is_some());
+        assert!(f.functions[1].body.is_none(), "trait decl has no body");
+        let (lo, hi) = f.functions[2].body.unwrap();
+        assert!(f.tokens[lo].is_punct('{') && f.tokens[hi].is_punct('}'));
+        // The closure's braces must not have ended the body early.
+        assert_eq!(
+            f.tokens[hi + 1].text,
+            "}",
+            "impl block close follows fn close"
+        );
+    }
+
+    #[test]
+    fn fn_with_where_clause_and_generics_gets_its_body() {
+        let src = "fn g<T: Clone>(x: [u8; 3]) -> Vec<T> where T: Default { body() }";
+        let f = SourceFile::parse("x.rs", src);
+        let (lo, _) = f.functions[0].body.unwrap();
+        assert!(f.tokens[lo].is_punct('{'));
+        assert!(f.tokens[lo + 1].is_ident("body"));
+    }
+
+    #[test]
+    fn cfg_test_mod_extent_covers_its_lines() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn prod2() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.test_extents, [(2, 5)]);
+        assert!(!f.in_test_extent(1));
+        assert!(f.in_test_extent(4));
+        assert!(!f.in_test_extent(6));
+    }
+
+    #[test]
+    fn suppressions_parse_with_reason_and_flag_without() {
+        let src = "\
+let a = 1; // lint: allow(alloc-free-path) — cold error path, runs once\n\
+let b = 2; // lint: allow(lock-discipline)\n\
+let c = 3; // lint: allow(unsafe-audit) -- double dash reason\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.suppressions.len(), 2);
+        assert_eq!(f.suppressions[0].rule, "alloc-free-path");
+        assert_eq!(f.suppressions[0].reason, "cold error path, runs once");
+        assert_eq!(f.suppressions[0].line, 1);
+        assert_eq!(f.suppressions[1].rule, "unsafe-audit");
+        assert_eq!(f.malformed_suppressions.len(), 1);
+        assert_eq!(f.malformed_suppressions[0].0, 2);
+    }
+
+    #[test]
+    fn safety_comment_window_is_three_lines() {
+        let src = "// SAFETY: bounds checked above\n//\n//\nunsafe { x() }\n\n\n\nunsafe { y() }";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.has_safety_comment_near(4, 3));
+        assert!(!f.has_safety_comment_near(8, 3));
+    }
+
+    #[test]
+    fn multi_line_safety_block_counts_from_its_last_line() {
+        // SAFETY: heads a 5-line contiguous comment block; the block *end*
+        // is what must be within the window, not the SAFETY line itself.
+        let src = "// SAFETY: unsafe solely because of target_feature —\n\
+                   // the body is safe Rust recompiled under AVX2 codegen.\n\
+                   // Sole precondition: the CPU supports AVX2, which the\n\
+                   // caller checks via avx2_available() before dispatch.\n\
+                   // No pointer arithmetic anywhere in the body.\n\
+                   unsafe fn f() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.has_safety_comment_near(6, 3));
+        // A gap in the run breaks the block.
+        let gapped = "// SAFETY: stale, detached\n\n// unrelated\n// unrelated\n// unrelated\nunsafe fn f() {}\n";
+        let g = SourceFile::parse("x.rs", gapped);
+        assert!(!g.has_safety_comment_near(6, 3));
+    }
+}

@@ -1,0 +1,16 @@
+//! Seeded `bench-schema` violations. Lexed as text by the fixture tests,
+//! never compiled.
+
+pub const BENCH_FIXTURE_COLUMNS: &[&str] = &["unit", "ghost"];
+
+pub fn bench_fixture_json() -> String {
+    format!("{{\"unit\": \"s\", \"rogue\": 1}}")
+}
+
+pub fn bench_orphan_json() -> String {
+    String::new()
+}
+
+pub fn path() -> &'static str {
+    "BENCH_phantom.json"
+}

@@ -17,6 +17,7 @@
 
 pub mod report;
 pub mod runner;
+pub mod schema;
 
 pub use report::TextTable;
 pub use runner::{

@@ -732,6 +732,11 @@ fn avx2_available() -> bool {
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 #[allow(clippy::too_many_arguments)]
+// SAFETY: unsafe solely because of `#[target_feature(enable = "avx2")]` —
+// the body is safe Rust (bounds-checked slices, no raw pointers) recompiled
+// under AVX2 codegen. Sole precondition: the running CPU supports AVX2,
+// which the one caller (`microkernel_8`) verifies via `avx2_available()`
+// (cached `is_x86_feature_detected!`) before dispatching here.
 unsafe fn microkernel_8_avx2(
     a: &[f32],
     packed: &[f32],
@@ -1175,6 +1180,10 @@ pub(crate) fn sparse_parallel_bytes_threshold() -> usize {
 #[inline(always)]
 fn prefetch_row(data: &[f32], base: usize, dim: usize) {
     #[cfg(target_arch = "x86_64")]
+    // SAFETY: `_mm_prefetch` is an architectural hint that cannot fault and
+    // is baseline on all x86-64 CPUs (SSE), so no cpuid check is needed. The
+    // only pointer arithmetic is `as_ptr().add(base + off)`, formed only
+    // when `base + off < data.len()`, so `add` stays within the allocation.
     unsafe {
         use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
         let mut off = 0;
@@ -1251,6 +1260,11 @@ pub fn gather_rows_sum(data: &[f32], dim: usize, indices: &[u32], out: &mut [f32
 /// The caller must ensure the running CPU supports AVX2.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
+// SAFETY: unsafe solely because of `#[target_feature(enable = "avx2")]` —
+// the body is safe Rust (bounds-checked row slices; the only intrinsic is
+// the non-faulting prefetch inside `prefetch_row`). Sole precondition: the
+// running CPU supports AVX2, verified by the one caller
+// (`gather_rows_sum`) via `avx2_available()` before dispatching here.
 unsafe fn gather_rows_sum_avx2(data: &[f32], dim: usize, indices: &[u32], out: &mut [f32]) {
     gather_rows_sum_impl(data, dim, indices, out);
 }
@@ -1318,6 +1332,11 @@ pub fn gather_rows_max(data: &[f32], dim: usize, indices: &[u32], out: &mut [f32
 /// The caller must ensure the running CPU supports AVX2.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
+// SAFETY: unsafe solely because of `#[target_feature(enable = "avx2")]` —
+// the body is safe Rust (bounds-checked row slices; the only intrinsic is
+// the non-faulting prefetch inside `prefetch_row`). Sole precondition: the
+// running CPU supports AVX2, verified by the one caller
+// (`gather_rows_max`) via `avx2_available()` before dispatching here.
 unsafe fn gather_rows_max_avx2(data: &[f32], dim: usize, indices: &[u32], out: &mut [f32]) {
     gather_rows_max_impl(data, dim, indices, out);
 }

@@ -19,16 +19,25 @@ static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 /// System allocator wrapper that counts every allocation/reallocation.
 struct CountingAllocator;
 
+// SAFETY: pure pass-through to `System` plus a relaxed-free atomic counter —
+// every `GlobalAlloc` contract obligation (layout validity, pointer
+// provenance, no unwinding) is delegated unchanged to the system allocator.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: caller upholds `GlobalAlloc::alloc`'s contract (non-zero-sized
+    // `layout`); forwarded verbatim to `System.alloc`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
         System.alloc(layout)
     }
 
+    // SAFETY: caller upholds `GlobalAlloc::dealloc`'s contract (`ptr` came
+    // from this allocator with this `layout`); forwarded to `System.dealloc`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: caller upholds `GlobalAlloc::realloc`'s contract (`ptr`/`layout`
+    // pair valid, `new_size` non-zero); forwarded to `System.realloc`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
         System.realloc(ptr, layout, new_size)
