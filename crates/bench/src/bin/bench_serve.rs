@@ -5,7 +5,7 @@
 //! Writes the machine-readable `BENCH_serve.json` tracked for the
 //! performance trajectory.
 //!
-//! Four sweeps share the document:
+//! Five sweeps share the document:
 //!
 //! 1. the **latency sweep** — offered QPS × batching policy × replica
 //!    count under stationary Poisson arrivals, loads anchored on a measured
@@ -34,13 +34,28 @@
 //!    heavy-tailed arrivals and a crash plan targeting its pool — the
 //!    light tenant's availability and p99 should not move when pools are
 //!    isolated, and measurably degrade when everything is shared.
+//! 5. the **tail-under-stall sweep** — a slow-replica plan (a 200 ms
+//!    mid-replay stall, then a persistent 4× `degraded` slowdown) × load ×
+//!    {unhedged, hedged} against the same 2-replica supervised pool: the
+//!    unhedged variant rides out the straggler with nothing but the crash
+//!    supervisor (its riders eat the whole stall, so the p99 tracks the
+//!    fault), while the hedged variant arms the stall watchdog — overdue
+//!    batches are re-dispatched to a healthy sibling (first result wins,
+//!    duplicates suppressed) and repeat offenders are quarantined with
+//!    exponential-backoff re-admission — and its p99 should stay within a
+//!    small factor of the fault-free baseline. Each cell reports hedges,
+//!    hedge wins, duplicates suppressed, quarantines and re-admissions.
 //!
 //! The SLO defaults to 5 ms and reads `CENTAUR_SERVE_SLO_MS`; the admission
 //! depth defaults to one SLO's worth of work at capacity and reads
 //! `CENTAUR_SERVE_QUEUE_DEPTH`. The supervision budgets read
 //! `CENTAUR_SERVE_RETRY_LIMIT` / `CENTAUR_SERVE_RESTART_BUDGET` (defaults
 //! 2 / 2), and `CENTAUR_SERVE_FAULT_PLAN` pins an explicit fault schedule
-//! on every faulted cell in place of the seeded ones. The tenant mix reads
+//! on every faulted cell in place of the seeded ones. The hedge timeout of
+//! the tail sweep reads `CENTAUR_SERVE_HEDGE_MS` (default derived from the
+//! SLO and the policy's service estimate) and the quarantine tuning reads
+//! `CENTAUR_SERVE_QUARANTINE_STRIKES` / `CENTAUR_SERVE_QUARANTINE_BACKOFF_MS`
+//! (defaults 3 strikes / 25 ms doubling). The tenant mix reads
 //! `CENTAUR_SERVE_MIX` (`model:share` pairs summing to 1) and per-tenant
 //! SLOs read `CENTAUR_SERVE_MIX_SLO_MS` (one positive millisecond value
 //! per tenant; default scales the base SLO by each model's relative
@@ -263,6 +278,96 @@ fn main() {
     table.print();
 
     reports.extend(availability);
+
+    // Tail-under-stall sweep: the same instrument pointed at *slow* (not
+    // crashed) replicas — a 200 ms mid-replay stall and a persistent 4×
+    // degradation — with the watchdog + hedging + quarantine machinery off
+    // (unhedged) and on (hedged). Rows alternate unhedged then hedged per
+    // `plan × load` cell; the hedge/quarantine columns tell them apart.
+    let tail_policy = BatchPolicy::dynamic_wave();
+    let tail_variants = [
+        (
+            tail_policy,
+            ServeOptions::with_slo(slo).supervised(supervision),
+        ),
+        (
+            tail_policy,
+            ServeOptions::with_slo(slo)
+                .supervised(supervision)
+                .hedged(centaur_serve::HedgeConfig::derived(Some(slo), tail_policy)),
+        ),
+    ];
+    let tail_specs = [
+        FaultSpec::none(),
+        FaultSpec::none()
+            .with_stalls(1)
+            .with_stall_ms(200)
+            .with_seed(42),
+        FaultSpec::none()
+            .with_degraded(1)
+            .with_degrade_factor(4)
+            .with_seed(42),
+    ];
+    let tail_loads = [0.7, 1.0];
+    println!(
+        "tail sweep: hedge timeout {:.3} ms (derived), quarantine after {} strikes, \
+         backoff {:.1} ms",
+        centaur_serve::HedgeConfig::derived(Some(slo), tail_policy)
+            .timeout
+            .as_secs_f64()
+            * 1e3,
+        centaur_serve::serve_quarantine_strikes(),
+        centaur_serve::serve_quarantine_backoff_ms(),
+    );
+    // A single 200 ms stall parks exactly one batch of ~64 riders. On this
+    // host one replica's dynamic capacity ≈ the pool's, so the stall never
+    // starves the queue — the tail signal IS those riders, and in a
+    // 10^5-query window they fall past the p99 rank and vanish. Cap the
+    // cell so one stalled batch sits above the 1 % rank (64 of 4 000).
+    let tail_max_queries = overload_max_queries.min(4_000);
+    let tail = runner.serve_availability_sweep(
+        &config,
+        capacity,
+        &tail_specs,
+        &tail_loads,
+        &tail_variants,
+        2,
+        overload_duration_s,
+        tail_max_queries,
+    );
+
+    let mut table = TextTable::new(
+        &format!("Tail latency under slow replicas, {model} @ 64K rows/table (measured, 2 supervised replicas)"),
+        &[
+            "Faults",
+            "Offered qps",
+            "Variant",
+            "Availability",
+            "p99 ms",
+            "Hedges",
+            "Wins",
+            "Dups",
+            "Quarantines",
+            "Readmits",
+        ],
+    );
+    for (i, r) in tail.iter().enumerate() {
+        table.add_row(vec![
+            r.faults.clone(),
+            format!("{:.0}", r.offered_qps),
+            if i % 2 == 0 { "unhedged" } else { "hedged" }.to_string(),
+            format!("{:.4}", r.availability),
+            format!("{:.3}", r.latency.p99_s * 1e3),
+            r.hedges.to_string(),
+            r.hedge_wins.to_string(),
+            r.duplicates_suppressed.to_string(),
+            r.quarantines.to_string(),
+            r.readmissions.to_string(),
+        ]);
+    }
+    table.print();
+
+    reports.extend(tail);
 
     // Isolation sweep: the multi-tenant mix, isolated per-tenant pools
     // versus one shared-everything pool, fault-free baseline versus heavy

@@ -921,6 +921,9 @@ impl ExperimentRunner {
     /// plan label, availability, per-reason rejection counts (`failed`
     /// alongside the shed split), restarts, retries and replicas lost —
     /// `"faults": "none"` with availability 1.0 on fault-free cells.
+    /// Tail-tolerance columns follow: hedges issued, hedge wins,
+    /// duplicates suppressed by first-result-wins resolution, quarantines
+    /// entered and backoff re-admissions — all zero on unhedged cells.
     /// Multi-tenant columns lead every point: the tenant name and pool
     /// topology (`"-"` / `"single"` on single-model cells, the tenant name
     /// with `"isolated"` or `"shared"` on isolation-sweep rows).
@@ -944,6 +947,8 @@ impl ExperimentRunner {
                  \"shed_admission\": {}, \"shed_expired\": {}, \"deadline_misses\": {}, \
                  \"faults\": \"{}\", \"availability\": {:.6}, \"failed\": {}, \
                  \"retries\": {}, \"restarts\": {}, \"replicas_lost\": {}, \
+                 \"hedges\": {}, \"hedge_wins\": {}, \"duplicates_suppressed\": {}, \
+                 \"quarantines\": {}, \"readmissions\": {}, \
                  \"mean_batch\": {:.2}, \
                  \"mean_s\": {:.6}, \"p50_s\": {:.6}, \"p95_s\": {:.6}, \"p99_s\": {:.6}, \
                  \"p999_s\": {:.6}, \"max_s\": {:.6}}}{}\n",
@@ -967,6 +972,11 @@ impl ExperimentRunner {
                 r.retries,
                 r.restarts,
                 r.replicas_lost,
+                r.hedges,
+                r.hedge_wins,
+                r.duplicates_suppressed,
+                r.quarantines,
+                r.readmissions,
                 r.mean_batch,
                 r.latency.mean_s,
                 r.latency.p50_s,

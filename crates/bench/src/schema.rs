@@ -68,6 +68,11 @@ pub const BENCH_SERVE_COLUMNS: &[&str] = &[
     "retries",
     "restarts",
     "replicas_lost",
+    "hedges",
+    "hedge_wins",
+    "duplicates_suppressed",
+    "quarantines",
+    "readmissions",
     "mean_batch",
     "mean_s",
     "p50_s",

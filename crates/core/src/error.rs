@@ -24,6 +24,16 @@ pub enum CentaurError {
     Model(centaur_dlrm::DlrmError),
     /// An invalid configuration value.
     InvalidConfig(String),
+    /// A fail-stop serving replica held one batch past the stall deadline
+    /// (twice the request SLO): the replay was aborted rather than left
+    /// hanging on the straggler until generator close.
+    ReplicaStalled {
+        /// The replica whose in-flight batch went stale.
+        replica: usize,
+        /// How long the batch had been held when the watchdog fired, in
+        /// milliseconds.
+        held_ms: u64,
+    },
 }
 
 impl fmt::Display for CentaurError {
@@ -42,6 +52,10 @@ impl fmt::Display for CentaurError {
             }
             CentaurError::Model(e) => write!(f, "model error: {e}"),
             CentaurError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CentaurError::ReplicaStalled { replica, held_ms } => write!(
+                f,
+                "replica {replica} stalled: batch held {held_ms} ms, past the stall deadline"
+            ),
         }
     }
 }
@@ -79,6 +93,18 @@ mod tests {
         let wrapped = CentaurError::from(inner);
         assert!(wrapped.source().is_some());
         assert!(wrapped.to_string().contains("model error"));
+    }
+
+    #[test]
+    fn stall_diagnostic_names_the_replica() {
+        let e = CentaurError::ReplicaStalled {
+            replica: 1,
+            held_ms: 212,
+        };
+        let text = e.to_string();
+        assert!(text.contains("replica 1"), "{text}");
+        assert!(text.contains("212 ms"), "{text}");
+        assert!(e.source().is_none());
     }
 
     #[test]

@@ -35,15 +35,26 @@ pub enum FaultKind {
     /// survives — a parity error, a flaky link. The batch is requeued
     /// against each request's retry budget.
     Transient,
+    /// The replica becomes **persistently** `factor`× slower from this
+    /// event on — a thermally throttled core, a failing DIMM retraining, a
+    /// noisy neighbour. Nothing is lost and no error surfaces: every
+    /// subsequent batch just takes `factor`× its true service time, the
+    /// slow-node tail the watchdog + quarantine machinery exists to
+    /// contain.
+    Degraded {
+        /// Service-time multiplier (≥ 2 to have any effect; 1 is a no-op).
+        factor: u32,
+    },
 }
 
 impl FaultKind {
-    /// Short label (`crash`, `stall`, `transient`).
+    /// Short label (`crash`, `stall`, `transient`, `degraded`).
     pub fn label(&self) -> &'static str {
         match self {
             FaultKind::Crash => "crash",
             FaultKind::Stall { .. } => "stall",
             FaultKind::Transient => "transient",
+            FaultKind::Degraded { .. } => "degraded",
         }
     }
 }
@@ -81,21 +92,41 @@ impl FaultPlan {
     }
 
     /// Samples a plan from a seeded [`FaultSpec`]: `spec.crashes` crash
-    /// events, `spec.stalls` stalls and `spec.transients` transient errors,
-    /// each at a deterministic mid-replay offset within `window_s` against
-    /// a deterministic victim in `0..replicas`.
+    /// events, `spec.stalls` stalls, `spec.transients` transient errors and
+    /// `spec.degraded` persistent slowdowns, each at a deterministic
+    /// mid-replay offset within `window_s` against a deterministic victim
+    /// in `0..replicas`. With `spec.repeat_stalls` set, the stall events
+    /// instead form a repeating/intermittent schedule — evenly spaced
+    /// jittered offsets across the replay window (see
+    /// [`FaultScheduleSampler::repeating_offsets_s`]) all striking the
+    /// same victim, the flapping slow node a single mid-replay stall
+    /// cannot model.
     pub fn seeded(spec: FaultSpec, replicas: usize, window_s: f64) -> Self {
         let mut sampler = FaultScheduleSampler::new(spec.seed);
         let mut events = Vec::with_capacity(spec.count());
+        let stall = FaultKind::Stall {
+            millis: spec.stall_ms.max(1),
+        };
+        if spec.repeat_stalls && spec.stalls > 0 {
+            let victim = sampler.replica(replicas);
+            for at_s in sampler.repeating_offsets_s(spec.stalls, window_s) {
+                events.push(FaultEvent {
+                    replica: victim,
+                    at_s,
+                    kind: stall,
+                });
+            }
+        }
         let kinds = [
             (spec.crashes, FaultKind::Crash),
+            (if spec.repeat_stalls { 0 } else { spec.stalls }, stall),
+            (spec.transients, FaultKind::Transient),
             (
-                spec.stalls,
-                FaultKind::Stall {
-                    millis: spec.stall_ms.max(1),
+                spec.degraded,
+                FaultKind::Degraded {
+                    factor: spec.degrade_factor.max(2),
                 },
             ),
-            (spec.transients, FaultKind::Transient),
         ];
         for (count, kind) in kinds {
             for _ in 0..count {
@@ -111,12 +142,15 @@ impl FaultPlan {
 
     /// Parses the `CENTAUR_SERVE_FAULT_PLAN` format: comma-separated
     /// events, each `kind:replica:at_ms` with kind one of
-    /// `crash`/`transient`, or `stall:replica:at_ms:stall_ms`. Examples:
-    /// `crash:0:50`, `crash:0:50,stall:1:120:5,transient:0:200`.
+    /// `crash`/`transient`, `stall:replica:at_ms:stall_ms`, or
+    /// `degraded:replica:at_ms:factor` (persistent `factor`× slowdown,
+    /// factor ≥ 2). Examples: `crash:0:50`,
+    /// `crash:0:50,stall:1:120:5,degraded:1:80:4,transient:0:200`.
     ///
     /// Returns `None` for anything malformed (unknown kind, missing or
-    /// non-numeric fields, negative times, zero-length stalls) so callers
-    /// can distinguish "unset" from "misspelled".
+    /// non-numeric fields, negative times, zero-length stalls, degrade
+    /// factors below 2) so callers can distinguish "unset" from
+    /// "misspelled".
     pub fn parse(value: &str) -> Option<FaultPlan> {
         let mut events = Vec::new();
         for part in value.split(',') {
@@ -133,6 +167,9 @@ impl FaultPlan {
                 ("transient", 3) => FaultKind::Transient,
                 ("stall", 4) => FaultKind::Stall {
                     millis: fields[3].parse::<u64>().ok().filter(|&ms| ms > 0)?,
+                },
+                ("degraded", 4) => FaultKind::Degraded {
+                    factor: fields[3].parse::<u32>().ok().filter(|&f| f >= 2)?,
                 },
                 _ => return None,
             };
@@ -174,11 +211,12 @@ impl FaultPlan {
                 .map(|e| (e.at_s, e.kind))
                 .collect(),
             next: 0,
+            degrade_factor: 1,
         }
     }
 
     /// Compact label for bench cells: `none`, or kind counts like `c1`,
-    /// `c1s1t2` (crashes, stalls, transients).
+    /// `c1s1t2`, `d1` (crashes, stalls, transients, degraded).
     pub fn label(&self) -> String {
         if self.events.is_empty() {
             return "none".to_string();
@@ -186,15 +224,22 @@ impl FaultPlan {
         let mut crashes = 0usize;
         let mut stalls = 0usize;
         let mut transients = 0usize;
+        let mut degraded = 0usize;
         for event in &self.events {
             match event.kind {
                 FaultKind::Crash => crashes += 1,
                 FaultKind::Stall { .. } => stalls += 1,
                 FaultKind::Transient => transients += 1,
+                FaultKind::Degraded { .. } => degraded += 1,
             }
         }
         let mut label = String::new();
-        for (count, tag) in [(crashes, 'c'), (stalls, 's'), (transients, 't')] {
+        for (count, tag) in [
+            (crashes, 'c'),
+            (stalls, 's'),
+            (transients, 't'),
+            (degraded, 'd'),
+        ] {
             if count > 0 {
                 label.push(tag);
                 label.push_str(&count.to_string());
@@ -217,8 +262,17 @@ pub struct FaultSpec {
     pub stalls: usize,
     /// Number of transient-error events.
     pub transients: usize,
+    /// Number of persistent-slowdown ([`FaultKind::Degraded`]) events.
+    pub degraded: usize,
     /// Stall length in milliseconds (applies to every stall event).
     pub stall_ms: u64,
+    /// Service-time multiplier for degraded events (clamped to ≥ 2 when
+    /// the plan materializes).
+    pub degrade_factor: u32,
+    /// Schedule the stall events as a repeating/intermittent series —
+    /// evenly spaced jittered offsets all striking one victim — instead of
+    /// independent one-off events.
+    pub repeat_stalls: bool,
 }
 
 impl FaultSpec {
@@ -229,7 +283,10 @@ impl FaultSpec {
             crashes: 0,
             stalls: 0,
             transients: 0,
+            degraded: 0,
             stall_ms: 5,
+            degrade_factor: 4,
+            repeat_stalls: false,
         }
     }
 
@@ -256,6 +313,25 @@ impl FaultSpec {
     /// Sets the stall length in milliseconds.
     pub fn with_stall_ms(mut self, millis: u64) -> Self {
         self.stall_ms = millis;
+        self
+    }
+
+    /// Adds persistent-slowdown events ([`FaultKind::Degraded`]).
+    pub fn with_degraded(mut self, count: usize) -> Self {
+        self.degraded = count;
+        self
+    }
+
+    /// Sets the degraded service-time multiplier.
+    pub fn with_degrade_factor(mut self, factor: u32) -> Self {
+        self.degrade_factor = factor;
+        self
+    }
+
+    /// Schedules the stall events as a repeating/intermittent series on
+    /// one victim (see [`FaultPlan::seeded`]).
+    pub fn with_repeating_stalls(mut self) -> Self {
+        self.repeat_stalls = true;
         self
     }
 
@@ -286,13 +362,16 @@ impl FaultSpec {
             crashes: self.crashes + other.crashes,
             stalls: self.stalls + other.stalls,
             transients: self.transients + other.transients,
+            degraded: self.degraded + other.degraded,
             stall_ms: self.stall_ms.max(other.stall_ms),
+            degrade_factor: self.degrade_factor.max(other.degrade_factor),
+            repeat_stalls: self.repeat_stalls || other.repeat_stalls,
         }
     }
 
     /// Total scheduled events.
     pub fn count(&self) -> usize {
-        self.crashes + self.stalls + self.transients
+        self.crashes + self.stalls + self.transients + self.degraded
     }
 }
 
@@ -304,6 +383,9 @@ impl FaultSpec {
 pub struct FaultGuard {
     events: Vec<(f64, FaultKind)>,
     next: usize,
+    /// Persistent service-time multiplier once a [`FaultKind::Degraded`]
+    /// event has fired; `1` while the replica runs at full speed.
+    degrade_factor: u32,
 }
 
 impl FaultGuard {
@@ -313,6 +395,23 @@ impl FaultGuard {
         FaultGuard {
             events: Vec::new(),
             next: 0,
+            degrade_factor: 1,
+        }
+    }
+
+    /// The active persistent slowdown multiplier (`1` = none).
+    pub fn degrade_factor(&self) -> u32 {
+        self.degrade_factor
+    }
+
+    /// Stretches one served batch by the active slowdown: after a
+    /// [`FaultKind::Degraded`] event fires, a batch whose true service
+    /// took `service` sleeps the remaining `(factor − 1) × service` here,
+    /// so the replica's *observed* service time is `factor ×` its real
+    /// one from the event onwards. A no-op at full speed.
+    pub fn apply_degradation(&self, service: Duration) {
+        if self.degrade_factor > 1 {
+            std::thread::sleep(service * (self.degrade_factor - 1));
         }
     }
 
@@ -359,6 +458,10 @@ impl FaultGuard {
             Some(FaultKind::Transient) => Err(CentaurError::NotInitialised(
                 "injected transient datapath fault",
             )),
+            Some(FaultKind::Degraded { factor }) => {
+                self.degrade_factor = factor.max(1);
+                Ok(())
+            }
         }
     }
 }
@@ -543,6 +646,94 @@ mod tests {
         assert!(
             guard.intercept(0, 1.0).is_ok(),
             "exhausted guard is a no-op"
+        );
+    }
+
+    #[test]
+    fn parse_accepts_degraded_events_with_a_meaningful_factor() {
+        let plan = FaultPlan::parse("degraded:1:80:4").unwrap();
+        assert_eq!(plan.label(), "d1");
+        assert_eq!(
+            plan.events()[0],
+            FaultEvent {
+                replica: 1,
+                at_s: 0.08,
+                kind: FaultKind::Degraded { factor: 4 },
+            }
+        );
+        assert!(FaultPlan::parse("degraded:0:10:2").is_some());
+        for bad in [
+            "degraded:0:10",   // factor required
+            "degraded:0:10:1", // a 1x slowdown is not degraded
+            "degraded:0:10:0",
+            "degraded:0:10:x",
+        ] {
+            assert!(FaultPlan::parse(bad).is_none(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn seeded_degraded_and_repeating_stall_schedules_are_deterministic() {
+        let spec = FaultSpec::none()
+            .with_degraded(1)
+            .with_degrade_factor(4)
+            .with_seed(5);
+        let plan = FaultPlan::seeded(spec, 2, 1.0);
+        assert_eq!(plan.label(), "d1");
+        assert_eq!(plan.events()[0].kind, FaultKind::Degraded { factor: 4 });
+        assert_eq!(
+            plan,
+            FaultPlan::seeded(spec, 2, 1.0),
+            "same seed, same plan"
+        );
+
+        let repeating = FaultSpec::none()
+            .with_stalls(4)
+            .with_stall_ms(10)
+            .with_repeating_stalls()
+            .with_seed(9);
+        let plan = FaultPlan::seeded(repeating, 3, 2.0);
+        assert_eq!(plan.label(), "s4");
+        let victim = plan.events()[0].replica;
+        assert!(
+            plan.events().iter().all(|e| e.replica == victim),
+            "a repeating stall schedule afflicts one victim"
+        );
+        assert!(
+            plan.events().windows(2).all(|p| p[0].at_s <= p[1].at_s),
+            "repeating offsets are time-ordered"
+        );
+        assert!(plan
+            .events()
+            .iter()
+            .all(|e| e.kind == FaultKind::Stall { millis: 10 }));
+    }
+
+    #[test]
+    fn degraded_event_persistently_stretches_service() {
+        let plan = FaultPlan::new(vec![FaultEvent {
+            replica: 0,
+            at_s: 0.0,
+            kind: FaultKind::Degraded { factor: 3 },
+        }]);
+        let mut guard = plan.guard_for(0);
+        assert_eq!(guard.degrade_factor(), 1, "full speed before the event");
+        let t0 = std::time::Instant::now();
+        guard.apply_degradation(Duration::from_millis(50));
+        assert!(
+            t0.elapsed() < Duration::from_millis(20),
+            "no slowdown applied before the event fires"
+        );
+        assert!(
+            guard.intercept(0, 0.5).is_ok(),
+            "degradation is not a fault"
+        );
+        assert_eq!(guard.degrade_factor(), 3);
+        let t1 = std::time::Instant::now();
+        guard.apply_degradation(Duration::from_millis(5));
+        assert!(
+            t1.elapsed() >= Duration::from_millis(10),
+            "a 3x factor sleeps 2x the true service on top of it"
         );
     }
 

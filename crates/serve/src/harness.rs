@@ -8,7 +8,9 @@ use crate::policy::BatchPolicy;
 use crate::queue::{AdmissionConfig, ArrivalQueue, DequeueOrder, QueuedRequest};
 use crate::server::{BatchServer, SoloServer};
 use crate::stage::ReplicaStage;
-use crate::supervisor::{supervise_replica, Supervision, SupervisorShared};
+use crate::supervisor::{
+    supervise_replica, watchdog_monitor, HealthBoard, InFlightSlot, Supervision, SupervisorShared,
+};
 use centaur::{CentaurConfig, CentaurError, CentaurRuntime};
 use centaur_dlrm::config::ModelConfig;
 use centaur_dlrm::{DlrmModel, InferenceRequest, InferenceResponse, RejectReason, RejectedRequest};
@@ -50,6 +52,82 @@ impl Completion {
     }
 }
 
+/// The tail-tolerance layer's tuning: how stale an in-flight batch must be
+/// before the watchdog hedges it to a sibling, and how the straggler's
+/// health strikes convert into quarantine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgeConfig {
+    /// Age past which a published batch is overdue: the watchdog strikes
+    /// the replica's health and re-dispatches the riders to a sibling.
+    pub timeout: Duration,
+    /// Health strikes (overdue batches, transients, over-timeout services)
+    /// before the replica is quarantined.
+    pub quarantine_strikes: u32,
+    /// First quarantine duration; doubled on each repeat offence.
+    pub quarantine_backoff: Duration,
+}
+
+impl HedgeConfig {
+    /// Shortest derived hedge timeout — below this the watchdog would hedge
+    /// healthy dispatch jitter.
+    pub const MIN_TIMEOUT: Duration = Duration::from_micros(500);
+
+    /// Derived hedge timeout when neither an SLO nor a service estimate is
+    /// available to anchor one.
+    pub const FALLBACK_TIMEOUT: Duration = Duration::from_millis(5);
+
+    /// A hedge config with an explicit timeout and the built-in quarantine
+    /// defaults (see [`crate::env::DEFAULT_SERVE_QUARANTINE_STRIKES`]).
+    pub fn new(timeout: Duration) -> Self {
+        HedgeConfig {
+            timeout,
+            quarantine_strikes: crate::env::DEFAULT_SERVE_QUARANTINE_STRIKES,
+            quarantine_backoff: Duration::from_secs_f64(
+                crate::env::DEFAULT_SERVE_QUARANTINE_BACKOFF_MS / 1e3,
+            ),
+        }
+    }
+
+    /// The same config with explicit quarantine tuning.
+    pub fn with_quarantine(mut self, strikes: u32, backoff: Duration) -> Self {
+        self.quarantine_strikes = strikes;
+        self.quarantine_backoff = backoff;
+        self
+    }
+
+    /// The deployment-default config: the timeout comes from
+    /// `CENTAUR_SERVE_HEDGE_MS` when set, else is derived from the tenant
+    /// SLO and the policy's calibrated service estimate — twice the
+    /// estimate (a healthy batch at double its expected service is a
+    /// straggler) capped at half the SLO (hedging later leaves the sibling
+    /// no budget to answer in), floored at [`Self::MIN_TIMEOUT`], falling
+    /// back to [`Self::FALLBACK_TIMEOUT`] when neither anchor exists.
+    /// Quarantine tuning comes from the `CENTAUR_SERVE_QUARANTINE_*` knobs.
+    pub fn derived(slo: Option<Duration>, policy: BatchPolicy) -> Self {
+        let timeout = match crate::env::serve_hedge_ms() {
+            Some(ms) => Duration::from_secs_f64(ms / 1e3),
+            None => {
+                let from_estimate = policy.dispatch_slack().map(|estimate| estimate * 2);
+                let from_slo = slo.map(|slo| slo / 2);
+                match (from_estimate, from_slo) {
+                    (Some(estimate), Some(slo)) => estimate.min(slo),
+                    (Some(estimate), None) => estimate,
+                    (None, Some(slo)) => slo,
+                    (None, None) => Self::FALLBACK_TIMEOUT,
+                }
+                .max(Self::MIN_TIMEOUT)
+            }
+        };
+        HedgeConfig {
+            timeout,
+            quarantine_strikes: crate::env::serve_quarantine_strikes(),
+            quarantine_backoff: Duration::from_secs_f64(
+                crate::env::serve_quarantine_backoff_ms() / 1e3,
+            ),
+        }
+    }
+}
+
 /// Per-run serving options: the latency SLO requests carry and the
 /// overload-protection gates. The default is the pre-SLO behaviour — no
 /// deadline, unbounded queue, nothing shed.
@@ -72,6 +150,14 @@ pub struct ServeOptions {
     /// Dequeue order for the backlog: FIFO (default) or
     /// earliest-deadline-first.
     pub order: DequeueOrder,
+    /// Tail tolerance under supervision: `Some` arms the stall watchdog —
+    /// overdue batches are hedged to a healthy sibling (first result wins,
+    /// the straggler's duplicate is suppressed) and persistently slow
+    /// replicas are quarantined with exponential-backoff re-admission.
+    /// `None` (the default) leaves stalls visible in the tail, the PR 7
+    /// behaviour. Ignored on the unsupervised path, which gets a fail-stop
+    /// stall abort instead (see [`serve_replay_with`]).
+    pub hedge: Option<HedgeConfig>,
 }
 
 impl ServeOptions {
@@ -105,6 +191,14 @@ impl ServeOptions {
     /// The same options under a different dequeue order.
     pub fn with_order(mut self, order: DequeueOrder) -> Self {
         self.order = order;
+        self
+    }
+
+    /// The same options with the stall watchdog armed (supervised runs
+    /// only): overdue batches hedge to a sibling and slow replicas are
+    /// quarantined per `hedge`.
+    pub fn hedged(mut self, hedge: HedgeConfig) -> Self {
+        self.hedge = Some(hedge);
         self
     }
 
@@ -147,6 +241,18 @@ pub struct ServeOutcome {
     pub restarts: usize,
     /// Replicas that died beyond the restart budget and stayed dead.
     pub replicas_lost: usize,
+    /// Overdue batches' riders hedged to a sibling replica.
+    pub hedges: usize,
+    /// Hedged requests whose *clone* answered first — rescues the watchdog
+    /// actually delivered.
+    pub hedge_wins: usize,
+    /// Duplicate results discarded by first-result-wins suppression (the
+    /// losing copy of each hedge race).
+    pub duplicates_suppressed: usize,
+    /// Replica quarantine entries the health board performed.
+    pub quarantines: usize,
+    /// Quarantined replicas re-admitted after their backoff probe.
+    pub readmissions: usize,
     /// Per-request refusals for everything shed or failed (wire-level, in
     /// shed order).
     pub rejections: Vec<RejectedRequest>,
@@ -403,7 +509,7 @@ pub fn serve_replay_faulted(
             stream,
             policy,
             &queue,
-            slo_s,
+            options,
             &abort,
             plan,
             supervision,
@@ -413,6 +519,9 @@ pub fn serve_replay_faulted(
     outcome.retries = queue.retries();
     outcome.shed_admission = queue.shed_admission();
     outcome.shed_expired = queue.shed_expired();
+    outcome.hedges = queue.hedges();
+    outcome.hedge_wins = queue.hedge_wins();
+    outcome.duplicates_suppressed = queue.duplicates_suppressed();
     outcome.rejections = queue
         .take_shed()
         .into_iter()
@@ -461,6 +570,7 @@ pub(crate) fn replay_arrivals(
             arrival_s,
             deadline_s: arrival_s + slo_s,
             retries: 0,
+            hedged: false,
         };
         if !queue.push(queued) && queue.is_closed() {
             // A worker failed and closed the queue mid-run.
@@ -473,7 +583,11 @@ pub(crate) fn replay_arrivals(
 }
 
 /// The fail-stop serving path (pre-supervision contract): one guarded
-/// worker per replica; any panic or datapath error aborts the run.
+/// worker per replica; any panic or datapath error aborts the run. With a
+/// finite SLO, a stall monitor watches every worker's in-flight slot and
+/// aborts the replay once any batch has been held past twice the SLO — the
+/// fail-stop answer to a stalled replica (a diagnostic naming the replica,
+/// not a hang until generator close).
 #[allow(clippy::too_many_arguments)]
 fn serve_unsupervised(
     mut replicas: Vec<CentaurRuntime>,
@@ -486,11 +600,18 @@ fn serve_unsupervised(
     plan: &FaultPlan,
 ) -> Result<ServeOutcome, CentaurError> {
     let mut worker_results: Vec<WorkerResult> = Vec::new();
+    let pool_size = replicas.len();
+    let slots: Vec<InFlightSlot> = (0..pool_size)
+        .map(|_| InFlightSlot::new(policy.max_batch()))
+        .collect();
+    let stalled: Mutex<Option<(usize, u64)>> = Mutex::new(None);
     // Align the deadline clock with the replay start (setup between queue
     // construction and here must not eat into the schedule).
     queue.restart_clock();
     std::thread::scope(|scope| {
         let start = queue.start();
+        let slots = &slots;
+        let stalled = &stalled;
         let handles: Vec<_> = replicas
             .drain(..)
             .enumerate()
@@ -499,11 +620,17 @@ fn serve_unsupervised(
                 let guard = plan.guard_for(index);
                 scope.spawn(move || {
                     guard_worker(queue, abort, move || {
-                        worker_loop(queue, server, policy, start, guard, index)
+                        worker_loop(queue, server, policy, start, guard, &slots[index], index)
                     })
                 })
             })
             .collect();
+        if slo_s.is_finite() {
+            let deadline_s = (slo_s * 2.0).max(STALL_ABORT_FLOOR_S);
+            scope.spawn(move || {
+                stall_abort_monitor(queue, slots, deadline_s, start, abort, stalled);
+            });
+        }
 
         let generators = AtomicUsize::new(1);
         replay_arrivals(queue, stream, slo_s, abort, start, 0, &generators);
@@ -525,6 +652,11 @@ fn serve_unsupervised(
         retries: 0,
         restarts: 0,
         replicas_lost: 0,
+        hedges: 0,
+        hedge_wins: 0,
+        duplicates_suppressed: 0,
+        quarantines: 0,
+        readmissions: 0,
         rejections: Vec::new(),
     };
     let mut failure: Option<CentaurError> = None;
@@ -539,16 +671,66 @@ fn serve_unsupervised(
             Ok(Err(error)) => failure = failure.or(Some(error)),
         }
     }
+    // A stall abort outranks the secondary errors it caused downstream
+    // (workers unwound by the abort-close), but never a real panic above.
+    if let Some((replica, held_ms)) = *stalled.lock().expect("stall diagnostic poisoned") {
+        return Err(CentaurError::ReplicaStalled { replica, held_ms });
+    }
     if let Some(error) = failure {
         return Err(error);
     }
     Ok(outcome)
 }
 
+/// Floor for the fail-stop stall-abort deadline. A saturated host can
+/// deschedule a worker for tens of milliseconds mid-batch (observed ~40 ms
+/// in the overload sweep at 2× capacity), which is indistinguishable from a
+/// short stall by hold time alone — so a tight-SLO replay only aborts when
+/// the hold dwarfs any plausible preemption, not at a bare `2 × SLO`.
+const STALL_ABORT_FLOOR_S: f64 = 0.25;
+
+/// The fail-stop stall watchdog: polls every worker's in-flight slot and,
+/// when any published batch has been held past `deadline_s` (twice the
+/// SLO, floored at [`STALL_ABORT_FLOOR_S`]), records the straggler's
+/// identity and abort-closes the queue so the generator and the healthy
+/// siblings stop promptly. The stalled worker itself is left to wake and
+/// observe the abort — the replay is over either way.
+fn stall_abort_monitor(
+    queue: &ArrivalQueue,
+    slots: &[InFlightSlot],
+    deadline_s: f64,
+    start: Instant,
+    abort: &AtomicBool,
+    stalled: &Mutex<Option<(usize, u64)>>,
+) {
+    let tick = Duration::from_secs_f64((deadline_s / 4.0).clamp(100e-6, 50e-3));
+    while !queue.is_aborted() && !queue.is_finished() {
+        std::thread::sleep(tick);
+        let now_s = start.elapsed().as_secs_f64();
+        for (replica, slot) in slots.iter().enumerate() {
+            let Some((dispatched_s, _)) = slot.probe() else {
+                continue;
+            };
+            let held_s = now_s - dispatched_s;
+            if held_s <= deadline_s {
+                continue;
+            }
+            *stalled.lock().expect("stall diagnostic poisoned") =
+                Some((replica, (held_s * 1e3) as u64));
+            abort.store(true, Ordering::Relaxed);
+            queue.close_abort();
+            return;
+        }
+    }
+}
+
 /// The supervised serving path: one supervisor per replica recovers crashed
 /// workers' in-flight batches, restarts replicas against the pool-wide
-/// budget, and lets survivors absorb the load. Panics only on the
-/// unrecoverable path, re-raising the first crash's preserved payload.
+/// budget, and lets survivors absorb the load. With
+/// [`ServeOptions::hedge`] set, a watchdog monitor additionally hedges
+/// overdue batches to healthy siblings and quarantines persistent
+/// stragglers. Panics only on the unrecoverable path, re-raising the first
+/// crash's preserved payload.
 #[allow(clippy::too_many_arguments)]
 fn serve_supervised<'a>(
     mut replicas: Vec<CentaurRuntime>,
@@ -556,13 +738,29 @@ fn serve_supervised<'a>(
     stream: &QueryStream,
     policy: BatchPolicy,
     queue: &ArrivalQueue,
-    slo_s: f64,
+    options: ServeOptions,
     abort: &AtomicBool,
     plan: &FaultPlan,
     supervision: Supervision,
 ) -> ServeOutcome {
+    let slo_s = options.slo_s();
     let pool_size = replicas.len();
     let shared = SupervisorShared::new(pool_size, requests.len());
+    let slots: Vec<InFlightSlot> = (0..pool_size)
+        .map(|_| InFlightSlot::new(policy.max_batch()))
+        .collect();
+    // Without hedging the board is disabled — it never strikes, never
+    // quarantines — so the hedge-free paths stay byte-for-byte the PR 7
+    // behaviour.
+    let health = match options.hedge {
+        Some(hedge) => HealthBoard::new(
+            pool_size,
+            hedge.timeout.as_secs_f64(),
+            hedge.quarantine_strikes,
+            hedge.quarantine_backoff,
+        ),
+        None => HealthBoard::disabled(pool_size),
+    };
     // Restarts boot from a fresh shard clone, never from state a panic
     // unwound through.
     let template = Mutex::new(replicas[0].clone());
@@ -585,6 +783,8 @@ fn serve_supervised<'a>(
     std::thread::scope(|scope| {
         let start = queue.start();
         let shared = &shared;
+        let slots = &slots;
+        let health = &health;
         let respawn: &(dyn Fn() -> SoloServer<'a> + Sync) = &respawn;
         for (index, runtime) in replicas.drain(..).enumerate() {
             let guard = plan.guard_for(index);
@@ -598,9 +798,24 @@ fn serve_supervised<'a>(
                     start,
                     supervision,
                     guard,
+                    &slots[index],
+                    health,
                     shared,
                     abort,
                     index,
+                );
+            });
+        }
+        if let Some(hedge) = options.hedge {
+            scope.spawn(move || {
+                watchdog_monitor(
+                    queue,
+                    slots,
+                    health,
+                    true,
+                    hedge.timeout.as_secs_f64(),
+                    max_batch,
+                    start,
                 );
             });
         }
@@ -630,6 +845,11 @@ fn serve_supervised<'a>(
         retries: 0,
         restarts: shared.restarts.load(Ordering::Relaxed),
         replicas_lost: pool_size - live,
+        hedges: 0,
+        hedge_wins: 0,
+        duplicates_suppressed: 0,
+        quarantines: health.quarantines(),
+        readmissions: health.readmissions(),
         rejections: Vec::new(),
     }
 }
@@ -653,17 +873,20 @@ where
     result
 }
 
-/// One replica's serving loop: pop a coalesced batch, serve it through the
+/// One replica's serving loop: pop a coalesced batch, publish it in-flight
+/// (dispatch-stamped so the stall monitor can see it), serve it through the
 /// replica's [`BatchServer`] backend, record completions. Runs until the
 /// queue is closed and drained. The fault guard injects this replica's
 /// scheduled faults with fail-stop consequences: a crash event's panic and
-/// a transient event's error both abort the run (the unprotected baseline).
+/// a transient event's error both abort the run (the unprotected baseline),
+/// and a degraded event persistently stretches every later batch's service.
 pub(crate) fn worker_loop<S: BatchServer>(
     queue: &ArrivalQueue,
     mut server: S,
     policy: BatchPolicy,
     start: Instant,
     mut guard: FaultGuard,
+    inflight: &InFlightSlot,
     replica: usize,
 ) -> Result<(Vec<Completion>, usize), CentaurError> {
     let mut completions = Vec::new();
@@ -674,8 +897,13 @@ pub(crate) fn worker_loop<S: BatchServer>(
     let mut batch: Vec<QueuedRequest> = Vec::with_capacity(policy.max_batch());
     let mut probabilities: Vec<f32> = Vec::with_capacity(policy.max_batch());
     while queue.pop_batch(policy, &mut batch) {
-        guard.intercept(replica, start.elapsed().as_secs_f64())?;
+        let dispatched_s = start.elapsed().as_secs_f64();
+        inflight.publish(&batch, dispatched_s);
+        guard.intercept(replica, dispatched_s)?;
         server.serve_batch(&batch, &mut probabilities)?;
+        let served_s = start.elapsed().as_secs_f64();
+        guard.apply_degradation(Duration::from_secs_f64(served_s - dispatched_s));
+        inflight.clear();
         let completed_s = start.elapsed().as_secs_f64();
         batches += 1;
         for (queued, &probability) in batch.iter().zip(&probabilities) {
@@ -741,6 +969,16 @@ pub struct ServeReport {
     pub retries: usize,
     /// Replicas dead at the end of the run (beyond the restart budget).
     pub replicas_lost: usize,
+    /// Overdue batches' riders hedged to a sibling replica.
+    pub hedges: usize,
+    /// Hedged requests whose clone answered first.
+    pub hedge_wins: usize,
+    /// Duplicate results discarded by first-result-wins suppression.
+    pub duplicates_suppressed: usize,
+    /// Replica quarantine entries the health board performed.
+    pub quarantines: usize,
+    /// Quarantined replicas re-admitted after their backoff probe.
+    pub readmissions: usize,
     /// End-to-end latency digest.
     pub latency: LatencySummary,
 }
@@ -873,6 +1111,11 @@ pub fn run_serve_cell(
         restarts: outcome.restarts,
         retries: outcome.retries,
         replicas_lost: outcome.replicas_lost,
+        hedges: outcome.hedges,
+        hedge_wins: outcome.hedge_wins,
+        duplicates_suppressed: outcome.duplicates_suppressed,
+        quarantines: outcome.quarantines,
+        readmissions: outcome.readmissions,
         latency,
     })
 }
@@ -1232,6 +1475,113 @@ mod tests {
         assert_eq!(report.failed, 0, "default retry budget absorbs transients");
         assert_eq!(report.availability, 1.0);
         assert_eq!(report.replicas_lost, 0);
+    }
+
+    #[test]
+    fn derived_hedge_timeouts_follow_the_slo_and_service_estimate() {
+        // Env knobs are unset in the test suite, so derivation anchors on
+        // the arguments alone.
+        assert_eq!(
+            HedgeConfig::derived(None, BatchPolicy::Fifo).timeout,
+            HedgeConfig::FALLBACK_TIMEOUT,
+            "no anchors: the fallback"
+        );
+        assert_eq!(
+            HedgeConfig::derived(Some(Duration::from_millis(10)), BatchPolicy::Fifo).timeout,
+            Duration::from_millis(5),
+            "SLO only: half the SLO"
+        );
+        let deadline = BatchPolicy::deadline_wave(Duration::from_micros(400));
+        assert_eq!(
+            HedgeConfig::derived(Some(Duration::from_millis(10)), deadline).timeout,
+            Duration::from_micros(800),
+            "estimate and SLO: twice the estimate, under the SLO cap"
+        );
+        assert_eq!(
+            HedgeConfig::derived(Some(Duration::from_micros(100)), deadline).timeout,
+            HedgeConfig::MIN_TIMEOUT,
+            "the floor holds against a too-tight SLO"
+        );
+        let config = HedgeConfig::new(Duration::from_millis(2))
+            .with_quarantine(5, Duration::from_millis(40));
+        assert_eq!(config.quarantine_strikes, 5);
+        assert_eq!(config.quarantine_backoff, Duration::from_millis(40));
+    }
+
+    #[test]
+    fn hedged_run_rescues_a_stalled_batch_and_suppresses_the_duplicate() {
+        let model = small_model();
+        let config = model.config().clone();
+        let requests = generate_requests(&config, IndexDistribution::Uniform, 29, 256);
+        let stream = QueryStream::generate(ArrivalProcess::Poisson { rate_qps: 4_000.0 }, 256, 3);
+        let pool = CentaurRuntime::replica_pool(model, CentaurConfig::harpv2(), 2).unwrap();
+        // Replica 0 stalls 200 ms mid-replay with a batch in flight; the
+        // 2 ms watchdog hedges the riders to replica 1.
+        let plan = FaultPlan::parse("stall:0:30:200").unwrap();
+        let options = ServeOptions::default()
+            .supervised(Supervision::default())
+            .hedged(HedgeConfig::new(Duration::from_millis(2)));
+        let outcome = serve_replay_faulted(
+            pool,
+            &requests,
+            &stream,
+            BatchPolicy::dynamic_wave(),
+            options,
+            &plan,
+        )
+        .unwrap();
+        assert_eq!(
+            outcome.accounted(),
+            256,
+            "hedging must not double-count or lose a request"
+        );
+        assert_eq!(
+            outcome.completions.len(),
+            256,
+            "nothing shed, nothing failed"
+        );
+        assert!(outcome.hedges >= 1, "the stalled batch was hedged");
+        assert!(
+            outcome.hedge_wins >= 1,
+            "a healthy sibling answered first for at least one rider"
+        );
+        assert_eq!(
+            outcome.duplicates_suppressed, outcome.hedges,
+            "every hedge race resolves to exactly one kept result and one \
+             suppressed copy"
+        );
+        let mut ids: Vec<u64> = outcome.completions.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..256).collect::<Vec<u64>>(), "each served once");
+        assert_eq!(outcome.restarts, 0, "a stall is not a crash");
+    }
+
+    #[test]
+    fn unsupervised_stall_aborts_with_a_diagnostic_naming_the_replica() {
+        let model = small_model();
+        let config = model.config().clone();
+        let requests = generate_requests(&config, IndexDistribution::Uniform, 31, 400);
+        // A 20 s schedule; the stall must abort the replay long before it
+        // plays out.
+        let stream = QueryStream::generate(ArrivalProcess::Uniform { rate_qps: 20.0 }, 400, 4);
+        let pool = CentaurRuntime::replica_pool(model, CentaurConfig::harpv2(), 2).unwrap();
+        let plan = FaultPlan::parse("stall:1:20:300").unwrap();
+        let options = ServeOptions::with_slo(Duration::from_millis(10));
+        let started = Instant::now();
+        let result =
+            serve_replay_faulted(pool, &requests, &stream, BatchPolicy::Fifo, options, &plan);
+        let elapsed = started.elapsed();
+        match result {
+            Err(CentaurError::ReplicaStalled { replica, held_ms }) => {
+                assert_eq!(replica, 1, "the diagnostic names the straggler");
+                assert!(held_ms >= 20, "held past twice the 10 ms SLO: {held_ms} ms");
+            }
+            other => panic!("expected a stall abort, got {other:?}"),
+        }
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "stall abort surfaced in {elapsed:?}, not after the 20 s schedule"
+        );
     }
 
     #[test]

@@ -70,22 +70,26 @@ pub mod stage;
 pub mod supervisor;
 
 pub use env::{
-    parse_serve_fault_plan, parse_serve_mix, parse_serve_mix_slo_ms, parse_serve_queue_depth,
+    parse_serve_fault_plan, parse_serve_hedge_ms, parse_serve_mix, parse_serve_mix_slo_ms,
+    parse_serve_quarantine_backoff_ms, parse_serve_quarantine_strikes, parse_serve_queue_depth,
     parse_serve_restart_budget, parse_serve_retry_limit, parse_serve_slo_ms, serve_fault_plan,
-    serve_mix, serve_mix_slo_ms, serve_queue_depth, serve_restart_budget, serve_retry_limit,
-    serve_slo_ms, DEFAULT_SERVE_RESTART_BUDGET, DEFAULT_SERVE_RETRY_LIMIT, DEFAULT_SERVE_SLO_MS,
-    SERVE_FAULT_PLAN_VALUES, SERVE_MIX_SLO_MS_VALUES, SERVE_MIX_VALUES, SERVE_QUEUE_DEPTH_VALUES,
+    serve_hedge_ms, serve_mix, serve_mix_slo_ms, serve_quarantine_backoff_ms,
+    serve_quarantine_strikes, serve_queue_depth, serve_restart_budget, serve_retry_limit,
+    serve_slo_ms, DEFAULT_SERVE_QUARANTINE_BACKOFF_MS, DEFAULT_SERVE_QUARANTINE_STRIKES,
+    DEFAULT_SERVE_RESTART_BUDGET, DEFAULT_SERVE_RETRY_LIMIT, DEFAULT_SERVE_SLO_MS,
+    SERVE_FAULT_PLAN_VALUES, SERVE_HEDGE_MS_VALUES, SERVE_MIX_SLO_MS_VALUES, SERVE_MIX_VALUES,
+    SERVE_QUARANTINE_BACKOFF_MS_VALUES, SERVE_QUARANTINE_STRIKES_VALUES, SERVE_QUEUE_DEPTH_VALUES,
     SERVE_RESTART_BUDGET_VALUES, SERVE_RETRY_LIMIT_VALUES, SERVE_SLO_MS_VALUES,
 };
 pub use fault::{FaultEvent, FaultGuard, FaultKind, FaultPlan, FaultSpec};
 pub use harness::{
     calibrate_fifo_capacity_qps, generate_requests, run_serve_cell, serve_replay,
-    serve_replay_faulted, serve_replay_with, Completion, ServeCell, ServeOptions, ServeOutcome,
-    ServeReport,
+    serve_replay_faulted, serve_replay_with, Completion, HedgeConfig, ServeCell, ServeOptions,
+    ServeOutcome, ServeReport,
 };
 pub use mix::{run_mix_cell, MixServer, PoolMode, TenantSpec};
 pub use policy::{relative_sample_cost, scaled_service_estimate, BatchPolicy};
 pub use queue::{AdmissionConfig, ArrivalQueue, DequeueOrder, QueuedRequest};
 pub use server::{BatchServer, SoloServer};
 pub use stage::ReplicaStage;
-pub use supervisor::{requeue_or_fail, InFlightSlot, Supervision};
+pub use supervisor::{requeue_or_fail, HealthBoard, InFlightSlot, ReplicaHealth, Supervision};

@@ -43,7 +43,9 @@ use crate::policy::BatchPolicy;
 use crate::queue::{ArrivalQueue, DequeueOrder, QueuedRequest};
 use crate::server::BatchServer;
 use crate::stage::ReplicaStage;
-use crate::supervisor::{supervise_replica, Supervision, SupervisorShared};
+use crate::supervisor::{
+    supervise_replica, HealthBoard, InFlightSlot, Supervision, SupervisorShared,
+};
 use centaur::{CentaurConfig, CentaurError, CentaurRuntime};
 use centaur_dlrm::{DlrmModel, InferenceRequest, RejectReason, RejectedRequest};
 use centaur_workload::{IndexDistribution, ModelMix, QueryStream, TenantTraffic};
@@ -379,6 +381,7 @@ fn run_tenant_pool(
         shed_expired: true,
         supervision: tenant.supervision,
         order: DequeueOrder::Edf,
+        hedge: None,
     };
     let outcome = crate::harness::serve_replay_faulted(
         pool,
@@ -459,6 +462,7 @@ fn run_shared(
         shed_expired: true,
         supervision,
         order: DequeueOrder::Fifo,
+        hedge: None,
     };
     let plan = if faults.is_none() {
         FaultPlan::none()
@@ -596,12 +600,16 @@ fn shared_unsupervised(
 ) -> Result<ServeOutcome, CentaurError> {
     let mut worker_results: Vec<WorkerResult> = Vec::new();
     let generators = AtomicUsize::new(streams.len());
+    let slots: Vec<InFlightSlot> = (0..replica_engines.len())
+        .map(|_| InFlightSlot::new(policy.max_batch()))
+        .collect();
     // Align the deadline clock with the replay start (setup between queue
     // construction and here must not eat into the schedule).
     queue.restart_clock();
     std::thread::scope(|scope| {
         let start = queue.start();
         let generators = &generators;
+        let slots = &slots;
         let handles: Vec<_> = replica_engines
             .drain(..)
             .enumerate()
@@ -610,7 +618,7 @@ fn shared_unsupervised(
                 let guard = plan.guard_for(index);
                 scope.spawn(move || {
                     guard_worker(queue, abort, move || {
-                        worker_loop(queue, server, policy, start, guard, index)
+                        worker_loop(queue, server, policy, start, guard, &slots[index], index)
                     })
                 })
             })
@@ -662,6 +670,12 @@ fn shared_supervised<'a>(
 ) -> ServeOutcome {
     let pool_size = replica_engines.len();
     let shared = SupervisorShared::new(pool_size, merged.len());
+    let slots: Vec<InFlightSlot> = (0..pool_size)
+        .map(|_| InFlightSlot::new(policy.max_batch()))
+        .collect();
+    // The mix sweeps measure cross-tenant isolation, not tail tolerance: a
+    // disabled board keeps every replica permanently healthy.
+    let health = HealthBoard::disabled(pool_size);
     // Restarts boot from fresh shard clones, never from state a panic
     // unwound through.
     let template = Mutex::new(replica_engines[0].clone());
@@ -687,6 +701,8 @@ fn shared_supervised<'a>(
         let start = queue.start();
         let shared = &shared;
         let generators = &generators;
+        let slots = &slots;
+        let health = &health;
         let respawn: &(dyn Fn() -> MixServer<'a> + Sync) = &respawn;
         for (index, engines) in replica_engines.drain(..).enumerate() {
             let guard = plan.guard_for(index);
@@ -700,6 +716,8 @@ fn shared_supervised<'a>(
                     start,
                     supervision,
                     guard,
+                    &slots[index],
+                    health,
                     shared,
                     abort,
                     index,
@@ -744,6 +762,11 @@ fn empty_outcome(capacity: usize, slo_s: f64) -> ServeOutcome {
         retries: 0,
         restarts: 0,
         replicas_lost: 0,
+        hedges: 0,
+        hedge_wins: 0,
+        duplicates_suppressed: 0,
+        quarantines: 0,
+        readmissions: 0,
         rejections: Vec::new(),
     }
 }
@@ -838,6 +861,11 @@ fn tenant_report(
         restarts: outcome.restarts,
         retries: outcome.retries,
         replicas_lost: outcome.replicas_lost,
+        hedges: outcome.hedges,
+        hedge_wins: outcome.hedge_wins,
+        duplicates_suppressed: outcome.duplicates_suppressed,
+        quarantines: outcome.quarantines,
+        readmissions: outcome.readmissions,
         latency: outcome.latency_summary().unwrap_or_default(),
     }
 }

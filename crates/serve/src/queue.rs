@@ -41,6 +41,11 @@ pub struct QueuedRequest {
     /// [`ArrivalQueue::requeue`]. The original `arrival_s` stamp is kept
     /// across retries — the open-loop latency clock never resets.
     pub retries: u32,
+    /// Marks the hedge clone of a request: [`ArrivalQueue::hedge`]
+    /// re-enqueues a copy of an overdue in-flight request with this flag
+    /// set, so a first-result win can be attributed to the hedge rather
+    /// than the straggler. All other stamps match the original's.
+    pub hedged: bool,
 }
 
 impl QueuedRequest {
@@ -51,6 +56,7 @@ impl QueuedRequest {
             arrival_s,
             deadline_s: f64::INFINITY,
             retries: 0,
+            hedged: false,
         }
     }
 
@@ -61,6 +67,7 @@ impl QueuedRequest {
             arrival_s,
             deadline_s: arrival_s + slo_s,
             retries: 0,
+            hedged: false,
         }
     }
 
@@ -203,6 +210,30 @@ impl Backlog {
     }
 }
 
+/// Bookkeeping for one hedged request: how many copies (original + hedge
+/// clone) still exist anywhere — backlog or in flight — and whether the
+/// request's fate (completed, shed, or failed) has already been counted.
+/// A `copies == 0 && done` entry is a **pending-hedge marker**: the worker
+/// resolved the whole batch before the watchdog's [`ArrivalQueue::hedge`]
+/// call landed, and the marker makes that late call cancel instead of
+/// dispatching a duplicate of an already-answered request.
+#[derive(Debug, Clone, Copy)]
+struct HedgeEntry {
+    index: usize,
+    copies: usize,
+    done: bool,
+}
+
+/// How one copy of a (possibly hedged) request resolves when it reaches a
+/// terminal state.
+enum CopyFate {
+    /// This copy speaks for the request — count it.
+    Counted,
+    /// Another copy already decided the request's fate — suppress this one
+    /// and count nothing.
+    Suppressed,
+}
+
 #[derive(Debug)]
 struct QueueState {
     backlog: Backlog,
@@ -213,6 +244,10 @@ struct QueueState {
     shed_expired: usize,
     failed: usize,
     retries: usize,
+    hedged: usize,
+    hedge_wins: usize,
+    duplicates: usize,
+    hedge_entries: Vec<HedgeEntry>,
     shed_log: Vec<(QueuedRequest, RejectReason)>,
 }
 
@@ -221,6 +256,75 @@ impl QueueState {
     /// state (served, shed, or failed) — nothing queued, nothing in flight.
     fn drained(&self) -> bool {
         self.backlog.is_empty() && self.in_flight == 0
+    }
+
+    /// Whether `index` is hedged and its fate is already counted — every
+    /// remaining copy is a duplicate to suppress.
+    fn hedge_done(&self, index: usize) -> bool {
+        self.hedge_entries
+            .iter()
+            .any(|e| e.index == index && e.done)
+    }
+
+    /// Resolves one copy of a request reaching a terminal state. The first
+    /// *completion* always speaks for the request; a fail/shed only does
+    /// when it is the last copy standing (a live sibling may still answer).
+    /// `hedged` is the worker's in-flight-slot flag: when set and no entry
+    /// exists yet, the watchdog marked this dispatch overdue but its
+    /// `hedge()` has not landed — a pending-hedge marker is left so it
+    /// cancels.
+    fn resolve_copy(&mut self, index: usize, completion: bool, hedged: bool) -> CopyFate {
+        let Some(pos) = self.hedge_entries.iter().position(|e| e.index == index) else {
+            if hedged {
+                self.hedge_entries.push(HedgeEntry {
+                    index,
+                    copies: 0,
+                    done: true,
+                });
+            }
+            return CopyFate::Counted;
+        };
+        let entry = &mut self.hedge_entries[pos];
+        entry.copies -= 1;
+        let last = entry.copies == 0;
+        let fate = if !entry.done && (completion || last) {
+            entry.done = true;
+            CopyFate::Counted
+        } else {
+            CopyFate::Suppressed
+        };
+        if last {
+            self.hedge_entries.swap_remove(pos);
+        }
+        fate
+    }
+
+    /// Pops the next dispatchable request off the backlog: suppresses
+    /// backlog copies of already-answered hedged requests, sheds expired
+    /// requests when `shed` is set (hedge-aware — an expired copy with a
+    /// live sibling suppresses instead of counting a shed), and marks the
+    /// returned request in flight.
+    fn next_live(&mut self, shed: bool, now_s: f64) -> Option<QueuedRequest> {
+        while let Some(request) = self.backlog.pop_next() {
+            if self.hedge_done(request.index) {
+                let _ = self.resolve_copy(request.index, false, false);
+                self.duplicates += 1;
+                continue;
+            }
+            if shed && request.deadline_s < now_s {
+                match self.resolve_copy(request.index, false, false) {
+                    CopyFate::Counted => {
+                        self.shed_expired += 1;
+                        self.shed_log.push((request, RejectReason::DeadlineExpired));
+                    }
+                    CopyFate::Suppressed => self.duplicates += 1,
+                }
+                continue;
+            }
+            self.in_flight += 1;
+            return Some(request);
+        }
+        None
     }
 }
 
@@ -255,6 +359,10 @@ impl ArrivalQueue {
                 shed_expired: 0,
                 failed: 0,
                 retries: 0,
+                hedged: 0,
+                hedge_wins: 0,
+                duplicates: 0,
+                hedge_entries: Vec::new(),
                 shed_log: Vec::new(),
             }),
             nonempty: Condvar::new(),
@@ -335,11 +443,13 @@ impl ArrivalQueue {
 
     /// Marks `n` popped requests served. Every request a
     /// [`pop_batch`](Self::pop_batch) hands out is **in flight** until the
-    /// worker accounts for it — [`complete`](Self::complete),
+    /// worker accounts for it — [`complete`](Self::complete) /
+    /// [`complete_batch`](Self::complete_batch),
     /// [`requeue`](Self::requeue) or [`fail`](Self::fail) — and the queue
     /// does not report itself drained while anything is in flight, so a
     /// crashed worker's batch can be recovered and requeued even after
-    /// `close()`.
+    /// `close()`. Hedge-free paths only; hedged pools must resolve through
+    /// [`complete_batch`](Self::complete_batch).
     pub fn complete(&self, n: usize) {
         let mut state = self.state.lock().expect("queue poisoned");
         state.in_flight -= n;
@@ -350,12 +460,106 @@ impl ArrivalQueue {
         }
     }
 
+    /// Marks every request in `batch` served, resolving hedge copies
+    /// first-result-wins. `hedged` is the flag the worker took from its
+    /// in-flight slot when clearing it: `true` means the watchdog marked
+    /// this dispatch overdue, so a hedge clone either already raced (an
+    /// entry exists) or is about to be enqueued (no entry yet — a
+    /// pending-hedge marker is left so the late [`hedge`](Self::hedge)
+    /// call cancels instead of duplicating an answered request).
+    ///
+    /// `primary` (cleared first) gets one flag per batch entry: `true` when
+    /// the worker should record this completion, `false` when the result is
+    /// a suppressed duplicate — counted once in
+    /// [`duplicates_suppressed`](Self::duplicates_suppressed) — whose
+    /// answer must be discarded.
+    pub fn complete_batch(&self, batch: &[QueuedRequest], hedged: bool, primary: &mut Vec<bool>) {
+        primary.clear();
+        let mut state = self.state.lock().expect("queue poisoned");
+        for request in batch {
+            state.in_flight -= 1;
+            match state.resolve_copy(request.index, true, hedged) {
+                CopyFate::Counted => {
+                    if request.hedged {
+                        state.hedge_wins += 1;
+                    }
+                    primary.push(true);
+                }
+                CopyFate::Suppressed => {
+                    state.duplicates += 1;
+                    primary.push(false);
+                }
+            }
+        }
+        let wake = state.closed && state.drained();
+        drop(state);
+        if wake {
+            self.nonempty.notify_all();
+        }
+    }
+
+    /// Re-enqueues a **hedge clone** of an overdue in-flight request so a
+    /// healthy sibling replica races the straggler. The clone keeps the
+    /// original arrival/deadline stamps (the open-loop latency clock never
+    /// resets) and bypasses the admission gate like a requeue, succeeding
+    /// even after `close()`. First result wins: whichever copy finishes
+    /// first is counted once and every other copy is suppressed, so
+    /// `generated = completed + shed + failed` stays exact with hedges
+    /// counted separately.
+    ///
+    /// Returns `false` without enqueueing when the request is already
+    /// hedged (copies are bounded at two), when its fate was already
+    /// counted (the original finished between the watchdog's overdue check
+    /// and this call — the pending-hedge marker is cancelled here), or
+    /// when the queue aborted.
+    pub fn hedge(&self, request: QueuedRequest) -> bool {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.aborted {
+            return false;
+        }
+        if let Some(pos) = state
+            .hedge_entries
+            .iter()
+            .position(|e| e.index == request.index)
+        {
+            if state.hedge_entries[pos].done && state.hedge_entries[pos].copies == 0 {
+                state.hedge_entries.swap_remove(pos);
+            }
+            return false;
+        }
+        state.hedge_entries.push(HedgeEntry {
+            index: request.index,
+            copies: 2,
+            done: false,
+        });
+        state.hedged += 1;
+        let mut clone = request;
+        clone.hedged = true;
+        state.backlog.push(clone);
+        drop(state);
+        self.nonempty.notify_one();
+        true
+    }
+
     /// Returns one in-flight request to the queue for another serve attempt
     /// (bump its retry count with [`QueuedRequest::retry`] first). Requeues
     /// bypass the admission gate and succeed even after `close()` — the
-    /// request was already admitted once; recovery must not re-shed it.
+    /// request was already admitted once; recovery must not re-shed it. A
+    /// straggler copy of an already-answered hedged request is suppressed
+    /// instead of re-queued: re-serving it could only produce a duplicate.
     pub fn requeue(&self, request: QueuedRequest) {
         let mut state = self.state.lock().expect("queue poisoned");
+        if state.hedge_done(request.index) {
+            state.in_flight -= 1;
+            let _ = state.resolve_copy(request.index, false, false);
+            state.duplicates += 1;
+            let wake = state.closed && state.drained();
+            drop(state);
+            if wake {
+                self.nonempty.notify_all();
+            }
+            return;
+        }
         state.in_flight -= 1;
         state.retries += 1;
         state.backlog.push(request);
@@ -365,12 +569,20 @@ impl ArrivalQueue {
 
     /// Marks one in-flight request permanently failed (retry budget
     /// exhausted): counted, logged with [`RejectReason::Failed`], never
-    /// silent.
-    pub fn fail(&self, request: QueuedRequest) {
+    /// silent. `hedged` carries the worker's in-flight-slot flag exactly
+    /// as in [`complete_batch`](Self::complete_batch); a failed copy whose
+    /// hedge sibling is still live resolves as suppressed — the sibling
+    /// decides the request's fate.
+    pub fn fail(&self, request: QueuedRequest, hedged: bool) {
         let mut state = self.state.lock().expect("queue poisoned");
         state.in_flight -= 1;
-        state.failed += 1;
-        state.shed_log.push((request, RejectReason::Failed));
+        match state.resolve_copy(request.index, false, hedged) {
+            CopyFate::Counted => {
+                state.failed += 1;
+                state.shed_log.push((request, RejectReason::Failed));
+            }
+            CopyFate::Suppressed => state.duplicates += 1,
+        }
         let wake = state.closed && state.drained();
         drop(state);
         if wake {
@@ -406,6 +618,32 @@ impl ArrivalQueue {
     /// Total re-serve attempts ([`requeue`](Self::requeue) calls) so far.
     pub fn retries(&self) -> usize {
         self.state.lock().expect("queue poisoned").retries
+    }
+
+    /// Hedge clones dispatched ([`hedge`](Self::hedge) calls that enqueued
+    /// a copy) so far.
+    pub fn hedges(&self) -> usize {
+        self.state.lock().expect("queue poisoned").hedged
+    }
+
+    /// Hedged requests whose **clone** finished first (the hedge paid off)
+    /// so far.
+    pub fn hedge_wins(&self) -> usize {
+        self.state.lock().expect("queue poisoned").hedge_wins
+    }
+
+    /// Redundant hedge copies discarded without double-counting — late
+    /// originals, losing clones, and suppressed requeues — so far.
+    pub fn duplicates_suppressed(&self) -> usize {
+        self.state.lock().expect("queue poisoned").duplicates
+    }
+
+    /// Whether the arrival stream closed **and** every accepted request
+    /// reached a terminal state — the replay is over. Quarantined workers
+    /// poll this so a backoff sleep never outlives the replay.
+    pub fn is_finished(&self) -> bool {
+        let state = self.state.lock().expect("queue poisoned");
+        state.closed && state.drained()
     }
 
     /// Requests popped but not yet completed, requeued or failed.
@@ -457,21 +695,8 @@ impl ArrivalQueue {
                 return false;
             }
             let now_s = start.elapsed().as_secs_f64();
-            let mut opened = false;
-            while let Some(request) = state.backlog.pop_next() {
-                if shed && request.deadline_s < now_s {
-                    state.shed_expired += 1;
-                    state
-                        .shed_log
-                        .push((request, RejectReason::DeadlineExpired));
-                    continue;
-                }
-                state.in_flight += 1;
+            if let Some(request) = state.next_live(shed, now_s) {
                 out.push(request);
-                opened = true;
-                break;
-            }
-            if opened {
                 break;
             }
             if state.closed && state.drained() {
@@ -499,18 +724,8 @@ impl ArrivalQueue {
         loop {
             let now_s = start.elapsed().as_secs_f64();
             while out.len() < max_batch {
-                match state.backlog.pop_next() {
-                    Some(request) => {
-                        if shed && request.deadline_s < now_s {
-                            state.shed_expired += 1;
-                            state
-                                .shed_log
-                                .push((request, RejectReason::DeadlineExpired));
-                            continue;
-                        }
-                        state.in_flight += 1;
-                        out.push(request);
-                    }
+                match state.next_live(shed, now_s) {
+                    Some(request) => out.push(request),
                     None => break,
                 }
             }
@@ -557,6 +772,7 @@ mod tests {
             arrival_s: 0.0,
             deadline_s: -1.0,
             retries: 0,
+            hedged: false,
         }
     }
 
@@ -689,7 +905,7 @@ mod tests {
         assert!(queue.pop_batch(BatchPolicy::Fifo, &mut batch));
         queue.complete(1);
         assert!(queue.pop_batch(BatchPolicy::Fifo, &mut batch));
-        queue.fail(batch[0].retry().retry());
+        queue.fail(batch[0].retry().retry(), false);
         assert_eq!(queue.failed(), 1);
         assert!(!queue.pop_batch(BatchPolicy::Fifo, &mut batch), "drained");
         let shed = queue.take_shed();
@@ -833,6 +1049,7 @@ mod tests {
             arrival_s: 0.0,
             deadline_s: 0.05,
             retries: 0,
+            hedged: false,
         };
         assert!(queue.push(lone));
         let policy = BatchPolicy::Deadline {
@@ -872,6 +1089,7 @@ mod tests {
                 arrival_s: 0.0,
                 deadline_s,
                 retries: 0,
+                hedged: false,
             }));
         }
         queue.close();
@@ -921,6 +1139,186 @@ mod tests {
         assert_eq!(DequeueOrder::default(), DequeueOrder::Fifo);
         assert_eq!(edf_queue().order(), DequeueOrder::Edf);
         assert_eq!(ArrivalQueue::new().order(), DequeueOrder::Fifo);
+    }
+
+    /// Walks the canonical hedge race: an in-flight request is hedged, the
+    /// clone is dispatched to a sibling, and whichever copy completes first
+    /// is counted exactly once while the straggler's late answer is
+    /// suppressed exactly once.
+    #[test]
+    fn hedge_counts_first_result_once_and_suppresses_the_straggler() {
+        let queue = ArrivalQueue::new();
+        assert!(queue.push(request(0)));
+        let mut batch = Vec::new();
+        assert!(queue.pop_batch(BatchPolicy::Fifo, &mut batch));
+        let original = batch[0];
+        assert!(queue.hedge(original), "first hedge dispatches a clone");
+        assert!(!queue.hedge(original), "copies are bounded at two");
+        assert_eq!(queue.hedges(), 1);
+        // A sibling worker picks up the clone.
+        assert!(queue.pop_batch(BatchPolicy::Fifo, &mut batch));
+        let clone = batch[0];
+        assert!(clone.hedged, "the clone carries the hedge marker");
+        assert_eq!(clone.index, original.index);
+        assert_eq!(clone.arrival_s, original.arrival_s, "stamps preserved");
+        assert_eq!(queue.in_flight(), 2);
+        // The clone finishes first: counted, and attributed as a hedge win.
+        let mut primary = Vec::new();
+        queue.complete_batch(&[clone], false, &mut primary);
+        assert_eq!(primary, vec![true]);
+        assert_eq!(queue.hedge_wins(), 1);
+        // The straggler's late answer is discarded once.
+        queue.complete_batch(&[original], true, &mut primary);
+        assert_eq!(primary, vec![false]);
+        assert_eq!(queue.duplicates_suppressed(), 1);
+        queue.close();
+        assert!(!queue.pop_batch(BatchPolicy::Fifo, &mut batch), "drained");
+    }
+
+    #[test]
+    fn original_completing_first_wins_without_a_hedge_win() {
+        let queue = ArrivalQueue::new();
+        assert!(queue.push(request(0)));
+        let mut batch = Vec::new();
+        assert!(queue.pop_batch(BatchPolicy::Fifo, &mut batch));
+        let original = batch[0];
+        assert!(queue.hedge(original));
+        let mut primary = Vec::new();
+        queue.complete_batch(&[original], true, &mut primary);
+        assert_eq!(primary, vec![true], "first result is counted");
+        assert_eq!(queue.hedge_wins(), 0, "the straggler won its own race");
+        // The clone still sits in the backlog: the next pop suppresses it
+        // instead of serving a duplicate.
+        queue.close();
+        assert!(!queue.pop_batch(BatchPolicy::Fifo, &mut batch));
+        assert_eq!(queue.duplicates_suppressed(), 1);
+        assert_eq!(queue.depth(), 0);
+        assert_eq!(queue.in_flight(), 0);
+    }
+
+    /// The watchdog race: the worker resolves its batch (with the slot's
+    /// hedged flag set) before the monitor's `hedge()` call lands. The
+    /// pending-hedge marker must cancel the late hedge so no duplicate of
+    /// an answered request is ever dispatched.
+    #[test]
+    fn late_hedge_of_an_answered_request_is_cancelled() {
+        let queue = ArrivalQueue::new();
+        assert!(queue.push(request(0)));
+        let mut batch = Vec::new();
+        assert!(queue.pop_batch(BatchPolicy::Fifo, &mut batch));
+        let original = batch[0];
+        let mut primary = Vec::new();
+        // Worker saw the slot marked hedged and completed first.
+        queue.complete_batch(&[original], true, &mut primary);
+        assert_eq!(primary, vec![true]);
+        // The monitor's hedge call lands afterwards: cancelled, no clone.
+        assert!(!queue.hedge(original), "late hedge is cancelled");
+        assert_eq!(queue.depth(), 0, "no duplicate was enqueued");
+        assert_eq!(queue.hedges(), 0);
+        queue.close();
+        assert!(!queue.pop_batch(BatchPolicy::Fifo, &mut batch), "drained");
+    }
+
+    #[test]
+    fn failed_copy_with_a_live_sibling_lets_the_sibling_answer() {
+        let queue = ArrivalQueue::new();
+        assert!(queue.push(request(0)));
+        let mut batch = Vec::new();
+        assert!(queue.pop_batch(BatchPolicy::Fifo, &mut batch));
+        let original = batch[0];
+        assert!(queue.hedge(original));
+        assert!(queue.pop_batch(BatchPolicy::Fifo, &mut batch));
+        let clone = batch[0];
+        // The straggler exhausts its retry budget while the clone is live:
+        // the failure is suppressed, the clone decides the fate.
+        queue.fail(original, true);
+        assert_eq!(queue.failed(), 0, "a live sibling may still answer");
+        assert_eq!(queue.duplicates_suppressed(), 1);
+        let mut primary = Vec::new();
+        queue.complete_batch(&[clone], false, &mut primary);
+        assert_eq!(primary, vec![true]);
+        assert_eq!(queue.hedge_wins(), 1);
+        queue.close();
+        assert!(!queue.pop_batch(BatchPolicy::Fifo, &mut batch), "drained");
+    }
+
+    #[test]
+    fn both_copies_failing_counts_one_failure() {
+        let queue = ArrivalQueue::new();
+        assert!(queue.push(request(0)));
+        let mut batch = Vec::new();
+        assert!(queue.pop_batch(BatchPolicy::Fifo, &mut batch));
+        let original = batch[0];
+        assert!(queue.hedge(original));
+        assert!(queue.pop_batch(BatchPolicy::Fifo, &mut batch));
+        let clone = batch[0];
+        queue.fail(original, true);
+        queue.fail(clone, false);
+        assert_eq!(queue.failed(), 1, "the request failed exactly once");
+        assert_eq!(queue.duplicates_suppressed(), 1);
+        let shed = queue.take_shed();
+        assert_eq!(shed.len(), 1);
+        assert_eq!(shed[0].1, RejectReason::Failed);
+        queue.close();
+        assert!(!queue.pop_batch(BatchPolicy::Fifo, &mut batch), "drained");
+    }
+
+    #[test]
+    fn requeue_of_an_answered_hedged_request_is_suppressed() {
+        let queue = ArrivalQueue::new();
+        assert!(queue.push(request(0)));
+        let mut batch = Vec::new();
+        assert!(queue.pop_batch(BatchPolicy::Fifo, &mut batch));
+        let original = batch[0];
+        assert!(queue.hedge(original));
+        assert!(queue.pop_batch(BatchPolicy::Fifo, &mut batch));
+        let clone = batch[0];
+        let mut primary = Vec::new();
+        queue.complete_batch(&[clone], false, &mut primary);
+        assert_eq!(primary, vec![true]);
+        // A transient error makes the straggler's worker requeue it — but
+        // the request is already answered, so it must not re-enter.
+        queue.requeue(original.retry());
+        assert_eq!(queue.depth(), 0, "answered request never re-enters");
+        assert_eq!(queue.retries(), 0, "suppressed requeue is not a retry");
+        assert_eq!(queue.duplicates_suppressed(), 1);
+        queue.close();
+        assert!(!queue.pop_batch(BatchPolicy::Fifo, &mut batch), "drained");
+    }
+
+    #[test]
+    fn expired_clone_with_a_live_original_suppresses_instead_of_shedding() {
+        let queue = ArrivalQueue::with_config(AdmissionConfig {
+            max_depth: None,
+            shed_expired: true,
+            order: DequeueOrder::Fifo,
+        });
+        let short = QueuedRequest::with_slo(0, 0.0, 0.015);
+        assert!(queue.push(short));
+        let mut batch = Vec::new();
+        assert!(queue.pop_batch(BatchPolicy::Fifo, &mut batch));
+        let original = batch[0];
+        assert!(queue.hedge(original));
+        // Let the clone expire in the backlog while the original is served.
+        std::thread::sleep(Duration::from_millis(30));
+        queue.close();
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| {
+                let mut tail = Vec::new();
+                queue.pop_batch(BatchPolicy::Fifo, &mut tail)
+            });
+            std::thread::sleep(Duration::from_millis(10));
+            let mut primary = Vec::new();
+            queue.complete_batch(&[original], true, &mut primary);
+            assert_eq!(primary, vec![true], "the original still answers");
+            assert!(
+                !waiter.join().unwrap(),
+                "expired clone never reaches a worker"
+            );
+        });
+        assert_eq!(queue.shed_expired(), 0, "live sibling suppresses the shed");
+        assert_eq!(queue.duplicates_suppressed(), 1);
+        assert!(queue.is_finished());
     }
 
     #[test]

@@ -94,6 +94,7 @@ proptest! {
                 arrival_s: index as f64 * 1e-4,
                 deadline_s,
                 retries: 0,
+                hedged: false,
             };
             prop_assert!(queue.push(request));
             enqueue_order.push(index);
@@ -122,6 +123,7 @@ proptest! {
                 arrival_s: index as f64 * 1e-4,
                 deadline_s: f64::from(choice) * 0.01,
                 retries: 0,
+                hedged: false,
             };
             prop_assert!(queue.push(request));
             originals.push(request);

@@ -52,6 +52,24 @@ impl FaultScheduleSampler {
         offsets
     }
 
+    /// Samples `count` *repeating* fault offsets: the mid-replay band is
+    /// split into `count` equal slots and one offset is jittered uniformly
+    /// inside each, so the events recur at a roughly even cadence (an
+    /// intermittently stalling replica) instead of clustering the way
+    /// independent uniform draws can. Sorted ascending by construction.
+    pub fn repeating_offsets_s(&mut self, count: usize, window_s: f64) -> Vec<f64> {
+        if count == 0 {
+            return Vec::new();
+        }
+        let span = window_s.max(0.0);
+        let band_lo = FAULT_WINDOW_LO * span;
+        let band = (FAULT_WINDOW_HI - FAULT_WINDOW_LO) * span;
+        let slot = band / count as f64;
+        (0..count)
+            .map(|i| band_lo + slot * i as f64 + self.rng.gen_range(0.0..1.0) * slot)
+            .collect()
+    }
+
     /// Picks a victim replica uniformly from `0..replicas` (`0` when the
     /// pool is empty).
     pub fn replica(&mut self, replicas: usize) -> usize {
@@ -113,6 +131,35 @@ mod tests {
             seen[r] = true;
         }
         assert!(seen.iter().all(|&s| s), "64 draws cover a 3-replica pool");
+    }
+
+    #[test]
+    fn repeating_offsets_space_evenly_across_the_band() {
+        let mut sampler = FaultScheduleSampler::new(17);
+        let window_s = 2.0;
+        let count = 8;
+        let offsets = sampler.repeating_offsets_s(count, window_s);
+        assert_eq!(offsets.len(), count);
+        let band_lo = FAULT_WINDOW_LO * window_s;
+        let slot = (FAULT_WINDOW_HI - FAULT_WINDOW_LO) * window_s / count as f64;
+        for (i, &t) in offsets.iter().enumerate() {
+            let lo = band_lo + slot * i as f64;
+            assert!(
+                t >= lo && t < lo + slot,
+                "offset {t} escaped its slot [{lo}, {})",
+                lo + slot
+            );
+        }
+        for pair in offsets.windows(2) {
+            assert!(pair[0] <= pair[1], "slotted offsets are sorted");
+        }
+        let mut again = FaultScheduleSampler::new(17);
+        assert_eq!(
+            again.repeating_offsets_s(count, window_s),
+            offsets,
+            "repeating schedules are deterministic"
+        );
+        assert!(sampler.repeating_offsets_s(0, window_s).is_empty());
     }
 
     #[test]

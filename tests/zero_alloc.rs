@@ -362,6 +362,7 @@ fn steady_state_inference_paths_do_not_allocate() {
                 arrival_s: 0.0,
                 deadline_s,
                 retries: 0,
+                hedged: false,
             });
         }
         // The pop sheds the four dead requests and batches the four live
@@ -387,42 +388,70 @@ fn steady_state_inference_paths_do_not_allocate() {
     assert!(queue.shed_admission() >= 2 * 11);
     assert_eq!(queue.shed_expired(), 2 * queue.shed_admission());
 
-    // --- Supervised serving steady state ------------------------------------
-    // The fault-tolerant path in its fault-free steady state: publishing
-    // each batch to the crash-recovery slot, polling the fault guard,
-    // staging + batched inference, recording completions into a
-    // pre-reserved log, and settling the queue's in-flight accounting.
-    // Supervision must cost nothing on the heap when nothing is failing —
-    // crash recovery may allocate, every batch served must not.
-    use centaur_serve::{Completion, FaultGuard, InFlightSlot};
+    // --- Supervised serving steady state (watchdog enabled) ----------------
+    // The fault-tolerant path in its hedge-free steady state: the health
+    // board gating every pull, publishing each dispatch-stamped batch to
+    // the in-flight slot, polling the fault guard, the watchdog's probe /
+    // overdue check against a healthy (not overdue) dispatch, staging +
+    // batched inference, hedge-aware completion through `complete_batch`
+    // (every result primary — no duplicates to suppress), recording
+    // completions into a pre-reserved log, and scoring the replica's
+    // service EWMA. Supervision plus an armed watchdog must cost nothing on
+    // the heap when nothing is stalling — crash recovery and hedge races
+    // may allocate, every healthy batch served must not.
+    use centaur_serve::{Completion, FaultGuard, HealthBoard, InFlightSlot};
     let supervised_queue = ArrivalQueue::new();
     let spolicy = BatchPolicy::Dynamic {
         max_batch: batch,
         max_wait: Duration::ZERO,
     };
     let slot = InFlightSlot::new(batch);
+    // A one-second timeout no sub-millisecond batch ever crosses: the
+    // watchdog machinery runs every round, the hedge path never fires.
+    let health = HealthBoard::new(1, 1.0, 3, Duration::from_millis(25));
     let mut fault_guard = FaultGuard::none();
     let mut served_batch: Vec<QueuedRequest> = Vec::with_capacity(batch);
     let mut served_staged: Vec<&centaur_dlrm::InferenceRequest> = Vec::with_capacity(batch);
     let mut completion_log: Vec<Completion> = Vec::with_capacity(batch);
+    // The monitor's bookkeeping, preallocated exactly as the real watchdog
+    // preallocates before its polling loop.
+    let mut riders: Vec<QueuedRequest> = Vec::with_capacity(batch);
+    let mut primary: Vec<bool> = Vec::with_capacity(batch);
     let mut supervised_round = |completion_log: &mut Vec<Completion>| {
+        assert!(
+            health.may_pull(0, 0.0),
+            "a healthy replica pulls without parking"
+        );
         for i in 0..batch {
             assert!(supervised_queue.push(QueuedRequest {
                 index: i,
                 arrival_s: 0.0,
                 deadline_s: f64::INFINITY,
                 retries: 0,
+                hedged: false,
             }));
         }
         assert!(supervised_queue.pop_batch(spolicy, &mut served_batch));
         assert_eq!(served_batch.len(), batch);
-        slot.publish(&served_batch);
+        slot.publish(&served_batch, 0.0);
         fault_guard
             .intercept(0, 0.0)
             .expect("an empty guard injects nothing");
+        // The watchdog's per-tick view of this replica: a stamped dispatch
+        // that is not yet overdue claims no riders.
+        let (dispatched_s, hedged) = slot.probe().expect("a published batch is visible");
+        assert_eq!(dispatched_s, 0.0);
+        assert!(!hedged);
+        assert!(
+            !slot.overdue_riders(1e-4, 1.0, &mut riders),
+            "a fresh dispatch is never overdue"
+        );
         served_staged.clear();
         served_staged.extend(served_batch.iter().map(|q| &requests[q.index]));
         let probabilities = serve_stage.run_batch(&mut runtime, &served_staged).unwrap();
+        assert!(!slot.clear(), "no watchdog hedged this healthy batch");
+        supervised_queue.complete_batch(&served_batch, false, &mut primary);
+        assert!(primary.iter().all(|&keep| keep), "every result is primary");
         completion_log.clear();
         for (queued, &probability) in served_batch.iter().zip(probabilities) {
             completion_log.push(Completion {
@@ -432,8 +461,7 @@ fn steady_state_inference_paths_do_not_allocate() {
                 probability,
             });
         }
-        supervised_queue.complete(served_batch.len());
-        slot.clear();
+        health.record_service(0, 2e-4, 3e-4);
     };
     supervised_round(&mut completion_log); // warm-up: queue ring + buffers
     assert_eq!(completion_log.len(), batch);
@@ -445,10 +473,16 @@ fn steady_state_inference_paths_do_not_allocate() {
     });
     assert_eq!(
         allocs, 0,
-        "supervised serving path allocated in fault-free steady state"
+        "watchdog-enabled supervised serving path allocated in hedge-free \
+         steady state"
     );
     assert_eq!(supervised_queue.in_flight(), 0);
     assert_eq!(supervised_queue.failed(), 0);
+    assert_eq!(supervised_queue.hedges(), 0);
+    assert_eq!(supervised_queue.duplicates_suppressed(), 0);
+    use centaur_serve::ReplicaHealth;
+    assert_eq!(health.health(0), ReplicaHealth::Healthy);
+    assert_eq!(health.quarantines(), 0);
 
     // --- Multi-tenant EDF steady state --------------------------------------
     // The isolated-pool dispatch path: an EDF-ordered arrival queue (binary
@@ -485,6 +519,7 @@ fn steady_state_inference_paths_do_not_allocate() {
                 arrival_s: 0.0,
                 deadline_s: ((batch - i) % 5) as f64,
                 retries: 0,
+                hedged: false,
             }));
         }
         assert!(edf_queue.pop_batch(spolicy, edf_batch));
